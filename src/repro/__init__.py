@@ -1,0 +1,108 @@
+"""repro — a reproduction of "The PARULEL Parallel Rule Language"
+(Stolfo et al., Proc. 1991 Intl. Conf. on Parallel Processing).
+
+PARULEL is a parallel production-system language in the OPS5 lineage whose
+cycle fires **all** surviving conflict-set instantiations at once, with
+conflict resolution programmed as **meta-rules** that *redact* (delete)
+instantiations, and whose match phase parallelizes across processors (rule
+parallelism and copy-and-constrain data parallelism).
+
+Quick start::
+
+    from repro import ParulelEngine, parse_program
+
+    src = '''
+    (literalize count value)
+    (p bump
+        (count ^value {<v> < 5})
+        -->
+        (modify 1 ^value (compute <v> + 1)))
+    '''
+    engine = ParulelEngine(parse_program(src))
+    engine.make("count", value=0)
+    result = engine.run()
+    assert engine.wm.find("count", value=5)
+
+Package map:
+
+- :mod:`repro.lang` — lexer, parser, AST, analysis, pretty-printer, builder
+- :mod:`repro.wm` — working memory
+- :mod:`repro.match` — RETE / TREAT / naive match engines
+- :mod:`repro.core` — the PARULEL set-oriented engine and meta level
+- :mod:`repro.baseline` — the sequential OPS5 engine (LEX/MEA)
+- :mod:`repro.parallel` — simulated multiprocessor, partitioners,
+  copy-and-constrain, threaded executor
+- :mod:`repro.programs` — benchmark program generators
+- :mod:`repro.metrics` — reporting helpers for the experiment suite
+"""
+
+from repro.baseline import OPS5Engine, OPS5Result
+from repro.core import (
+    CycleReport,
+    EngineConfig,
+    InterferencePolicy,
+    ParulelEngine,
+    RunResult,
+)
+from repro.errors import (
+    CycleLimitExceeded,
+    ExecutionError,
+    InterferenceError,
+    LexError,
+    MatchError,
+    ParseError,
+    ReproError,
+    SemanticError,
+    WorkingMemoryError,
+)
+from repro.lang import (
+    Program,
+    ProgramBuilder,
+    RuleBuilder,
+    analyze_program,
+    format_program,
+    parse_program,
+)
+from repro.match import (
+    Instantiation,
+    NaiveMatcher,
+    ReteMatcher,
+    TreatMatcher,
+    create_matcher,
+)
+from repro.wm import WME, WorkingMemory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CycleLimitExceeded",
+    "CycleReport",
+    "EngineConfig",
+    "ExecutionError",
+    "Instantiation",
+    "InterferenceError",
+    "InterferencePolicy",
+    "LexError",
+    "MatchError",
+    "NaiveMatcher",
+    "OPS5Engine",
+    "OPS5Result",
+    "ParseError",
+    "ParulelEngine",
+    "Program",
+    "ProgramBuilder",
+    "ReproError",
+    "ReteMatcher",
+    "RuleBuilder",
+    "RunResult",
+    "SemanticError",
+    "TreatMatcher",
+    "WME",
+    "WorkingMemory",
+    "WorkingMemoryError",
+    "analyze_program",
+    "create_matcher",
+    "format_program",
+    "parse_program",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""The OPS5 baseline: sequential recognize-act with built-in conflict
+resolution.
+
+PARULEL's headline claim is measured *against* this engine: OPS5 selects
+**one** instantiation per cycle using a hard-wired strategy (LEX or MEA) and
+fires it immediately, so a run needs roughly one cycle per firing — the
+sequential bottleneck PARULEL removes. Both engines share the language
+front end, the match engines, and the action evaluator, so measured
+differences isolate the firing semantics.
+"""
+
+from repro.baseline.ops5 import OPS5Engine, OPS5Result
+from repro.baseline.strategy import LexStrategy, MeaStrategy, Strategy, create_strategy
+
+__all__ = [
+    "LexStrategy",
+    "MeaStrategy",
+    "OPS5Engine",
+    "OPS5Result",
+    "Strategy",
+    "create_strategy",
+]

@@ -1,0 +1,95 @@
+"""OPS5 conflict-resolution strategies: LEX and MEA.
+
+Both consider only instantiations that have not already fired (refraction),
+then order by:
+
+**LEX**
+  1. recency: the sorted-descending timestamp vectors of the matched WMEs,
+     compared lexicographically (more recent wins; a longer vector wins a
+     tie on the common prefix);
+  2. specificity: number of attribute tests (more specific wins);
+  3. as a final deterministic tie-break (OPS5 chose arbitrarily): rule
+     name, then timestamp vector.
+
+**MEA**
+  1. recency of the WME matching the *first* condition element (the "means"
+     in means-ends analysis — OPS5 programs put the goal/context element
+     first);
+  2. then exactly LEX.
+
+This implementation adds ``salience`` (a PARULEL-era extension kept for
+parity with the meta level) as a zeroth key: higher salience wins. Programs
+that never set salience are ordered purely by the classic keys.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence, Tuple
+
+from repro.match.instantiation import Instantiation
+
+__all__ = ["Strategy", "LexStrategy", "MeaStrategy", "create_strategy", "STRATEGY_NAMES"]
+
+
+class Strategy(abc.ABC):
+    """Selects the single instantiation to fire from the candidates."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def sort_key(self, inst: Instantiation) -> Tuple:
+        """Key such that the *maximum* is the instantiation to fire."""
+
+    def select(self, candidates: Sequence[Instantiation]) -> Optional[Instantiation]:
+        """The winning instantiation, or ``None`` if there are no candidates."""
+        if not candidates:
+            return None
+        return max(candidates, key=self.sort_key)
+
+    def order(self, candidates: Sequence[Instantiation]) -> List[Instantiation]:
+        """All candidates, best first (used by traces and tests)."""
+        return sorted(candidates, key=self.sort_key, reverse=True)
+
+
+def _lex_tail(inst: Instantiation) -> Tuple:
+    # Deterministic final tie-break: rule name ascending — encoded by
+    # sorting on the *negated* comparison via a trick-free approach:
+    # max() wants big keys, and we want the lexicographically smallest
+    # rule name to win ties, so invert each character's code point.
+    inverted_name = tuple(-ord(c) for c in inst.rule.name)
+    return (inst.timestamps, inst.specificity, inverted_name, inst.key[1])
+
+
+class LexStrategy(Strategy):
+    """OPS5 LEX: salience, recency vector, specificity."""
+
+    name = "lex"
+
+    def sort_key(self, inst: Instantiation) -> Tuple:
+        return (inst.salience,) + _lex_tail(inst)
+
+
+class MeaStrategy(Strategy):
+    """OPS5 MEA: the first condition element's recency dominates."""
+
+    name = "mea"
+
+    def sort_key(self, inst: Instantiation) -> Tuple:
+        first = inst.wmes[0]
+        first_ts = first.timestamp if first is not None else 0
+        return (inst.salience, first_ts) + _lex_tail(inst)
+
+
+STRATEGY_NAMES = ("lex", "mea")
+
+
+def create_strategy(name: str) -> Strategy:
+    """Instantiate a strategy by name (``lex`` or ``mea``)."""
+    table = {"lex": LexStrategy, "mea": MeaStrategy}
+    try:
+        return table[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r} (choose from {STRATEGY_NAMES})"
+        ) from None

@@ -1,0 +1,333 @@
+"""Command-line front end: run, check, format and demo PARULEL programs.
+
+Installed as ``parulel`` (see pyproject). Subcommands:
+
+``parulel run PROGRAM [--facts FILE] [--engine parulel|ops5] ...``
+    execute a program to quiescence/halt and report cycles, firings and
+    the ``(write ...)`` output;
+``parulel check PROGRAM``
+    parse + semantic analysis, then a one-line-per-rule inventory;
+``parulel fmt PROGRAM``
+    canonical pretty-printed form (round-trips through the parser);
+``parulel demo NAME``
+    build and run a bundled benchmark workload under both engines;
+``parulel dot PROGRAM [--facts FILE]``
+    Graphviz DOT of the compiled RETE network (sizes reflect the facts);
+``parulel explain PROGRAM --facts FILE --wme "(class ^attr value)"``
+    run with provenance tracking and print the derivation tree of the
+    final WME matching the given pattern;
+``parulel lint PROGRAM``
+    static interference analysis for set-oriented firing, with meta-rule
+    skeleton suggestions (the OPS5→PARULEL porting aid);
+``parulel repl PROGRAM [--facts FILE]``
+    interactive session: assert facts, step cycles, inspect the conflict
+    set, explain derivations.
+
+A *facts file* contains bare WME forms, one per s-expression::
+
+    (edge ^src n0 ^dst n1)
+    (count ^value 0)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.baseline import OPS5Engine
+from repro.core import EngineConfig, ParulelEngine
+from repro.errors import ReproError
+from repro.lang import analyze_program, format_program, parse_program
+from repro.lang.ast import Value
+from repro.wm.io import dumps as dump_wm_text
+from repro.wm.io import parse_facts_text
+
+__all__ = ["main", "parse_facts"]
+
+
+def parse_facts(source: str) -> List[Tuple[str, Dict[str, Value]]]:
+    """Parse a facts file into ``(class, attrs)`` pairs (see repro.wm.io)."""
+    return parse_facts_text(source)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    source = open(args.program).read()
+    program = parse_program(source)
+    analyze_program(program)
+    facts = parse_facts(open(args.facts).read()) if args.facts else []
+
+    if args.engine == "ops5":
+        ops5 = OPS5Engine(program, strategy=args.strategy, matcher=args.matcher)
+        for cls, attrs in facts:
+            ops5.make(cls, attrs)
+        result = ops5.run(max_cycles=args.max_cycles)
+        for line in result.output:
+            print(line)
+        print(
+            f"[ops5/{args.strategy}] {result.cycles} cycles, "
+            f"{result.firings} firings, stopped by {result.reason}",
+            file=sys.stderr,
+        )
+        if args.stats:
+            for rule in result.fired_rules:
+                print(f"  fired {rule}", file=sys.stderr)
+        if args.dump_wm:
+            with open(args.dump_wm, "w") as fh:
+                fh.write(dump_wm_text(ops5.wm))
+        return 0
+
+    trace = None
+    if args.trace:
+
+        def trace(report):  # noqa: ANN001 - CycleReport
+            print(
+                f"[cycle {report.cycle}] conflict-set={report.conflict_set_size} "
+                f"redacted={report.redaction.redacted} fired={report.fired} "
+                f"Δ=-{report.delta_removes}/+{report.delta_makes}",
+                file=sys.stderr,
+            )
+
+    engine = ParulelEngine(
+        program,
+        EngineConfig(matcher=args.matcher, interference=args.interference),
+        trace=trace,
+    )
+    for cls, attrs in facts:
+        engine.make(cls, attrs)
+    result = engine.run(max_cycles=args.max_cycles)
+    for line in result.output:
+        print(line)
+    print(
+        f"[parulel] {result.cycles} cycles, {result.firings} firings "
+        f"(mean firing set {result.mean_firing_set:.1f}), stopped by "
+        f"{result.reason}",
+        file=sys.stderr,
+    )
+    if args.stats:
+        stats = engine.matcher.stats
+        print(f"  match: {stats}", file=sys.stderr)
+        for name, secs in sorted(engine.phase_times.items()):
+            print(f"  phase {name}: {secs * 1000:.1f} ms", file=sys.stderr)
+    if args.dump_wm:
+        with open(args.dump_wm, "w") as fh:
+            fh.write(dump_wm_text(engine.wm))
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    source = open(args.program).read()
+    program = parse_program(source)
+    info = analyze_program(program)
+    print(
+        f"{len(program.literalizes)} classes, {len(program.rules)} rules, "
+        f"{len(program.meta_rules)} meta-rules"
+    )
+    for ri in info.rule_infos:
+        kind = "mp" if ri.is_meta else "p "
+        reads = ",".join(sorted(ri.classes_read))
+        writes = ",".join(sorted(ri.classes_written)) or "-"
+        print(f"  {kind} {ri.name}: reads {reads}; writes {writes}")
+    return 0
+
+
+def _cmd_fmt(args: argparse.Namespace) -> int:
+    source = open(args.program).read()
+    print(format_program(parse_program(source)), end="")
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from repro.match.rete import ReteMatcher
+    from repro.tools import rete_to_dot
+    from repro.wm.memory import WorkingMemory
+    from repro.wm.template import TemplateRegistry
+
+    program = parse_program(open(args.program).read())
+    analyze_program(program)
+    wm = WorkingMemory(TemplateRegistry.from_program(program))
+    matcher = ReteMatcher(program.rules, wm)
+    if args.facts:
+        for cls, attrs in parse_facts(open(args.facts).read()):
+            wm.make(cls, attrs)
+    print(rete_to_dot(matcher))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core import EngineConfig
+
+    program = parse_program(open(args.program).read())
+    analyze_program(program)
+    wanted = parse_facts(args.wme)
+    if len(wanted) != 1:
+        print("error: --wme needs exactly one (class ^attr value) form", file=sys.stderr)
+        return 2
+    cls, attrs = wanted[0]
+
+    engine = ParulelEngine(program, EngineConfig(track_provenance=True))
+    if args.facts:
+        for fcls, fattrs in parse_facts(open(args.facts).read()):
+            engine.make(fcls, fattrs)
+    engine.run(max_cycles=args.max_cycles)
+
+    matches = engine.wm.find(cls, attrs)
+    if not matches:
+        print(
+            f"error: no live WME matches ({cls} ...) with those attributes",
+            file=sys.stderr,
+        )
+        return 1
+    for wme in matches:
+        print(engine.explain(wme))
+        print()
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.tools.lint import lint_program
+
+    program = parse_program(open(args.program).read())
+    analyze_program(program)
+    report = lint_program(program)
+    if not report:
+        print("clean: no parallel-firing interference candidates")
+        return 0
+    print(report)
+    return 3  # candidates found (distinct from hard errors)
+
+
+def _cmd_repl(args: argparse.Namespace) -> int:
+    from repro.repl import run_repl
+
+    program = parse_program(open(args.program).read())
+    initial = [open(args.facts).read()] if args.facts else []
+
+    def feed():
+        # Facts first, then hand over to the interactive prompt.
+        yield from initial
+        while True:
+            try:
+                yield input("parulel> ")
+            except EOFError:
+                return
+
+    return run_repl(program, input_lines=feed() if initial else None)
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.programs import REGISTRY
+
+    builder = REGISTRY.get(args.name)
+    if builder is None:
+        print(
+            f"unknown demo {args.name!r}; available: {', '.join(sorted(REGISTRY))}",
+            file=sys.stderr,
+        )
+        return 2
+    workload = builder()
+    print(f"== {workload.name}: {workload.description}")
+
+    engine = ParulelEngine(workload.program)
+    workload.setup(engine)
+    res = engine.run()
+    print(
+        f"parulel: {res.cycles} cycles, {res.firings} firings "
+        f"(mean firing set {res.mean_firing_set:.1f}) -> "
+        f"{'OK' if workload.verify_ok(engine.wm) else 'WRONG RESULT'}"
+    )
+
+    ops5 = OPS5Engine(workload.program)
+    workload.setup(ops5)
+    ro = ops5.run()
+    print(
+        f"ops5/lex: {ro.cycles} cycles -> "
+        f"{'OK' if workload.verify_ok(ops5.wm) else 'WRONG RESULT'}"
+    )
+    if res.cycles:
+        print(f"cycle reduction: {ro.cycles / res.cycles:.1f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="parulel",
+        description="PARULEL parallel rule language (ICPP 1991) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="execute a program")
+    p_run.add_argument("program", help="path to a .pl rule program")
+    p_run.add_argument("--facts", help="path to an initial-WME facts file")
+    p_run.add_argument(
+        "--engine", choices=("parulel", "ops5"), default="parulel"
+    )
+    p_run.add_argument("--matcher", choices=("rete", "treat", "naive"), default="rete")
+    p_run.add_argument("--strategy", choices=("lex", "mea"), default="lex")
+    p_run.add_argument(
+        "--interference", choices=("error", "first", "merge"), default="error"
+    )
+    p_run.add_argument("--max-cycles", type=int, default=100_000)
+    p_run.add_argument("--trace", action="store_true", help="per-cycle trace to stderr")
+    p_run.add_argument("--stats", action="store_true", help="match/phase statistics")
+    p_run.add_argument(
+        "--dump-wm", metavar="PATH", help="write the final working memory as facts"
+    )
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_check = sub.add_parser("check", help="parse and analyze a program")
+    p_check.add_argument("program")
+    p_check.set_defaults(fn=_cmd_check)
+
+    p_fmt = sub.add_parser("fmt", help="canonical pretty-print")
+    p_fmt.add_argument("program")
+    p_fmt.set_defaults(fn=_cmd_fmt)
+
+    p_demo = sub.add_parser("demo", help="run a bundled benchmark workload")
+    p_demo.add_argument("name")
+    p_demo.set_defaults(fn=_cmd_demo)
+
+    p_dot = sub.add_parser("dot", help="Graphviz DOT of the RETE network")
+    p_dot.add_argument("program")
+    p_dot.add_argument("--facts", help="facts to load before rendering sizes")
+    p_dot.set_defaults(fn=_cmd_dot)
+
+    p_explain = sub.add_parser(
+        "explain", help="derivation tree of a final working-memory element"
+    )
+    p_explain.add_argument("program")
+    p_explain.add_argument("--facts", help="initial-WME facts file")
+    p_explain.add_argument(
+        "--wme", required=True, help='pattern like "(path ^src a ^dst d)"'
+    )
+    p_explain.add_argument("--max-cycles", type=int, default=100_000)
+    p_explain.set_defaults(fn=_cmd_explain)
+
+    p_lint = sub.add_parser(
+        "lint", help="static interference analysis + meta-rule suggestions"
+    )
+    p_lint.add_argument("program")
+    p_lint.set_defaults(fn=_cmd_lint)
+
+    p_repl = sub.add_parser("repl", help="interactive session")
+    p_repl.add_argument("program")
+    p_repl.add_argument("--facts", help="facts file asserted before the prompt")
+    p_repl.set_defaults(fn=_cmd_repl)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

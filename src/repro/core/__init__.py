@@ -1,0 +1,39 @@
+"""PARULEL's execution core: the set-oriented recognize-act cycle.
+
+The cycle implemented by :class:`~repro.core.engine.ParulelEngine` is the
+paper's central contribution:
+
+1. **Match** — an incremental engine (:mod:`repro.match`) keeps the conflict
+   set current;
+2. **Redact** — the conflict set is reified as ``instantiation`` WMEs and the
+   program's *meta-rules* run to fixpoint, deleting instantiations that must
+   not fire (:mod:`repro.core.redaction`) — programmable conflict
+   resolution in place of OPS5's hard-wired LEX/MEA;
+3. **Fire in parallel** — every surviving instantiation evaluates its RHS
+   against the *pre-firing snapshot*; the combined delta is checked for
+   interference and applied atomically (:mod:`repro.core.delta`).
+
+Repeat until the firing set is empty, ``(halt)``, or the cycle limit.
+"""
+
+from repro.core.actions import ActionEvaluator, InstantiationDelta
+from repro.core.delta import CycleDelta, InterferencePolicy, merge_deltas
+from repro.core.engine import CycleReport, EngineConfig, ParulelEngine, RunResult
+from repro.core.provenance import Derivation, ProvenanceTracker
+from repro.core.redaction import MetaLevel, reify_instantiation
+
+__all__ = [
+    "ActionEvaluator",
+    "CycleDelta",
+    "CycleReport",
+    "Derivation",
+    "EngineConfig",
+    "ProvenanceTracker",
+    "InstantiationDelta",
+    "InterferencePolicy",
+    "MetaLevel",
+    "ParulelEngine",
+    "RunResult",
+    "merge_deltas",
+    "reify_instantiation",
+]

@@ -1,0 +1,347 @@
+"""The PARULEL engine: set-oriented parallel rule firing.
+
+Each cycle of :meth:`ParulelEngine.step`:
+
+1. **Collect** — take the incremental matcher's conflict set, drop
+   refracted instantiations (an instantiation — rule + exact WME
+   timestamps — fires at most once);
+2. **Redact** — run the meta-program over the reified candidates
+   (:class:`~repro.core.redaction.MetaLevel`); the survivors form the
+   *firing set*;
+3. **Evaluate** — run every survivor's RHS against the pre-firing snapshot
+   (:class:`~repro.core.actions.ActionEvaluator`); nothing is applied yet,
+   so firings cannot observe each other — the defining property of
+   PARULEL's parallel semantics;
+4. **Apply** — merge the per-firing deltas under the configured
+   interference policy (:func:`~repro.core.delta.merge_deltas`) and commit
+   the result atomically; the incremental matchers update as the WMEs flow.
+
+The run ends at *quiescence* (no unrefracted instantiations), at
+*redaction quiescence* (every candidate redacted — since the engine is
+deterministic and working memory did not change, the next cycle would repeat
+forever), on ``(halt)``, or at the cycle limit.
+
+Redacted instantiations are **not** refracted: a meta-rule that defers a
+firing (e.g. "the larger region wins this cycle") lets it fire in a later
+cycle if it is still matched — deferral, not deletion, matching the
+published description of PARULEL's meta level.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import CycleLimitExceeded, ExecutionError
+from repro.core.actions import ActionEvaluator, HostFunction, InstantiationDelta
+from repro.core.delta import CycleDelta, InterferencePolicy, merge_deltas
+from repro.core.provenance import ProvenanceTracker
+from repro.core.redaction import MetaLevel, RedactionReport
+from repro.lang.analysis import analyze_program
+from repro.lang.ast import Program, Value
+from repro.match.instantiation import InstKey, Instantiation
+from repro.match.interface import Matcher, create_matcher
+from repro.wm.memory import WorkingMemory
+from repro.wm.template import TemplateRegistry
+from repro.wm.wme import WME
+
+__all__ = ["ParulelEngine", "EngineConfig", "CycleReport", "RunResult"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs of the PARULEL engine.
+
+    ``matcher`` / ``meta_matcher`` name the match engines (``rete``,
+    ``treat``, ``naive``). ``interference`` picks the
+    :class:`~repro.core.delta.InterferencePolicy`. ``dedupe_makes``
+    collapses identical makes within one cycle (set-insertion reading).
+    """
+
+    matcher: str = "rete"
+    meta_matcher: str = "rete"
+    interference: InterferencePolicy = InterferencePolicy.ERROR
+    dedupe_makes: bool = True
+    max_cycles: int = 100_000
+    max_meta_cycles: int = 1000
+    #: Record a :class:`~repro.core.provenance.Derivation` for every WME,
+    #: enabling ``engine.explain(wme)``. Off by default (memory cost).
+    track_provenance: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "interference", InterferencePolicy.of(self.interference)
+        )
+
+
+@dataclass
+class CycleReport:
+    """Everything one cycle did — the unit of engine instrumentation."""
+
+    cycle: int
+    conflict_set_size: int
+    candidates: int
+    redaction: RedactionReport
+    fired: int
+    delta_removes: int
+    delta_makes: int
+    conflicts_resolved: int
+    makes_deduped: int
+    writes: List[str] = field(default_factory=list)
+    halted: bool = False
+
+
+@dataclass
+class RunResult:
+    """Summary of a full :meth:`ParulelEngine.run`."""
+
+    cycles: int
+    firings: int
+    reason: str  # 'quiescence' | 'redaction-quiescence' | 'halt' | 'cycle-limit'
+    output: List[str]
+    reports: List[CycleReport]
+    wall_time: float
+    phase_times: Counter
+
+    @property
+    def halted(self) -> bool:
+        return self.reason == "halt"
+
+    @property
+    def firing_set_sizes(self) -> List[int]:
+        return [r.fired for r in self.reports]
+
+    @property
+    def mean_firing_set(self) -> float:
+        sizes = [s for s in self.firing_set_sizes if s]
+        return sum(sizes) / len(sizes) if sizes else 0.0
+
+
+class ParulelEngine:
+    """The set-oriented, meta-rule-redacting production-system engine."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: Optional[EngineConfig] = None,
+        host_functions: Optional[Mapping[str, HostFunction]] = None,
+        wm: Optional[WorkingMemory] = None,
+        trace: Optional[Callable[[CycleReport], None]] = None,
+    ) -> None:
+        analyze_program(program)
+        self.program = program
+        self.config = config or EngineConfig()
+        self.wm = wm if wm is not None else WorkingMemory(
+            TemplateRegistry.from_program(program)
+        )
+        self.evaluator = ActionEvaluator(host_functions)
+        self.matcher: Matcher = create_matcher(
+            self.config.matcher, program.rules, self.wm
+        )
+        self.meta = MetaLevel(
+            program.meta_rules,
+            self.wm,
+            self.evaluator,
+            matcher_name=self.config.meta_matcher,
+            max_meta_cycles=self.config.max_meta_cycles,
+        )
+        self.trace = trace
+        self.provenance: Optional[ProvenanceTracker] = (
+            ProvenanceTracker() if self.config.track_provenance else None
+        )
+        self.fired: Set[InstKey] = set()
+        self.output: List[str] = []
+        self.reports: List[CycleReport] = []
+        self.phase_times: Counter = Counter()
+        self.halted = False
+        self._cycle = 0
+        self._redaction_quiescent = False
+
+    # -- working-memory convenience ------------------------------------------
+
+    def make(self, class_name: str, attrs: Optional[Mapping[str, Value]] = None, **kw: Value) -> WME:
+        """Assert an initial/extra WME (outside the firing cycle)."""
+        wme = self.wm.make(class_name, attrs, **kw)
+        if self.provenance is not None:
+            self.provenance.record_initial(wme)
+        return wme
+
+    def remove(self, wme: WME) -> None:
+        self.wm.remove(wme)
+
+    def register_function(self, name: str, fn: HostFunction) -> None:
+        """Expose a host callback to ``(call name ...)`` actions."""
+        self.evaluator.register(name, fn)
+
+    # -- the cycle ----------------------------------------------------------------
+
+    def step(self) -> Optional[CycleReport]:
+        """Run one recognize-redact-act cycle.
+
+        Returns ``None`` when the system is quiescent (nothing unrefracted
+        to fire) — including redaction quiescence, where candidates exist
+        but the meta level vetoes all of them and working memory cannot
+        change.
+        """
+        if self.halted or self._redaction_quiescent:
+            return None
+
+        t0 = time.perf_counter()
+        all_insts = self.matcher.instantiations()
+        candidates = [i for i in all_insts if i.key not in self.fired]
+        t1 = time.perf_counter()
+        self.phase_times["collect"] += t1 - t0
+        if not candidates:
+            return None
+
+        survivors, red_report = self.meta.redact(candidates)
+        self.output.extend(self.meta.writes)
+        t2 = time.perf_counter()
+        self.phase_times["redact"] += t2 - t1
+
+        self._cycle += 1
+        if not survivors:
+            # Deterministic engine + unchanged WM ⇒ the next cycle would be
+            # identical. Record the cycle and stop.
+            self._redaction_quiescent = True
+            report = CycleReport(
+                cycle=self._cycle,
+                conflict_set_size=len(all_insts),
+                candidates=len(candidates),
+                redaction=red_report,
+                fired=0,
+                delta_removes=0,
+                delta_makes=0,
+                conflicts_resolved=0,
+                makes_deduped=0,
+                halted=self.meta.halt_requested,
+            )
+            self.reports.append(report)
+            if self.meta.halt_requested:
+                self.halted = True
+            if self.trace is not None:
+                self.trace(report)
+            return report
+
+        # Evaluate every survivor against the pre-firing snapshot.
+        deltas: List[InstantiationDelta] = []
+        for inst in survivors:
+            self.fired.add(inst.key)
+            deltas.append(self.evaluator.evaluate(inst))
+        t3 = time.perf_counter()
+        self.phase_times["evaluate"] += t3 - t2
+
+        merged = merge_deltas(
+            deltas,
+            policy=self.config.interference,
+            dedupe_makes=self.config.dedupe_makes,
+        )
+        self._apply(merged, deltas)
+        t4 = time.perf_counter()
+        self.phase_times["apply"] += t4 - t3
+
+        halted = merged.halt or self.meta.halt_requested
+        report = CycleReport(
+            cycle=self._cycle,
+            conflict_set_size=len(all_insts),
+            candidates=len(candidates),
+            redaction=red_report,
+            fired=len(survivors),
+            delta_removes=len(merged.removes),
+            delta_makes=len(merged.makes),
+            conflicts_resolved=merged.conflicts_resolved,
+            makes_deduped=merged.makes_deduped,
+            writes=list(merged.writes),
+            halted=halted,
+        )
+        self.reports.append(report)
+        self.output.extend(merged.writes)
+        if halted:
+            self.halted = True
+        if self.trace is not None:
+            self.trace(report)
+        return report
+
+    def _apply(self, merged: CycleDelta, deltas: Sequence[InstantiationDelta]) -> None:
+        """Commit a cycle delta: retractions, then assertions, then host
+        calls (in firing order)."""
+        for wme in merged.removes:
+            self.wm.remove(wme)
+            if self.provenance is not None:
+                self.provenance.record_retract(wme, self._cycle)
+        for (class_name, attrs), origin in zip(merged.makes, merged.make_origins):
+            new_wme = self.wm.make(class_name, attrs)
+            if self.provenance is not None:
+                inst, kind, replaced = origin
+                parents = tuple(w for w in inst.wmes if w is not None)
+                if kind == "modify":
+                    self.provenance.record_modify(
+                        new_wme, self._cycle, inst.rule.name, inst.key,
+                        parents, replaced,
+                    )
+                else:
+                    self.provenance.record_make(
+                        new_wme, self._cycle, inst.rule.name, inst.key, parents
+                    )
+        for delta in deltas:
+            self.evaluator.run_calls(delta)
+
+    def run(self, max_cycles: Optional[int] = None) -> RunResult:
+        """Run to quiescence / halt; raise
+        :class:`~repro.errors.CycleLimitExceeded` past the cycle budget."""
+        limit = max_cycles if max_cycles is not None else self.config.max_cycles
+        start_cycle = self._cycle
+        start_report = len(self.reports)
+        wall0 = time.perf_counter()
+        reason = "quiescence"
+        while True:
+            if self._cycle - start_cycle >= limit:
+                raise CycleLimitExceeded(
+                    f"exceeded {limit} cycles; the rule program likely does "
+                    f"not terminate"
+                )
+            report = self.step()
+            if report is None:
+                reason = (
+                    "redaction-quiescence" if self._redaction_quiescent else "quiescence"
+                )
+                break
+            if report.halted:
+                reason = "halt"
+                break
+            if report.fired == 0:
+                reason = "redaction-quiescence"
+                break
+        wall = time.perf_counter() - wall0
+        run_reports = self.reports[start_report:]
+        return RunResult(
+            cycles=self._cycle - start_cycle,
+            firings=sum(r.fired for r in run_reports),
+            reason=reason,
+            output=list(self.output),
+            reports=run_reports,
+            wall_time=wall,
+            phase_times=Counter(self.phase_times),
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def cycle(self) -> int:
+        return self._cycle
+
+    def conflict_set(self) -> List[Instantiation]:
+        """Unrefracted instantiations currently eligible."""
+        return [i for i in self.matcher.instantiations() if i.key not in self.fired]
+
+    def explain(self, wme: WME, max_depth: int = 10) -> str:
+        """Derivation tree for ``wme`` (requires
+        ``EngineConfig(track_provenance=True)``)."""
+        if self.provenance is None:
+            raise ExecutionError(
+                "provenance tracking is off; construct the engine with "
+                "EngineConfig(track_provenance=True)"
+            )
+        return self.provenance.explain(wme, max_depth=max_depth)

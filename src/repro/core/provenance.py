@@ -1,0 +1,175 @@
+"""Derivation tracking: which firing produced each working-memory element.
+
+Production-system debugging lives and dies on "why does this WME exist?".
+With ``EngineConfig(track_provenance=True)`` the PARULEL engine records a
+:class:`Derivation` for every WME:
+
+- ``initial`` — asserted from outside the cycle (``engine.make``),
+- ``make`` — created by a firing's ``(make ...)``,
+- ``modify`` — the re-assert half of a ``(modify ...)``, with ``replaced``
+  pointing at the displaced WME (whose own record is retained, so chains of
+  modifies remain walkable).
+
+:meth:`ProvenanceTracker.explain` renders the derivation tree rooted at a
+WME; :meth:`ProvenanceTracker.lineage` iterates its transitive support set.
+Retired (retracted) WMEs keep their records — explanations routinely pass
+through them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.match.instantiation import InstKey
+from repro.wm.wme import WME
+
+__all__ = ["Derivation", "ProvenanceTracker"]
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """How one WME came to exist."""
+
+    wme: WME
+    kind: str  # 'initial' | 'make' | 'modify'
+    cycle: int  # 0 for initial assertions
+    rule: Optional[str] = None
+    inst_key: Optional[InstKey] = None
+    #: WMEs matched by the deriving instantiation's positive CEs.
+    parents: Tuple[WME, ...] = ()
+    #: For 'modify': the WME this one displaced.
+    replaced: Optional[WME] = None
+
+    def describe(self) -> str:
+        if self.kind == "initial":
+            return f"{self.wme!r}  [asserted initially]"
+        via = f"rule {self.rule!r} in cycle {self.cycle}"
+        if self.kind == "modify":
+            return f"{self.wme!r}  [modify of {self.replaced!r} by {via}]"
+        return f"{self.wme!r}  [made by {via}]"
+
+
+class ProvenanceTracker:
+    """Records and explains derivations. One per engine run."""
+
+    def __init__(self) -> None:
+        self._records: Dict[WME, Derivation] = {}
+        self._retired: Dict[WME, int] = {}  # wme -> cycle retracted
+
+    # -- recording ---------------------------------------------------------
+
+    def record_initial(self, wme: WME) -> None:
+        self._records[wme] = Derivation(wme=wme, kind="initial", cycle=0)
+
+    def record_make(
+        self,
+        wme: WME,
+        cycle: int,
+        rule: str,
+        inst_key: InstKey,
+        parents: Tuple[WME, ...],
+    ) -> None:
+        self._records[wme] = Derivation(
+            wme=wme,
+            kind="make",
+            cycle=cycle,
+            rule=rule,
+            inst_key=inst_key,
+            parents=parents,
+        )
+
+    def record_modify(
+        self,
+        wme: WME,
+        cycle: int,
+        rule: str,
+        inst_key: InstKey,
+        parents: Tuple[WME, ...],
+        replaced: WME,
+    ) -> None:
+        self._records[wme] = Derivation(
+            wme=wme,
+            kind="modify",
+            cycle=cycle,
+            rule=rule,
+            inst_key=inst_key,
+            parents=parents,
+            replaced=replaced,
+        )
+
+    def record_retract(self, wme: WME, cycle: int) -> None:
+        self._retired[wme] = cycle
+
+    # -- queries ---------------------------------------------------------------
+
+    def derivation(self, wme: WME) -> Optional[Derivation]:
+        """The record for a WME (live or retired), or None if untracked."""
+        return self._records.get(wme)
+
+    def is_retired(self, wme: WME) -> bool:
+        return wme in self._retired
+
+    def retired_in_cycle(self, wme: WME) -> Optional[int]:
+        return self._retired.get(wme)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def lineage(self, wme: WME) -> Iterator[Derivation]:
+        """Depth-first walk over the transitive support of ``wme`` (itself
+        first). Parents include modify-chains via ``replaced``."""
+        seen: Set[WME] = set()
+        stack: List[WME] = [wme]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            record = self._records.get(current)
+            if record is None:
+                continue
+            yield record
+            if record.replaced is not None:
+                stack.append(record.replaced)
+            stack.extend(reversed(record.parents))
+
+    def derived_by_rule(self, rule_name: str) -> List[Derivation]:
+        """All derivations attributed to one rule, in recording order."""
+        return [d for d in self._records.values() if d.rule == rule_name]
+
+    def explain(self, wme: WME, max_depth: int = 10) -> str:
+        """An indented derivation tree for ``wme``::
+
+            (path ^src a ^dst c)@9  [made by rule 'tc-extend' in cycle 2]
+              (path ^src a ^dst b)@7  [made by rule 'tc-init' in cycle 1]
+                (edge ^src a ^dst b)@1  [asserted initially]
+              (edge ^src b ^dst c)@2  [asserted initially]
+        """
+        lines: List[str] = []
+
+        def walk(current: WME, depth: int, budget: Set[WME]) -> None:
+            indent = "  " * depth
+            record = self._records.get(current)
+            if record is None:
+                lines.append(f"{indent}{current!r}  [untracked]")
+                return
+            suffix = ""
+            if current in self._retired:
+                suffix = f"  (retracted in cycle {self._retired[current]})"
+            lines.append(f"{indent}{record.describe()}{suffix}")
+            if depth >= max_depth:
+                if record.parents or record.replaced:
+                    lines.append(f"{indent}  ...")
+                return
+            if current in budget:
+                lines.append(f"{indent}  (cycle in derivation — truncated)")
+                return
+            budget = budget | {current}
+            if record.replaced is not None:
+                walk(record.replaced, depth + 1, budget)
+            for parent in record.parents:
+                walk(parent, depth + 1, budget)
+
+        walk(wme, 0, set())
+        return "\n".join(lines)

@@ -1,0 +1,209 @@
+"""The meta level: programmable conflict resolution by redaction.
+
+PARULEL replaces OPS5's built-in conflict-resolution strategies with
+*meta-rules*: productions, written in the same language, that match over a
+reified image of the conflict set and delete ("redact") instantiations that
+must not fire. This module implements that level:
+
+1. :func:`reify_instantiation` turns each candidate instantiation into a WME
+   of the reserved class ``instantiation`` carrying
+
+   - ``rule`` — the rule name,
+   - ``id`` — a small integer naming the instantiation within this cycle
+     (what ``(redact <i>)`` consumes),
+   - ``salience`` / ``specificity`` / ``recency`` — the orderings OPS5's
+     strategies were built from, so meta-rules can express LEX/MEA-style
+     preferences declaratively,
+   - one attribute per LHS variable of the object rule, holding its bound
+     value — so meta-rules can compare *what* two instantiations are about.
+
+2. :class:`MetaLevel` asserts those WMEs into the engine's working memory
+   (meta-rules may therefore also consult ordinary WMEs), runs the
+   meta-program set-oriented to fixpoint, removes redacted reifications as
+   it goes (so later meta-cycles see the shrunken conflict set), and returns
+   the surviving instantiations. All reifications are retracted before the
+   object-level firing phase, whatever happens.
+
+Fixpoint subtleties:
+
+- meta-rule firings use per-phase refraction, so a meta-instantiation fires
+  once per redaction phase even if its matched WMEs survive;
+- redacting id *i* twice (or redacting an id already gone) is idempotent;
+- a symmetric meta-rule that redacts both members of a tie (e.g. matching
+  ⟨i, j⟩ and ⟨j, i⟩) empties the pair — exactly as in PARULEL, the
+  programmer must break ties (``^id < <j>``-style tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ExecutionError
+from repro.core.actions import ActionEvaluator
+from repro.lang.analysis import INSTANTIATION_CLASS
+from repro.lang.ast import MetaRule, Value
+from repro.match.instantiation import InstKey, Instantiation
+from repro.match.interface import Matcher, create_matcher
+from repro.wm.memory import WorkingMemory
+from repro.wm.wme import WME
+
+__all__ = ["MetaLevel", "reify_instantiation", "RedactionReport"]
+
+#: Attributes every reification carries (kept in sync with
+#: :data:`repro.lang.analysis.INSTANTIATION_BUILTIN_ATTRS`).
+_BUILTINS = ("rule", "id", "salience", "specificity", "recency")
+
+
+def reify_instantiation(inst: Instantiation, inst_id: int) -> Dict[str, Value]:
+    """Attribute dict for the ``instantiation`` WME describing ``inst``.
+
+    Raises :class:`~repro.errors.ExecutionError` if a rule variable collides
+    with a built-in attribute name (rename the variable).
+    """
+    attrs: Dict[str, Value] = {
+        "rule": inst.rule.name,
+        "id": inst_id,
+        "salience": inst.rule.salience,
+        "specificity": inst.rule.specificity,
+        "recency": inst.recency,
+    }
+    for var, value in inst.env.items():
+        if var in _BUILTINS:
+            raise ExecutionError(
+                f"rule {inst.rule.name!r}: variable <{var}> collides with the "
+                f"built-in instantiation attribute {var!r}; rename it"
+            )
+        attrs[var] = value
+    return attrs
+
+
+class RedactionReport:
+    """What one redaction phase did (feeds Table 3)."""
+
+    __slots__ = ("candidates", "redacted", "meta_cycles", "meta_firings")
+
+    def __init__(self, candidates: int, redacted: int, meta_cycles: int, meta_firings: int) -> None:
+        self.candidates = candidates
+        self.redacted = redacted
+        self.meta_cycles = meta_cycles
+        self.meta_firings = meta_firings
+
+    def __repr__(self) -> str:
+        return (
+            f"RedactionReport(candidates={self.candidates}, "
+            f"redacted={self.redacted}, meta_cycles={self.meta_cycles}, "
+            f"meta_firings={self.meta_firings})"
+        )
+
+
+class MetaLevel:
+    """Runs the meta-program over reified conflict sets.
+
+    One instance lives inside each :class:`~repro.core.engine.ParulelEngine`;
+    its matcher attaches to the *same* working memory as the object level, so
+    meta-rules can read ordinary WMEs alongside ``instantiation`` ones.
+    """
+
+    def __init__(
+        self,
+        meta_rules: Sequence[MetaRule],
+        wm: WorkingMemory,
+        evaluator: ActionEvaluator,
+        matcher_name: str = "rete",
+        max_meta_cycles: int = 1000,
+    ) -> None:
+        self.meta_rules = tuple(meta_rules)
+        self.wm = wm
+        self.evaluator = evaluator
+        self.max_meta_cycles = max_meta_cycles
+        self.halt_requested = False
+        self.writes: List[str] = []
+        self.matcher: Optional[Matcher] = (
+            create_matcher(matcher_name, self.meta_rules, wm) if self.meta_rules else None
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.matcher is not None
+
+    def redact(self, candidates: Sequence[Instantiation]) -> Tuple[List[Instantiation], RedactionReport]:
+        """Run the meta-program; return survivors (original order) + report."""
+        self.halt_requested = False
+        self.writes = []
+        if not self.enabled or not candidates:
+            return list(candidates), RedactionReport(len(candidates), 0, 0, 0)
+
+        by_id: Dict[int, Instantiation] = {}
+        wme_by_id: Dict[int, WME] = {}
+        for i, inst in enumerate(candidates, start=1):
+            attrs = reify_instantiation(inst, i)
+            wme = self.wm.make(INSTANTIATION_CLASS, attrs)
+            by_id[i] = inst
+            wme_by_id[i] = wme
+
+        redacted: Set[int] = set()
+        fired: Set[InstKey] = set()
+        meta_cycles = 0
+        meta_firings = 0
+        try:
+            assert self.matcher is not None
+            while meta_cycles < self.max_meta_cycles:
+                ready = [
+                    mi
+                    for mi in self.matcher.instantiations()
+                    if mi.key not in fired
+                ]
+                if not ready:
+                    break
+                meta_cycles += 1
+                # Set-oriented firing at the meta level too: evaluate all
+                # against the current reified state, then apply redactions.
+                ids_this_cycle: List[Value] = []
+                for mi in ready:
+                    fired.add(mi.key)
+                    meta_firings += 1
+                    delta = self.evaluator.evaluate(mi)
+                    self.writes.extend(delta.writes)
+                    if delta.halt:
+                        self.halt_requested = True
+                    self.evaluator.run_calls(delta)
+                    ids_this_cycle.extend(delta.redacts)
+                progressed = False
+                for raw_id in ids_this_cycle:
+                    if not isinstance(raw_id, int):
+                        raise ExecutionError(
+                            f"(redact {raw_id!r}): redact needs the integer "
+                            f"^id of an instantiation"
+                        )
+                    if raw_id in redacted:
+                        continue
+                    wme = wme_by_id.get(raw_id)
+                    if wme is None:
+                        raise ExecutionError(
+                            f"(redact {raw_id}): no instantiation with that id "
+                            f"in the current conflict set"
+                        )
+                    redacted.add(raw_id)
+                    self.wm.remove(wme)
+                    progressed = True
+                if not progressed and not ids_this_cycle:
+                    # Meta rules fired but redacted nothing new; refraction
+                    # alone cannot spin forever, yet nothing will change the
+                    # match state either — fixpoint reached.
+                    if all(mi.key in fired for mi in self.matcher.instantiations()):
+                        break
+            else:
+                raise ExecutionError(
+                    f"meta-program exceeded {self.max_meta_cycles} redaction "
+                    f"cycles — likely a non-terminating meta-rule set"
+                )
+        finally:
+            # Retract surviving reifications before the firing phase.
+            for i, wme in wme_by_id.items():
+                if i not in redacted:
+                    self.wm.discard(wme)
+
+        survivors = [inst for i, inst in by_id.items() if i not in redacted]
+        return survivors, RedactionReport(
+            len(candidates), len(redacted), meta_cycles, meta_firings
+        )

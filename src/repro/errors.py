@@ -1,0 +1,83 @@
+"""Exception hierarchy for the PARULEL reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one type. Sub-hierarchies mirror the pipeline stages: lexing/parsing,
+semantic analysis, working-memory operations, match compilation, and runtime
+execution (including the firing-interference errors specific to PARULEL's
+set-oriented semantics).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class LexError(ReproError):
+    """Raised when the lexer encounters an invalid character sequence.
+
+    Carries the 1-based ``line`` and ``column`` of the offending input.
+    """
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(ReproError):
+    """Raised when the parser cannot build an AST from a token stream."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        loc = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{loc}")
+        self.line = line
+        self.column = column
+
+
+class SemanticError(ReproError):
+    """Raised by semantic analysis: unbound variables, unknown classes or
+    attributes, ill-typed actions, meta-rule violations, and similar."""
+
+
+class WorkingMemoryError(ReproError):
+    """Raised on invalid working-memory operations (e.g. removing a WME that
+    is not present, or making a WME with an undeclared attribute when a
+    template is enforced)."""
+
+
+class MatchError(ReproError):
+    """Raised when a rule cannot be compiled into a match network."""
+
+
+class ExecutionError(ReproError):
+    """Raised for runtime failures while firing rules (bad CE index in a
+    ``modify``, arithmetic on non-numbers, exceeding the cycle limit, ...)."""
+
+
+class InterferenceError(ExecutionError):
+    """Raised under the ``error`` interference policy when two instantiations
+    in the same firing set issue incompatible updates to one WME.
+
+    PARULEL expects the programmer's meta-rules to redact such pairs; this
+    error is the engine telling the programmer a redaction rule is missing.
+    """
+
+    def __init__(self, message: str, wme=None, actions=()) -> None:
+        super().__init__(message)
+        self.wme = wme
+        self.actions = tuple(actions)
+
+
+class CycleLimitExceeded(ExecutionError):
+    """Raised when an engine exceeds its configured maximum cycle count,
+    usually indicating a non-terminating rule program."""
+
+
+class HaltSignal(Exception):
+    """Internal control-flow signal raised by the ``(halt)`` action.
+
+    Not a :class:`ReproError`: engines catch it to stop the recognize-act
+    cycle cleanly; it never escapes the public API.
+    """

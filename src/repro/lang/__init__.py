@@ -1,0 +1,79 @@
+"""The PARULEL language front end.
+
+This package contains everything needed to turn PARULEL source text into an
+analyzed program object:
+
+- :mod:`repro.lang.lexer` — tokenizer for the OPS5-style surface syntax,
+- :mod:`repro.lang.ast` — the abstract syntax tree (programs, rules,
+  meta-rules, condition elements, tests, actions),
+- :mod:`repro.lang.parser` — recursive-descent parser,
+- :mod:`repro.lang.analysis` — semantic checks (variable binding discipline,
+  declared attributes, meta-rule restrictions),
+- :mod:`repro.lang.pretty` — pretty-printer that round-trips through the
+  parser,
+- :mod:`repro.lang.builder` — a programmatic DSL for constructing programs
+  from Python without writing surface syntax (used heavily by
+  :mod:`repro.programs`).
+
+The quickest entry point is :func:`repro.lang.parse_program`.
+"""
+
+from repro.lang.ast import (
+    Action,
+    BindAction,
+    CallAction,
+    ConditionElement,
+    ConjunctiveTest,
+    ConstantTest,
+    DisjunctionTest,
+    HaltAction,
+    Literalize,
+    MakeAction,
+    MetaRule,
+    ModifyAction,
+    PredicateTest,
+    Program,
+    RedactAction,
+    RemoveAction,
+    Rule,
+    TestAtom,
+    VariableTest,
+    WriteAction,
+)
+from repro.lang.analysis import analyze_program
+from repro.lang.builder import ProgramBuilder, RuleBuilder
+from repro.lang.lexer import Token, TokenKind, tokenize
+from repro.lang.parser import parse_program
+from repro.lang.pretty import format_program, format_rule
+
+__all__ = [
+    "Action",
+    "BindAction",
+    "CallAction",
+    "ConditionElement",
+    "ConjunctiveTest",
+    "ConstantTest",
+    "DisjunctionTest",
+    "HaltAction",
+    "Literalize",
+    "MakeAction",
+    "MetaRule",
+    "ModifyAction",
+    "PredicateTest",
+    "Program",
+    "ProgramBuilder",
+    "RedactAction",
+    "RemoveAction",
+    "Rule",
+    "RuleBuilder",
+    "TestAtom",
+    "Token",
+    "TokenKind",
+    "VariableTest",
+    "WriteAction",
+    "analyze_program",
+    "format_program",
+    "format_rule",
+    "parse_program",
+    "tokenize",
+]

@@ -1,0 +1,412 @@
+"""Programmatic construction of PARULEL programs.
+
+:mod:`repro.programs` builds its benchmark rulesets with this DSL rather
+than by string templating — that keeps the generators readable and gives the
+type checker something to hold on to. Example::
+
+    pb = ProgramBuilder()
+    pb.literalize("edge", "src", "dst")
+    pb.literalize("path", "src", "dst")
+
+    (pb.rule("extend")
+        .ce("path", src=v("a"), dst=v("b"))
+        .ce("edge", src=v("b"), dst=v("c"))
+        .neg("path", src=v("a"), dst=v("c"))
+        .make("path", src=v("a"), dst=v("c")))
+
+    program = pb.build()
+
+Test shorthands accepted as keyword values:
+
+- a plain int/float/str → :class:`~repro.lang.ast.ConstantTest`,
+- ``v("x")`` → :class:`~repro.lang.ast.VariableTest`,
+- ``ne(x)``, ``lt(x)``, ``le(x)``, ``gt(x)``, ``ge(x)``, ``same_type(x)`` →
+  :class:`~repro.lang.ast.PredicateTest`,
+- ``one_of(a, b, ...)`` → :class:`~repro.lang.ast.DisjunctionTest`,
+- ``conj(t1, t2, ...)`` → :class:`~repro.lang.ast.ConjunctiveTest`,
+- on the RHS, ``compute(a, "+", b, ...)`` → arithmetic.
+
+Attribute names given as Python keywords may use ``_`` where the surface
+syntax uses ``-`` (``on_top_of=...`` ⇒ attribute ``on-top-of``); pass the
+attribute through :func:`raw` (or use the ``set``/``where`` dict forms) to
+suppress that translation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SemanticError
+from repro.lang.analysis import analyze_program
+from repro.lang.ast import (
+    Action,
+    BindAction,
+    CallAction,
+    ComputeExpr,
+    ConditionElement,
+    ConjunctiveTest,
+    ConstantExpr,
+    ConstantTest,
+    DisjunctionTest,
+    Expr,
+    GenatomExpr,
+    HaltAction,
+    Literalize,
+    MakeAction,
+    MetaRule,
+    ModifyAction,
+    PredicateTest,
+    Program,
+    RedactAction,
+    RemoveAction,
+    Rule,
+    Test,
+    Value,
+    VariableExpr,
+    VariableTest,
+    WriteAction,
+)
+
+__all__ = [
+    "ProgramBuilder",
+    "RuleBuilder",
+    "v",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "same_type",
+    "one_of",
+    "conj",
+    "compute",
+    "genatom",
+    "raw",
+]
+
+
+# ---------------------------------------------------------------------------
+# Test / expression shorthands
+# ---------------------------------------------------------------------------
+
+
+def v(name: str) -> VariableTest:
+    """A match variable ``<name>``."""
+    return VariableTest(name=name)
+
+
+def _operand(x: Union[Value, VariableTest]) -> Union[ConstantTest, VariableTest]:
+    if isinstance(x, VariableTest):
+        return x
+    return ConstantTest(value=x)
+
+
+def eq(x: Union[Value, VariableTest]) -> PredicateTest:
+    """Explicit equality predicate ``= x`` (plain constants do this implicitly)."""
+    return PredicateTest(predicate="=", operand=_operand(x))
+
+
+def ne(x: Union[Value, VariableTest]) -> PredicateTest:
+    """``<> x`` — not equal."""
+    return PredicateTest(predicate="<>", operand=_operand(x))
+
+
+def lt(x: Union[Value, VariableTest]) -> PredicateTest:
+    """``< x``."""
+    return PredicateTest(predicate="<", operand=_operand(x))
+
+
+def le(x: Union[Value, VariableTest]) -> PredicateTest:
+    """``<= x``."""
+    return PredicateTest(predicate="<=", operand=_operand(x))
+
+
+def gt(x: Union[Value, VariableTest]) -> PredicateTest:
+    """``> x``."""
+    return PredicateTest(predicate=">", operand=_operand(x))
+
+
+def ge(x: Union[Value, VariableTest]) -> PredicateTest:
+    """``>= x``."""
+    return PredicateTest(predicate=">=", operand=_operand(x))
+
+
+def same_type(x: Union[Value, VariableTest]) -> PredicateTest:
+    """``<=> x`` — OPS5's same-type predicate."""
+    return PredicateTest(predicate="<=>", operand=_operand(x))
+
+
+def one_of(*alternatives: Value) -> DisjunctionTest:
+    """``<< a b ... >>`` — constant disjunction."""
+    return DisjunctionTest(alternatives=tuple(alternatives))
+
+
+TestLike = Union[Value, Test]
+
+
+def _as_test(x: TestLike) -> Test:
+    if isinstance(
+        x, (ConstantTest, VariableTest, PredicateTest, DisjunctionTest, ConjunctiveTest)
+    ):
+        return x
+    if isinstance(x, (str, int, float)):
+        return ConstantTest(value=x)
+    raise TypeError(f"cannot interpret {x!r} as an attribute test")
+
+
+def conj(*tests: TestLike) -> ConjunctiveTest:
+    """``{ t1 t2 ... }`` — conjunction of tests on one attribute."""
+    atoms = []
+    for t in tests:
+        t = _as_test(t)
+        if isinstance(t, ConjunctiveTest):
+            raise TypeError("conjunctive tests do not nest")
+        atoms.append(t)
+    return ConjunctiveTest(tests=tuple(atoms))
+
+
+ExprLike = Union[Value, Expr, VariableTest]
+
+
+def _as_expr(x: ExprLike) -> Expr:
+    if isinstance(x, (ConstantExpr, VariableExpr, ComputeExpr, GenatomExpr)):
+        return x
+    if isinstance(x, VariableTest):  # allow v("x") on the RHS too
+        return VariableExpr(name=x.name)
+    if isinstance(x, (str, int, float)):
+        return ConstantExpr(value=x)
+    raise TypeError(f"cannot interpret {x!r} as an RHS expression")
+
+
+def genatom(prefix: str = "g") -> GenatomExpr:
+    """``(genatom prefix)`` — a fresh unique symbol per firing evaluation."""
+    return GenatomExpr(prefix=prefix)
+
+
+def compute(*items: Union[ExprLike, str]) -> ComputeExpr:
+    """``(compute a op b op c ...)`` — left-to-right arithmetic.
+
+    Operator positions (odd indices) must be one of ``+ - * / // mod``.
+    """
+    out: List[Union[Expr, str]] = []
+    for i, item in enumerate(items):
+        if i % 2 == 1:
+            if item not in ("+", "-", "*", "/", "//", "mod"):
+                raise TypeError(f"expected arithmetic operator at position {i}, got {item!r}")
+            out.append(item)  # type: ignore[arg-type]
+        else:
+            out.append(_as_expr(item))  # type: ignore[arg-type]
+    if not out or len(out) % 2 == 0:
+        raise TypeError("compute needs operand (op operand)*")
+    return ComputeExpr(items=tuple(out))
+
+
+class raw(str):
+    """Wrap an attribute name to suppress the ``_`` → ``-`` translation."""
+
+
+def _attr_name(kw: str) -> str:
+    if isinstance(kw, raw):
+        return str(kw)
+    return kw.replace("_", "-")
+
+
+# ---------------------------------------------------------------------------
+# Rule builder
+# ---------------------------------------------------------------------------
+
+
+class RuleBuilder:
+    """Fluent builder for one rule; every method returns ``self``.
+
+    Obtained from :meth:`ProgramBuilder.rule` / :meth:`ProgramBuilder.meta_rule`
+    (which register the finished rule automatically on
+    :meth:`ProgramBuilder.build`) or constructed standalone and finished with
+    :meth:`to_rule`.
+    """
+
+    def __init__(self, name: str, meta: bool = False, salience: int = 0) -> None:
+        self.name = name
+        self.meta = meta
+        self.salience = salience
+        self._conditions: List[ConditionElement] = []
+        self._actions: List[Action] = []
+
+    # -- LHS ------------------------------------------------------------
+
+    def ce(
+        self,
+        class_name: str,
+        where: Optional[Dict[str, TestLike]] = None,
+        **tests: TestLike,
+    ) -> "RuleBuilder":
+        """Add a positive condition element.
+
+        Attribute tests come from ``**tests`` (with ``_``→``-`` translation)
+        and/or the ``where`` dict (attribute names taken verbatim).
+        """
+        return self._add_ce(class_name, where, tests, negated=False)
+
+    def neg(
+        self,
+        class_name: str,
+        where: Optional[Dict[str, TestLike]] = None,
+        **tests: TestLike,
+    ) -> "RuleBuilder":
+        """Add a negated condition element ``-( ... )``."""
+        return self._add_ce(class_name, where, tests, negated=True)
+
+    def _add_ce(
+        self,
+        class_name: str,
+        where: Optional[Dict[str, TestLike]],
+        tests: Dict[str, TestLike],
+        negated: bool,
+    ) -> "RuleBuilder":
+        pairs: List[Tuple[str, Test]] = []
+        for attr, test in (where or {}).items():
+            pairs.append((attr, _as_test(test)))
+        for attr, test in tests.items():
+            pairs.append((_attr_name(attr), _as_test(test)))
+        self._conditions.append(
+            ConditionElement(class_name=class_name, tests=tuple(pairs), negated=negated)
+        )
+        return self
+
+    # -- RHS ------------------------------------------------------------
+
+    def make(
+        self,
+        class_name: str,
+        set: Optional[Dict[str, ExprLike]] = None,
+        **assignments: ExprLike,
+    ) -> "RuleBuilder":
+        """Add a ``(make ...)`` action."""
+        pairs: List[Tuple[str, Expr]] = []
+        for attr, e in (set or {}).items():
+            pairs.append((attr, _as_expr(e)))
+        for attr, e in assignments.items():
+            pairs.append((_attr_name(attr), _as_expr(e)))
+        self._actions.append(MakeAction(class_name=class_name, assignments=tuple(pairs)))
+        return self
+
+    def modify(
+        self,
+        ce_index: int,
+        set: Optional[Dict[str, ExprLike]] = None,
+        **assignments: ExprLike,
+    ) -> "RuleBuilder":
+        """Add a ``(modify k ...)`` action (1-based CE index)."""
+        pairs: List[Tuple[str, Expr]] = []
+        for attr, e in (set or {}).items():
+            pairs.append((attr, _as_expr(e)))
+        for attr, e in assignments.items():
+            pairs.append((_attr_name(attr), _as_expr(e)))
+        self._actions.append(ModifyAction(ce_index=ce_index, assignments=tuple(pairs)))
+        return self
+
+    def remove(self, *ce_indices: int) -> "RuleBuilder":
+        """Add a ``(remove k ...)`` action."""
+        self._actions.append(RemoveAction(ce_indices=tuple(ce_indices)))
+        return self
+
+    def write(self, *arguments: ExprLike) -> "RuleBuilder":
+        """Add a ``(write ...)`` action."""
+        self._actions.append(WriteAction(arguments=tuple(_as_expr(a) for a in arguments)))
+        return self
+
+    def bind(self, name: str, expr: ExprLike) -> "RuleBuilder":
+        """Add a ``(bind <name> expr)`` action."""
+        self._actions.append(BindAction(name=name, expr=_as_expr(expr)))
+        return self
+
+    def halt(self) -> "RuleBuilder":
+        """Add a ``(halt)`` action."""
+        self._actions.append(HaltAction())
+        return self
+
+    def call(self, function: str, *arguments: ExprLike) -> "RuleBuilder":
+        """Add a ``(call fn ...)`` action."""
+        self._actions.append(
+            CallAction(function=function, arguments=tuple(_as_expr(a) for a in arguments))
+        )
+        return self
+
+    def redact(self, expr: ExprLike) -> "RuleBuilder":
+        """Add a ``(redact expr)`` action (meta-rules only)."""
+        self._actions.append(RedactAction(expr=_as_expr(expr)))
+        return self
+
+    # -- finish -----------------------------------------------------------
+
+    def to_rule(self) -> Rule:
+        """Freeze into a :class:`~repro.lang.ast.Rule` / ``MetaRule``."""
+        cls = MetaRule if self.meta else Rule
+        return cls(
+            name=self.name,
+            conditions=tuple(self._conditions),
+            actions=tuple(self._actions),
+            salience=self.salience,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Program builder
+# ---------------------------------------------------------------------------
+
+
+class ProgramBuilder:
+    """Accumulates literalize declarations and rule builders into a Program."""
+
+    def __init__(self) -> None:
+        self._literalizes: List[Literalize] = []
+        self._builders: List[RuleBuilder] = []
+        self._extra_rules: List[Rule] = []
+
+    def literalize(self, class_name: str, *attributes: str) -> "ProgramBuilder":
+        """Declare a WME class and its attributes."""
+        self._literalizes.append(
+            Literalize(class_name=class_name, attributes=tuple(attributes))
+        )
+        return self
+
+    def rule(self, name: str, salience: int = 0) -> RuleBuilder:
+        """Start an object-level rule; it is registered automatically."""
+        rb = RuleBuilder(name, meta=False, salience=salience)
+        self._builders.append(rb)
+        return rb
+
+    def meta_rule(self, name: str, salience: int = 0) -> RuleBuilder:
+        """Start a meta-rule; it is registered automatically."""
+        rb = RuleBuilder(name, meta=True, salience=salience)
+        self._builders.append(rb)
+        return rb
+
+    def add_rule(self, rule: Rule) -> "ProgramBuilder":
+        """Register an already-built AST rule (object- or meta-level)."""
+        self._extra_rules.append(rule)
+        return self
+
+    def build(self, analyze: bool = True) -> Program:
+        """Produce the immutable :class:`~repro.lang.ast.Program`.
+
+        With ``analyze=True`` (default) the program is passed through
+        :func:`repro.lang.analysis.analyze_program`, so builder users get
+        semantic errors at construction time.
+        """
+        rules: List[Rule] = []
+        metas: List[MetaRule] = []
+        for rb in self._builders:
+            r = rb.to_rule()
+            (metas if isinstance(r, MetaRule) else rules).append(r)
+        for r in self._extra_rules:
+            (metas if isinstance(r, MetaRule) else rules).append(r)
+        program = Program(
+            literalizes=tuple(self._literalizes),
+            rules=tuple(rules),
+            meta_rules=tuple(metas),
+        )
+        if analyze:
+            analyze_program(program)
+        return program

@@ -1,0 +1,240 @@
+"""Tokenizer for the PARULEL surface syntax.
+
+The surface syntax is OPS5-flavoured s-expressions::
+
+    (literalize block name on-top-of size)
+
+    (p stack-blocks
+        (block ^name <x> ^on-top-of nil)
+        (block ^name {<y> <> <x>} ^size > 4)
+        -->
+        (modify 1 ^on-top-of <y>))
+
+Token classes:
+
+``LPAREN``/``RPAREN``
+    parentheses,
+``CARET``
+    the ``^`` attribute marker,
+``VARIABLE``
+    ``<name>`` match variables,
+``NUMBER``
+    integers and floats (including negative literals),
+``SYMBOL``
+    bare atoms (rule names, class names, constants like ``nil``),
+``STRING``
+    ``|bar-quoted strings|`` which may contain whitespace,
+``LBRACE``/``RBRACE``
+    conjunctive-test braces ``{`` ``}``,
+``LDISJ``/``RDISJ``
+    disjunction brackets ``<<`` ``>>``,
+``ARROW``
+    the LHS/RHS separator ``-->``,
+``MINUS``
+    a standalone ``-`` introducing a negated condition element.
+
+Comments run from ``;`` to end of line. The lexer is a single forward pass
+with no backtracking; positions are tracked for error messages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Union
+
+from repro.errors import LexError
+
+__all__ = ["Token", "TokenKind", "tokenize"]
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a :class:`Token`."""
+
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LDISJ = "<<"
+    RDISJ = ">>"
+    CARET = "^"
+    ARROW = "-->"
+    MINUS = "-"
+    VARIABLE = "variable"
+    NUMBER = "number"
+    SYMBOL = "symbol"
+    STRING = "string"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based line/column)."""
+
+    kind: TokenKind
+    value: Union[str, int, float]
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"Token({self.kind.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+# Characters that terminate a bare symbol / number / variable.
+_DELIMITERS = set("(){}^;| \t\r\n")
+
+# Predicate symbols are ordinary SYMBOL tokens; the parser gives them meaning.
+PREDICATE_SYMBOLS = frozenset({"=", "<>", "<", "<=", ">", ">=", "<=>"})
+
+
+def _classify_atom(text: str, line: int, column: int) -> Token:
+    """Turn a bare atom into a NUMBER or SYMBOL token."""
+    try:
+        return Token(TokenKind.NUMBER, int(text), line, column)
+    except ValueError:
+        pass
+    try:
+        return Token(TokenKind.NUMBER, float(text), line, column)
+    except ValueError:
+        pass
+    return Token(TokenKind.SYMBOL, text, line, column)
+
+
+def _iter_tokens(source: str) -> Iterator[Token]:
+    i = 0
+    n = len(source)
+    line = 1
+    col = 1
+
+    def advance(k: int = 1) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance()
+            continue
+        if ch == ";":  # comment to end of line
+            while i < n and source[i] != "\n":
+                advance()
+            continue
+        start_line, start_col = line, col
+        if ch == "(":
+            advance()
+            yield Token(TokenKind.LPAREN, "(", start_line, start_col)
+            continue
+        if ch == ")":
+            advance()
+            yield Token(TokenKind.RPAREN, ")", start_line, start_col)
+            continue
+        if ch == "{":
+            advance()
+            yield Token(TokenKind.LBRACE, "{", start_line, start_col)
+            continue
+        if ch == "}":
+            advance()
+            yield Token(TokenKind.RBRACE, "}", start_line, start_col)
+            continue
+        if ch == "^":
+            advance()
+            yield Token(TokenKind.CARET, "^", start_line, start_col)
+            continue
+        if ch == "|":
+            advance()
+            chars: List[str] = []
+            while i < n and source[i] != "|":
+                chars.append(source[i])
+                advance()
+            if i >= n:
+                raise LexError("unterminated |string|", start_line, start_col)
+            advance()  # closing bar
+            yield Token(TokenKind.STRING, "".join(chars), start_line, start_col)
+            continue
+        if ch == "<":
+            # Could be: "<<", "<var>", or predicate symbols "<", "<=", "<>", "<=>".
+            if source.startswith("<<", i):
+                advance(2)
+                yield Token(TokenKind.LDISJ, "<<", start_line, start_col)
+                continue
+            if source.startswith("<=>", i):
+                advance(3)
+                yield Token(TokenKind.SYMBOL, "<=>", start_line, start_col)
+                continue
+            # <var>: "<" then an identifier then ">".
+            j = i + 1
+            while j < n and source[j] not in _DELIMITERS and source[j] not in "<>":
+                j += 1
+            if j < n and source[j] == ">" and j > i + 1:
+                name = source[i + 1 : j]
+                advance(j - i + 1)
+                yield Token(TokenKind.VARIABLE, name, start_line, start_col)
+                continue
+            if source.startswith("<=", i):
+                advance(2)
+                yield Token(TokenKind.SYMBOL, "<=", start_line, start_col)
+                continue
+            if source.startswith("<>", i):
+                advance(2)
+                yield Token(TokenKind.SYMBOL, "<>", start_line, start_col)
+                continue
+            advance()
+            yield Token(TokenKind.SYMBOL, "<", start_line, start_col)
+            continue
+        if ch == ">":
+            if source.startswith(">>", i):
+                advance(2)
+                yield Token(TokenKind.RDISJ, ">>", start_line, start_col)
+                continue
+            if source.startswith(">=", i):
+                advance(2)
+                yield Token(TokenKind.SYMBOL, ">=", start_line, start_col)
+                continue
+            advance()
+            yield Token(TokenKind.SYMBOL, ">", start_line, start_col)
+            continue
+        if ch == "-":
+            # "-->" arrow, "-5"/" -5.2" negative number, or bare minus
+            # (negation marker / arithmetic operator).
+            if source.startswith("-->", i):
+                advance(3)
+                yield Token(TokenKind.ARROW, "-->", start_line, start_col)
+                continue
+            if i + 1 < n and (source[i + 1].isdigit() or source[i + 1] == "."):
+                j = i + 1
+                while j < n and source[j] not in _DELIMITERS:
+                    j += 1
+                text = source[i:j]
+                tok = _classify_atom(text, start_line, start_col)
+                if tok.kind is TokenKind.NUMBER:
+                    advance(j - i)
+                    yield tok
+                    continue
+            advance()
+            yield Token(TokenKind.MINUS, "-", start_line, start_col)
+            continue
+        # Bare atom: symbol or number.
+        j = i
+        while j < n and source[j] not in _DELIMITERS and not source.startswith("<<", j) and not source.startswith(">>", j) and source[j] != "<" and source[j] != ">":
+            j += 1
+        if j == i:
+            raise LexError(f"unexpected character {ch!r}", start_line, start_col)
+        text = source[i:j]
+        advance(j - i)
+        yield _classify_atom(text, start_line, start_col)
+
+    yield Token(TokenKind.EOF, "", line, col)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize PARULEL source text into a list ending with an EOF token.
+
+    Raises :class:`repro.errors.LexError` on malformed input.
+    """
+    return list(_iter_tokens(source))

@@ -1,0 +1,44 @@
+"""Match engines: computing the conflict set incrementally.
+
+The match phase dominates production-system runtime (the classic
+McDermott/Forgy observation that motivated RETE, and the DADO/TREAT work in
+PARULEL's lineage). This package provides three engines behind one
+interface:
+
+- :class:`~repro.match.naive.NaiveMatcher` — recomputes every rule's join
+  from scratch on demand. Slow, obviously correct: the semantic reference
+  that RETE and TREAT are differentially tested against.
+- :class:`~repro.match.rete.ReteMatcher` — a RETE network with shared,
+  hash-indexed alpha memories, hash-equijoin beta nodes, and negative nodes;
+  fully incremental under WME addition and removal.
+- :class:`~repro.match.treat.TreatMatcher` — TREAT (Miranker): alpha
+  memories plus a retained conflict set, join work seeded by each WME delta.
+  No beta memories, so cheaper under high WM churn — the trade-off
+  Ablation A2 measures.
+
+All engines consume the *compiled* rule form produced by
+:mod:`repro.match.compile`, so they agree exactly on test semantics.
+"""
+
+from repro.match.compile import CompiledCE, CompiledRule, compile_rule, compile_rules
+from repro.match.instantiation import ConflictSet, Instantiation
+from repro.match.interface import Matcher, create_matcher
+from repro.match.naive import NaiveMatcher
+from repro.match.rete import ReteMatcher
+from repro.match.stats import MatchStats
+from repro.match.treat import TreatMatcher
+
+__all__ = [
+    "CompiledCE",
+    "CompiledRule",
+    "ConflictSet",
+    "Instantiation",
+    "MatchStats",
+    "Matcher",
+    "NaiveMatcher",
+    "ReteMatcher",
+    "TreatMatcher",
+    "compile_rule",
+    "compile_rules",
+    "create_matcher",
+]

@@ -1,0 +1,268 @@
+"""Compilation of rule LHSs into a matcher-neutral form.
+
+Every attribute test of a condition element falls into one of three buckets,
+decided statically:
+
+**Alpha tests** (WME-local, environment-free)
+  constant equality, predicates against constants, disjunctions, and
+  *intra-CE* variable consistency (the same variable used twice in one CE
+  compiles to an attribute-vs-attribute comparison). Alpha tests form a
+  hashable :class:`AlphaKey`, so identical patterns share one alpha memory
+  across condition elements and rules in RETE/TREAT.
+
+**Bindings**
+  the first plain occurrence of each variable in a positive CE records
+  ``(attr, var)``: matching extracts ``wme[attr]`` into the environment.
+
+**Join tests** (environment-dependent)
+  a variable occurrence whose binder is an *earlier* CE compiles to
+  ``(attr, op, var)``: the candidate WME's attribute is compared against the
+  token environment. Equality join tests additionally drive the hash
+  indexes of RETE's join nodes and TREAT's seeded joins.
+
+Compilation is strictly left-to-right over the CE list, mirroring OPS5:
+a variable referenced by a predicate or a negated CE must already be bound
+by an earlier (or textually earlier within the same) positive CE, otherwise
+:class:`~repro.errors.MatchError` is raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import MatchError
+from repro.lang.ast import (
+    ConditionElement,
+    ConjunctiveTest,
+    ConstantTest,
+    DisjunctionTest,
+    PredicateTest,
+    Rule,
+    Value,
+    VariableTest,
+)
+from repro.wm.wme import WME
+
+__all__ = [
+    "AlphaKey",
+    "CompiledCE",
+    "CompiledRule",
+    "compile_rule",
+    "compile_rules",
+    "alpha_test_passes",
+    "value_predicate",
+]
+
+
+# ---------------------------------------------------------------------------
+# Predicate evaluation
+# ---------------------------------------------------------------------------
+
+
+def _is_number(x: Value) -> bool:
+    return isinstance(x, (int, float))
+
+
+def value_predicate(op: str, a: Value, b: Value) -> bool:
+    """Evaluate ``a op b`` with OPS5 semantics.
+
+    Equality and inequality are exact (no numeric coercion across type
+    except int/float, which Python already treats as equal when equal-valued).
+    Ordering predicates require two numbers or two symbols (symbols compare
+    lexicographically); mixed comparisons are simply false rather than an
+    error, matching the forgiving behaviour rule programs rely on.
+    ``<=>`` is the same-type predicate.
+    """
+    if op == "=":
+        return a == b
+    if op == "<>":
+        return a != b
+    if op == "<=>":
+        return _is_number(a) == _is_number(b)
+    # Ordering predicates.
+    if _is_number(a) != _is_number(b):
+        return False
+    if op == "<":
+        return a < b  # type: ignore[operator]
+    if op == "<=":
+        return a <= b  # type: ignore[operator]
+    if op == ">":
+        return a > b  # type: ignore[operator]
+    if op == ">=":
+        return a >= b  # type: ignore[operator]
+    raise MatchError(f"unknown predicate {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Compiled condition elements
+# ---------------------------------------------------------------------------
+
+#: One WME-local test: ``('const', attr, op, value)``,
+#: ``('in', attr, alternatives)`` or ``('intra', attr, op, other_attr)``.
+AlphaCond = Tuple
+
+#: Hashable identity of an alpha pattern: class name + sorted alpha conds.
+AlphaKey = Tuple[str, Tuple[AlphaCond, ...]]
+
+
+@dataclass(frozen=True)
+class CompiledCE:
+    """One compiled condition element."""
+
+    class_name: str
+    negated: bool
+    #: WME-local conditions, sorted — part of the alpha key.
+    alpha_conds: Tuple[AlphaCond, ...]
+    #: ``(attr, var)`` pairs that extract new bindings (positive CEs only).
+    bindings: Tuple[Tuple[str, str], ...]
+    #: ``(attr, op, var)`` comparisons against earlier bindings; the ``=``
+    #: subset drives hash joins.
+    join_tests: Tuple[Tuple[str, str, str], ...]
+    #: Position of this CE in the rule (0-based, counting negated CEs).
+    index: int
+
+    @property
+    def alpha_key(self) -> AlphaKey:
+        return (self.class_name, self.alpha_conds)
+
+    @property
+    def eq_join_tests(self) -> Tuple[Tuple[str, str], ...]:
+        """``(attr, var)`` pairs from equality join tests — hash-join keys."""
+        return tuple((a, v) for (a, op, v) in self.join_tests if op == "=")
+
+    @property
+    def other_join_tests(self) -> Tuple[Tuple[str, str, str], ...]:
+        """Join tests that are not plain equality (filtered post-hash-probe)."""
+        return tuple(t for t in self.join_tests if t[1] != "=")
+
+
+def alpha_test_passes(conds: Sequence[AlphaCond], wme: WME) -> bool:
+    """Evaluate a CE's WME-local conditions against one WME."""
+    for cond in conds:
+        kind = cond[0]
+        if kind == "const":
+            _k, attr, op, value = cond
+            if not value_predicate(op, wme.get(attr), value):
+                return False
+        elif kind == "in":
+            _k, attr, alternatives = cond
+            if wme.get(attr) not in alternatives:
+                return False
+        else:  # 'intra'
+            _k, attr, op, other = cond
+            if not value_predicate(op, wme.get(attr), wme.get(other)):
+                return False
+    return True
+
+
+@dataclass(frozen=True)
+class CompiledRule:
+    """A rule plus its compiled condition elements."""
+
+    rule: Rule
+    ces: Tuple[CompiledCE, ...]
+
+    @property
+    def name(self) -> str:
+        return self.rule.name
+
+    @property
+    def positive_ces(self) -> Tuple[CompiledCE, ...]:
+        return tuple(ce for ce in self.ces if not ce.negated)
+
+    @property
+    def negative_ces(self) -> Tuple[CompiledCE, ...]:
+        return tuple(ce for ce in self.ces if ce.negated)
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """All bound variables, in binding order."""
+        out: List[str] = []
+        for ce in self.ces:
+            for _attr, var in ce.bindings:
+                if var not in out:
+                    out.append(var)
+        return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+
+def _flatten_test(test) -> List:
+    if isinstance(test, ConjunctiveTest):
+        return list(test.tests)
+    return [test]
+
+
+def compile_rule(rule: Rule) -> CompiledRule:
+    """Compile one rule's LHS; raises :class:`~repro.errors.MatchError` on
+    binding-order violations (forward references, binding inside negation)."""
+    bound: Dict[str, Tuple[int, str]] = {}  # var -> (ce index, attr) of binder
+    compiled: List[CompiledCE] = []
+
+    for idx, ce in enumerate(rule.conditions):
+        alpha: List[AlphaCond] = []
+        bindings: List[Tuple[str, str]] = []
+        join_tests: List[Tuple[str, str, str]] = []
+        bound_here: Dict[str, str] = {}  # var -> attr bound within this CE
+
+        def resolve_var_test(attr: str, op: str, var: str) -> None:
+            """Classify a variable occurrence with predicate ``op``."""
+            if var in bound_here:
+                if op == "=" and bound_here[var] == attr:
+                    return  # redundant self-comparison
+                alpha.append(("intra", attr, op, bound_here[var]))
+            elif var in bound:
+                join_tests.append((attr, op, var))
+            elif op == "=" and not ce.negated:
+                bindings.append((attr, var))
+                bound_here[var] = attr
+            else:
+                where = "negated condition" if ce.negated else "predicate"
+                raise MatchError(
+                    f"rule {rule.name!r}, condition {idx + 1}: variable <{var}> "
+                    f"used in a {where} before being bound by an earlier "
+                    f"positive condition"
+                )
+
+        for attr, test in ce.tests:
+            for atom in _flatten_test(test):
+                if isinstance(atom, ConstantTest):
+                    alpha.append(("const", attr, "=", atom.value))
+                elif isinstance(atom, DisjunctionTest):
+                    alpha.append(("in", attr, atom.alternatives))
+                elif isinstance(atom, VariableTest):
+                    resolve_var_test(attr, "=", atom.name)
+                elif isinstance(atom, PredicateTest):
+                    if isinstance(atom.operand, ConstantTest):
+                        alpha.append(("const", attr, atom.predicate, atom.operand.value))
+                    else:
+                        resolve_var_test(attr, atom.predicate, atom.operand.name)
+                else:  # pragma: no cover - parser prevents this
+                    raise MatchError(f"unsupported test {atom!r}")
+
+        for var, attr in bound_here.items():
+            bound[var] = (idx, attr)
+
+        compiled.append(
+            CompiledCE(
+                class_name=ce.class_name,
+                negated=ce.negated,
+                alpha_conds=tuple(sorted(alpha, key=repr)),
+                bindings=tuple(bindings),
+                join_tests=tuple(join_tests),
+                index=idx,
+            )
+        )
+
+    if compiled and compiled[0].negated:
+        raise MatchError(f"rule {rule.name!r}: first condition element is negated")
+    return CompiledRule(rule=rule, ces=tuple(compiled))
+
+
+def compile_rules(rules: Sequence[Rule]) -> Tuple[CompiledRule, ...]:
+    """Compile a sequence of rules, preserving order."""
+    return tuple(compile_rule(r) for r in rules)

@@ -1,0 +1,155 @@
+"""Instantiations and the conflict set.
+
+An :class:`Instantiation` is one complete match of a rule: the WMEs bound to
+each positive condition element plus the variable environment they induce.
+Instantiations are value objects — their :attr:`~Instantiation.key`
+``(rule name, per-CE timestamps)`` identifies them across match engines, so
+refraction, redaction, and differential tests all speak one language.
+
+The :class:`ConflictSet` is an insertion-ordered dict of instantiations keyed
+by that identity, with the derived orderings OPS5's LEX/MEA strategies and
+PARULEL's meta level need (recency vectors, specificity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.lang.ast import Rule, Value
+from repro.wm.wme import WME
+
+__all__ = ["Instantiation", "ConflictSet", "InstKey"]
+
+#: Identity of an instantiation: rule name + timestamp per CE (0 where the
+#: CE is negated and thus matched by absence).
+InstKey = Tuple[str, Tuple[int, ...]]
+
+
+class Instantiation:
+    """One complete match of a rule against working memory."""
+
+    __slots__ = ("rule", "wmes", "env", "key", "_hash")
+
+    def __init__(
+        self,
+        rule: Rule,
+        wmes: Tuple[Optional[WME], ...],
+        env: Mapping[str, Value],
+    ) -> None:
+        if len(wmes) != len(rule.conditions):
+            raise ValueError(
+                f"instantiation of {rule.name!r} has {len(wmes)} WMEs for "
+                f"{len(rule.conditions)} condition elements"
+            )
+        self.rule = rule
+        self.wmes = wmes
+        self.env: Dict[str, Value] = dict(env)
+        self.key: InstKey = (
+            rule.name,
+            tuple(w.timestamp if w is not None else 0 for w in wmes),
+        )
+        self._hash = hash(self.key)
+
+    # -- derived orderings -------------------------------------------------
+
+    @property
+    def timestamps(self) -> Tuple[int, ...]:
+        """Timestamps of the matched (positive) WMEs, descending — the
+        recency vector LEX compares lexicographically."""
+        return tuple(
+            sorted((w.timestamp for w in self.wmes if w is not None), reverse=True)
+        )
+
+    @property
+    def recency(self) -> int:
+        """Most recent matched timestamp (0 if somehow empty)."""
+        ts = self.timestamps
+        return ts[0] if ts else 0
+
+    @property
+    def specificity(self) -> int:
+        return self.rule.specificity
+
+    @property
+    def salience(self) -> int:
+        return self.rule.salience
+
+    def wme_for_ce(self, ce_index: int) -> WME:
+        """The WME matched by 1-based CE ``ce_index`` (raises on negated)."""
+        wme = self.wmes[ce_index - 1]
+        if wme is None:
+            raise LookupError(
+                f"condition element {ce_index} of {self.rule.name!r} is negated"
+            )
+        return wme
+
+    def binding(self, var: str) -> Value:
+        """Value bound to variable ``var`` (raises ``KeyError`` if unbound)."""
+        return self.env[var]
+
+    def uses(self, wme: WME) -> bool:
+        """Whether this instantiation matched ``wme`` at a positive CE."""
+        return any(w is not None and w == wme for w in self.wmes)
+
+    # -- identity -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instantiation):
+            return NotImplemented
+        return self.key == other.key
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        ts = ",".join(str(t) for t in self.key[1])
+        return f"<{self.rule.name} [{ts}]>"
+
+
+class ConflictSet:
+    """Insertion-ordered set of instantiations keyed by identity."""
+
+    def __init__(self) -> None:
+        self._by_key: Dict[InstKey, Instantiation] = {}
+
+    def add(self, inst: Instantiation) -> bool:
+        """Insert; returns False if an equal instantiation is present."""
+        if inst.key in self._by_key:
+            return False
+        self._by_key[inst.key] = inst
+        return True
+
+    def remove(self, inst: Instantiation) -> None:
+        del self._by_key[inst.key]
+
+    def discard_key(self, key: InstKey) -> Optional[Instantiation]:
+        return self._by_key.pop(key, None)
+
+    def get(self, key: InstKey) -> Optional[Instantiation]:
+        return self._by_key.get(key)
+
+    def __contains__(self, inst: Instantiation) -> bool:
+        return inst.key in self._by_key
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __iter__(self) -> Iterator[Instantiation]:
+        return iter(self._by_key.values())
+
+    def clear(self) -> None:
+        self._by_key.clear()
+
+    def instantiations(self) -> List[Instantiation]:
+        """Stable snapshot, in insertion order."""
+        return list(self._by_key.values())
+
+    def remove_with_wme(self, wme: WME) -> List[Instantiation]:
+        """Drop every instantiation that matched ``wme``; return them."""
+        victims = [inst for inst in self._by_key.values() if inst.uses(wme)]
+        for inst in victims:
+            del self._by_key[inst.key]
+        return victims
+
+    def of_rule(self, rule_name: str) -> List[Instantiation]:
+        return [i for i in self._by_key.values() if i.rule.name == rule_name]

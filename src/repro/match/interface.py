@@ -1,0 +1,112 @@
+"""The common matcher interface.
+
+A matcher attaches to a :class:`~repro.wm.memory.WorkingMemory`, observes
+every assert/retract, and keeps a :class:`~repro.match.instantiation.ConflictSet`
+current. Engines (:mod:`repro.core`, :mod:`repro.baseline`) and the parallel
+substrate only ever talk to this interface, so the match algorithm is a
+plug-in choice.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+from repro.lang.ast import Rule
+from repro.match.compile import CompiledRule, compile_rules
+from repro.match.instantiation import ConflictSet, Instantiation
+from repro.match.stats import MatchStats
+from repro.wm.memory import WorkingMemory
+from repro.wm.wme import WME
+
+__all__ = ["Matcher", "create_matcher", "MATCHER_NAMES"]
+
+
+class Matcher(abc.ABC):
+    """Base class for match engines.
+
+    Subclasses implement :meth:`_on_add` / :meth:`_on_remove` (incremental)
+    and/or :meth:`_recompute` (batch). The base class wires WM listening,
+    compiled-rule storage, statistics, and conflict-set access.
+    """
+
+    #: Human-readable engine name (used in reports and ``create_matcher``).
+    name: str = "abstract"
+
+    def __init__(self, rules: Sequence[Rule], wm: WorkingMemory) -> None:
+        self.compiled: tuple[CompiledRule, ...] = compile_rules(rules)
+        self.wm = wm
+        self.stats = MatchStats()
+        self.conflict_set = ConflictSet()
+        self._attached = False
+        self._build()
+        # Feed pre-existing WMEs through the incremental path so attaching
+        # to a populated memory behaves like replaying its history.
+        for wme in sorted(wm, key=lambda w: w.timestamp):
+            self._on_add(wme)
+        wm.add_listener(self._listener)
+        self._attached = True
+
+    # -- wiring -----------------------------------------------------------
+
+    def _listener(self, wme: WME, added: bool) -> None:
+        if added:
+            self._on_add(wme)
+        else:
+            self._on_remove(wme)
+
+    def detach(self) -> None:
+        """Stop observing the working memory (matcher becomes stale)."""
+        if self._attached:
+            self.wm.remove_listener(self._listener)
+            self._attached = False
+
+    # -- to implement -------------------------------------------------------
+
+    def _build(self) -> None:
+        """Hook: construct engine-internal structures before replay."""
+
+    @abc.abstractmethod
+    def _on_add(self, wme: WME) -> None:
+        """Incorporate one asserted WME."""
+
+    @abc.abstractmethod
+    def _on_remove(self, wme: WME) -> None:
+        """Incorporate one retracted WME."""
+
+    # -- queries -----------------------------------------------------------
+
+    def instantiations(self) -> List[Instantiation]:
+        """Current conflict set, insertion-ordered, as a stable snapshot."""
+        return self.conflict_set.instantiations()
+
+    def rule_names(self) -> List[str]:
+        return [cr.name for cr in self.compiled]
+
+
+#: Registry of engine names accepted by :func:`create_matcher`.
+MATCHER_NAMES = ("rete", "rete-shared", "treat", "naive")
+
+
+def create_matcher(
+    engine: str, rules: Sequence[Rule], wm: WorkingMemory
+) -> Matcher:
+    """Instantiate a match engine by name (``rete``, ``treat`` or ``naive``)."""
+    # Imported here to avoid a cycle (engines import this interface).
+    from repro.match.naive import NaiveMatcher
+    from repro.match.rete import ReteMatcher, SharedReteMatcher
+    from repro.match.treat import TreatMatcher
+
+    table = {
+        "rete": ReteMatcher,
+        "rete-shared": SharedReteMatcher,
+        "treat": TreatMatcher,
+        "naive": NaiveMatcher,
+    }
+    try:
+        cls = table[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown match engine {engine!r} (choose from {MATCHER_NAMES})"
+        ) from None
+    return cls(rules, wm)

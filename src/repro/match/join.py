@@ -1,0 +1,152 @@
+"""A generic, seedable join enumerator over condition elements.
+
+This is the semantic core shared by :class:`~repro.match.naive.NaiveMatcher`
+(full enumeration) and :class:`~repro.match.treat.TreatMatcher` (delta-seeded
+enumeration): walk the condition elements left to right, extending a set of
+partial environments, checking negated CEs by absence.
+
+Two seeding mechanisms make it reusable:
+
+``fixed``
+    pin condition element *i* to exactly one WME — TREAT's
+    "the new WME must participate here" seed;
+``seed_env``
+    pre-bind variables — used when a WME matching a *negated* CE is
+    retracted and we must discover the instantiations it was blocking.
+
+``alpha_source`` abstracts where candidate WMEs come from, so TREAT can
+supply its retained alpha memories while the naive matcher filters the
+working memory on the fly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.lang.ast import Value
+from repro.match.compile import (
+    CompiledCE,
+    CompiledRule,
+    alpha_test_passes,
+    value_predicate,
+)
+from repro.match.instantiation import Instantiation
+from repro.match.stats import MatchStats
+from repro.wm.memory import WorkingMemory
+from repro.wm.wme import WME
+
+__all__ = ["enumerate_matches", "default_alpha_source", "join_tests_pass"]
+
+Env = Dict[str, Value]
+AlphaSource = Callable[[CompiledCE], Iterable[WME]]
+
+
+def default_alpha_source(wm: WorkingMemory, stats: Optional[MatchStats] = None, rule: str = "") -> AlphaSource:
+    """Alpha source that filters the working memory on every request."""
+
+    def source(ce: CompiledCE) -> Iterator[WME]:
+        for wme in wm.by_class(ce.class_name):
+            if stats is not None:
+                stats.bump("alpha_tests", rule)
+            if alpha_test_passes(ce.alpha_conds, wme):
+                yield wme
+
+    return source
+
+
+def join_tests_pass(ce: CompiledCE, wme: WME, env: Env) -> bool:
+    """Evaluate a CE's environment-dependent tests for one candidate."""
+    for attr, op, var in ce.join_tests:
+        if not value_predicate(op, wme.get(attr), env[var]):
+            return False
+    return True
+
+
+def _extend_env(ce: CompiledCE, wme: WME, env: Env) -> Optional[Env]:
+    """Apply the CE's bindings; respects pre-seeded values as constraints.
+
+    Returns the (possibly shared) environment, or ``None`` when a seeded
+    binding disagrees with the WME.
+    """
+    if not ce.bindings:
+        return env
+    new_env: Optional[Env] = None
+    for attr, var in ce.bindings:
+        value = wme.get(attr)
+        if var in env:
+            if env[var] != value:
+                return None
+            continue
+        if new_env is None:
+            new_env = dict(env)
+        new_env[var] = value
+    return new_env if new_env is not None else env
+
+
+def enumerate_matches(
+    compiled: CompiledRule,
+    wm: WorkingMemory,
+    stats: Optional[MatchStats] = None,
+    fixed: Optional[Tuple[int, WME]] = None,
+    seed_env: Optional[Env] = None,
+    alpha_source: Optional[AlphaSource] = None,
+) -> Iterator[Instantiation]:
+    """Yield every instantiation of ``compiled`` consistent with the seeds.
+
+    ``fixed=(i, wme)`` pins 0-based CE index ``i`` (which must be positive)
+    to ``wme``; the WME is still alpha- and join-tested, so passing a WME
+    that does not actually match yields nothing rather than nonsense.
+    """
+    rule_name = compiled.name
+    source = alpha_source or default_alpha_source(wm, stats, rule_name)
+
+    # Each partial: (env, wmes) where wmes has one entry per CE so far.
+    partials: List[Tuple[Env, Tuple[Optional[WME], ...]]] = [
+        (dict(seed_env) if seed_env else {}, ())
+    ]
+
+    for ce in compiled.ces:
+        if not partials:
+            return
+        next_partials: List[Tuple[Env, Tuple[Optional[WME], ...]]] = []
+        if ce.negated:
+            candidates = list(source(ce))
+            for env, wmes in partials:
+                blocked = False
+                for wme in candidates:
+                    if stats is not None:
+                        stats.bump("join_checks", rule_name)
+                    if join_tests_pass(ce, wme, env):
+                        blocked = True
+                        break
+                if not blocked:
+                    next_partials.append((env, wmes + (None,)))
+        else:
+            if fixed is not None and fixed[0] == ce.index:
+                pinned = fixed[1]
+                if pinned.class_name == ce.class_name and alpha_test_passes(
+                    ce.alpha_conds, pinned
+                ):
+                    candidates = [pinned]
+                else:
+                    candidates = []
+            else:
+                candidates = list(source(ce))
+            for env, wmes in partials:
+                for wme in candidates:
+                    if stats is not None:
+                        stats.bump("join_probes", rule_name)
+                    if not join_tests_pass(ce, wme, env):
+                        continue
+                    new_env = _extend_env(ce, wme, env)
+                    if new_env is None:
+                        continue
+                    if stats is not None:
+                        stats.bump("tokens", rule_name)
+                    next_partials.append((new_env, wmes + (wme,)))
+        partials = next_partials
+
+    for env, wmes in partials:
+        if stats is not None:
+            stats.bump("instantiations", rule_name)
+        yield Instantiation(compiled.rule, wmes, env)

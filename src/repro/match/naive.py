@@ -1,0 +1,45 @@
+"""The naive (reference) matcher.
+
+Recomputes every rule's join from scratch whenever the conflict set is
+requested after a working-memory change. O(product of class-bucket sizes)
+per rule — unusable for big programs, invaluable as the semantic oracle:
+property-based tests assert RETE and TREAT always agree with it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.match.instantiation import Instantiation
+from repro.match.interface import Matcher
+from repro.match.join import enumerate_matches
+from repro.wm.wme import WME
+
+__all__ = ["NaiveMatcher"]
+
+
+class NaiveMatcher(Matcher):
+    """Full recomputation matcher; the semantics oracle."""
+
+    name = "naive"
+
+    def _build(self) -> None:
+        self._dirty = True
+
+    def _on_add(self, wme: WME) -> None:
+        self._dirty = True
+
+    def _on_remove(self, wme: WME) -> None:
+        self._dirty = True
+
+    def _recompute(self) -> None:
+        self.conflict_set.clear()
+        for compiled in self.compiled:
+            for inst in enumerate_matches(compiled, self.wm, self.stats):
+                self.conflict_set.add(inst)
+        self._dirty = False
+
+    def instantiations(self) -> List[Instantiation]:
+        if self._dirty:
+            self._recompute()
+        return self.conflict_set.instantiations()

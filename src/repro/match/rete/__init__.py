@@ -1,0 +1,24 @@
+"""RETE match engine (Forgy 1982, hash-indexed variant).
+
+The network is compiled once per matcher from the shared
+:mod:`repro.match.compile` form:
+
+- **alpha memories** — one per distinct ``(class, WME-local tests)`` pattern,
+  shared across condition elements and rules;
+- **join/beta nodes** — one linear chain per rule, each node storing its
+  result tokens and probing hash indexes built over the equality join tests
+  (so equijoins cost O(matches), not O(|left|·|right|));
+- **negative nodes** — maintain per-token join-result counts for negated
+  condition elements, activating a token exactly while its count is zero;
+- **production nodes** — convert complete tokens into
+  :class:`~repro.match.instantiation.Instantiation` objects in the shared
+  conflict set.
+
+Both WME addition and removal are fully incremental; removal uses per-node
+``by-parent`` and ``by-WME`` indexes rather than parent/child object graphs,
+which keeps deletion O(tokens removed).
+"""
+
+from repro.match.rete.network import ReteMatcher, SharedReteMatcher
+
+__all__ = ["ReteMatcher", "SharedReteMatcher"]

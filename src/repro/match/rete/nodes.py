@@ -1,0 +1,409 @@
+"""RETE network nodes: tokens, alpha memories, join/negative/production nodes.
+
+Terminology follows Forgy/Doorenbos, with one structural simplification: a
+join node and the beta memory holding its results are fused into a single
+:class:`JoinBetaNode` (each rule's network is a linear chain, so the split
+buys nothing). Deletion bookkeeping is index-based:
+
+- ``_by_parent``: parent-token key → keys of my tokens extending it,
+- ``_by_wme``: WME → keys of my tokens whose last element it is
+  (or, in a negative node, whose join-result set contains it).
+
+Token keys are tuples of WME timestamps, globally unique per prefix, so keys
+serve as stable identities across the whole chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lang.ast import Value
+from repro.match.compile import CompiledCE, alpha_test_passes, value_predicate
+from repro.match.instantiation import ConflictSet, Instantiation
+from repro.match.stats import MatchStats
+from repro.wm.wme import WME
+
+__all__ = [
+    "Token",
+    "AlphaMemory",
+    "BetaNode",
+    "JoinBetaNode",
+    "NegativeNode",
+    "ProductionNode",
+]
+
+TokenKey = Tuple[int, ...]
+
+
+class Token:
+    """A partial match: the WMEs of the positive CEs consumed so far plus
+    the variable environment they induce."""
+
+    __slots__ = ("key", "wmes", "env")
+
+    def __init__(self, key: TokenKey, wmes: Tuple[WME, ...], env: Dict[str, Value]) -> None:
+        self.key = key
+        self.wmes = wmes
+        self.env = env
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"Token{self.key}"
+
+
+#: The unique empty token seeding every rule chain.
+DUMMY_TOKEN = Token((), (), {})
+
+
+class AlphaMemory:
+    """WMEs passing one alpha pattern, plus the beta nodes fed by it."""
+
+    __slots__ = ("key", "conds", "wmes", "successors")
+
+    def __init__(self, key, conds) -> None:
+        self.key = key
+        self.conds = conds
+        self.wmes: Dict[WME, None] = {}
+        self.successors: List[BetaNode] = []
+
+    def add(self, wme: WME) -> None:
+        self.wmes[wme] = None
+        for node in self.successors:
+            node.on_right_add(wme)
+
+    def remove(self, wme: WME) -> None:
+        if wme in self.wmes:  # values are None: membership, not pop-default
+            del self.wmes[wme]
+            for node in self.successors:
+                node.on_right_remove(wme)
+
+    def __len__(self) -> int:
+        return len(self.wmes)
+
+
+class BetaNode:
+    """Base of the beta chain: token storage plus downstream plumbing."""
+
+    def __init__(self, ce: CompiledCE, rule_name: str, stats: MatchStats) -> None:
+        self.ce = ce
+        self.rule_name = rule_name
+        self.stats = stats
+        #: Downstream beta nodes. Usually one; more when beta-prefix
+        #: sharing lets several rules hang off one partial-match chain.
+        self.children: List["BetaNode"] = []
+        #: Active (propagated) tokens by key.
+        self.tokens: Dict[TokenKey, Token] = {}
+        #: parent key -> my token keys (left-removal cascade).
+        self._by_parent: Dict[TokenKey, Set[TokenKey]] = {}
+        #: WME -> my token keys (right-removal cascade).
+        self._by_wme: Dict[WME, Set[TokenKey]] = {}
+
+    # -- downstream propagation -------------------------------------------
+
+    def _emit_add(self, token: Token) -> None:
+        self.tokens[token.key] = token
+        for child in self.children:
+            child.on_left_add(token)
+
+    def _emit_remove(self, key: TokenKey) -> None:
+        token = self.tokens.pop(key, None)
+        if token is not None:
+            for child in self.children:
+                child.on_left_remove(key)
+
+    # -- interface ------------------------------------------------------------
+
+    def on_left_add(self, token: Token) -> None:
+        raise NotImplementedError
+
+    def on_left_remove(self, key: TokenKey) -> None:
+        raise NotImplementedError
+
+    def on_right_add(self, wme: WME) -> None:
+        raise NotImplementedError
+
+    def on_right_remove(self, wme: WME) -> None:
+        raise NotImplementedError
+
+
+class JoinBetaNode(BetaNode):
+    """Hash-equijoin of the left token stream with one alpha memory.
+
+    Equality join tests form the hash key; remaining predicates filter the
+    probed candidates. Result tokens extend the parent token with the
+    matched WME and the CE's new bindings.
+    """
+
+    def __init__(
+        self,
+        ce: CompiledCE,
+        rule_name: str,
+        stats: MatchStats,
+        alpha: AlphaMemory,
+        is_head: bool,
+    ) -> None:
+        super().__init__(ce, rule_name, stats)
+        self.alpha = alpha
+        self.is_head = is_head
+        self.eq_tests = ce.eq_join_tests  # ((attr, var), ...)
+        self.other_tests = ce.other_join_tests
+        self.bindings = ce.bindings
+        #: right hash index: wme key values -> ordered set of WMEs.
+        self._right_index: Dict[Tuple[Value, ...], Dict[WME, None]] = {}
+        #: left hash index: token key values -> set of parent token keys.
+        self._left_index: Dict[Tuple[Value, ...], Dict[TokenKey, Token]] = {}
+        #: parent token key -> its hash-key values (O(1) left removal).
+        self._left_key_values: Dict[TokenKey, Tuple[Value, ...]] = {}
+        #: child token key -> (parent key, wme) for index cleanup.
+        self._child_info: Dict[TokenKey, Tuple[TokenKey, WME]] = {}
+        alpha.successors.append(self)
+
+    # -- keys ------------------------------------------------------------------
+
+    def _wme_key(self, wme: WME) -> Tuple[Value, ...]:
+        return tuple(wme.get(attr) for attr, _var in self.eq_tests)
+
+    def _token_key_values(self, token: Token) -> Tuple[Value, ...]:
+        env = token.env
+        return tuple(env[var] for _attr, var in self.eq_tests)
+
+    # -- pairing ---------------------------------------------------------------
+
+    def _passes_other(self, token: Token, wme: WME) -> bool:
+        env = token.env
+        for attr, op, var in self.other_tests:
+            self.stats.bump("join_checks", self.rule_name)
+            if not value_predicate(op, wme.get(attr), env[var]):
+                return False
+        return True
+
+    def _make_child_token(self, token: Token, wme: WME) -> Token:
+        env = dict(token.env) if self.bindings else token.env
+        for attr, var in self.bindings:
+            env[var] = wme.get(attr)
+        key = token.key + (wme.timestamp,)
+        self.stats.bump("tokens", self.rule_name)
+        return Token(key, token.wmes + (wme,), env)
+
+    def _pair(self, token: Token, wme: WME) -> None:
+        child_token = self._make_child_token(token, wme)
+        self._by_parent.setdefault(token.key, set()).add(child_token.key)
+        self._by_wme.setdefault(wme, set()).add(child_token.key)
+        self._child_info[child_token.key] = (token.key, wme)
+        self._emit_add(child_token)
+
+    def _remove_child(self, child_key: TokenKey) -> None:
+        info = self._child_info.pop(child_key, None)
+        if info is None:
+            return
+        parent_key, wme = info
+        siblings = self._by_parent.get(parent_key)
+        if siblings is not None:
+            siblings.discard(child_key)
+            if not siblings:
+                del self._by_parent[parent_key]
+        cousins = self._by_wme.get(wme)
+        if cousins is not None:
+            cousins.discard(child_key)
+            if not cousins:
+                del self._by_wme[wme]
+        self.stats.bump("retractions", self.rule_name)
+        self._emit_remove(child_key)
+
+    # -- left activation ---------------------------------------------------------
+
+    def on_left_add(self, token: Token) -> None:
+        key_values = self._token_key_values(token)
+        self._left_index.setdefault(key_values, {})[token.key] = token
+        self._left_key_values[token.key] = key_values
+        bucket = self._right_index.get(key_values)
+        if bucket:
+            for wme in list(bucket):
+                self.stats.bump("join_probes", self.rule_name)
+                if self._passes_other(token, wme):
+                    self._pair(token, wme)
+
+    def on_left_remove(self, key: TokenKey) -> None:
+        key_values = self._left_key_values.pop(key, None)
+        if key_values is not None:
+            bucket = self._left_index.get(key_values)
+            if bucket is not None:
+                bucket.pop(key, None)
+                if not bucket:
+                    del self._left_index[key_values]
+        for child_key in list(self._by_parent.get(key, ())):
+            self._remove_child(child_key)
+
+    # -- right activation ----------------------------------------------------------
+
+    def on_right_add(self, wme: WME) -> None:
+        key_values = self._wme_key(wme)
+        self._right_index.setdefault(key_values, {})[wme] = None
+        bucket = self._left_index.get(key_values)
+        if bucket:
+            for token in list(bucket.values()):
+                self.stats.bump("join_probes", self.rule_name)
+                if self._passes_other(token, wme):
+                    self._pair(token, wme)
+
+    def on_right_remove(self, wme: WME) -> None:
+        key_values = self._wme_key(wme)
+        bucket = self._right_index.get(key_values)
+        if bucket is not None:
+            bucket.pop(wme, None)
+            if not bucket:
+                del self._right_index[key_values]
+        for child_key in list(self._by_wme.get(wme, ())):
+            self._remove_child(child_key)
+
+
+class NegativeNode(BetaNode):
+    """Negated condition element: a token is active while its join-result
+    count against the alpha memory is zero.
+
+    Tokens pass through unchanged (negated CEs bind nothing); ``owned`` holds
+    every left token, ``tokens`` (inherited) only the active subset.
+    """
+
+    def __init__(
+        self,
+        ce: CompiledCE,
+        rule_name: str,
+        stats: MatchStats,
+        alpha: AlphaMemory,
+    ) -> None:
+        super().__init__(ce, rule_name, stats)
+        self.alpha = alpha
+        self.eq_tests = ce.eq_join_tests
+        self.other_tests = ce.other_join_tests
+        self.owned: Dict[TokenKey, Token] = {}
+        #: token key -> set of WMEs currently matching (blocking) it.
+        self._jr: Dict[TokenKey, Set[WME]] = {}
+        self._left_index: Dict[Tuple[Value, ...], Dict[TokenKey, Token]] = {}
+        self._right_index: Dict[Tuple[Value, ...], Dict[WME, None]] = {}
+        alpha.successors.append(self)
+
+    def _wme_key(self, wme: WME) -> Tuple[Value, ...]:
+        return tuple(wme.get(attr) for attr, _var in self.eq_tests)
+
+    def _token_key_values(self, token: Token) -> Tuple[Value, ...]:
+        env = token.env
+        return tuple(env[var] for _attr, var in self.eq_tests)
+
+    def _passes_other(self, token: Token, wme: WME) -> bool:
+        env = token.env
+        for attr, op, var in self.other_tests:
+            self.stats.bump("join_checks", self.rule_name)
+            if not value_predicate(op, wme.get(attr), env[var]):
+                return False
+        return True
+
+    # -- left ------------------------------------------------------------------
+
+    def on_left_add(self, token: Token) -> None:
+        self.owned[token.key] = token
+        key_values = self._token_key_values(token)
+        self._left_index.setdefault(key_values, {})[token.key] = token
+        blockers: Set[WME] = set()
+        bucket = self._right_index.get(key_values)
+        if bucket:
+            for wme in bucket:
+                self.stats.bump("join_probes", self.rule_name)
+                if self._passes_other(token, wme):
+                    blockers.add(wme)
+        self._jr[token.key] = blockers
+        for wme in blockers:
+            self._by_wme.setdefault(wme, set()).add(token.key)
+        if not blockers:
+            self._emit_add(token)
+
+    def on_left_remove(self, key: TokenKey) -> None:
+        token = self.owned.pop(key, None)
+        if token is None:
+            return
+        key_values = self._token_key_values(token)
+        bucket = self._left_index.get(key_values)
+        if bucket is not None:
+            bucket.pop(key, None)
+            if not bucket:
+                del self._left_index[key_values]
+        for wme in self._jr.pop(key, ()):
+            keys = self._by_wme.get(wme)
+            if keys is not None:
+                keys.discard(key)
+        self._emit_remove(key)
+
+    # -- right ------------------------------------------------------------------
+
+    def on_right_add(self, wme: WME) -> None:
+        key_values = self._wme_key(wme)
+        self._right_index.setdefault(key_values, {})[wme] = None
+        bucket = self._left_index.get(key_values)
+        if not bucket:
+            return
+        for token in list(bucket.values()):
+            self.stats.bump("join_probes", self.rule_name)
+            if not self._passes_other(token, wme):
+                continue
+            blockers = self._jr[token.key]
+            was_empty = not blockers
+            blockers.add(wme)
+            self._by_wme.setdefault(wme, set()).add(token.key)
+            if was_empty:
+                self._emit_remove(token.key)
+
+    def on_right_remove(self, wme: WME) -> None:
+        key_values = self._wme_key(wme)
+        bucket = self._right_index.get(key_values)
+        if bucket is not None:
+            bucket.pop(wme, None)
+            if not bucket:
+                del self._right_index[key_values]
+        for key in self._by_wme.pop(wme, ()):
+            blockers = self._jr.get(key)
+            if blockers is None:
+                continue
+            blockers.discard(wme)
+            if not blockers:
+                token = self.owned.get(key)
+                if token is not None:
+                    self._emit_add(token)
+
+
+class ProductionNode(BetaNode):
+    """Chain terminal: full tokens become conflict-set instantiations."""
+
+    def __init__(
+        self,
+        compiled_ces: Tuple[CompiledCE, ...],
+        rule,
+        stats: MatchStats,
+        conflict_set: ConflictSet,
+    ) -> None:
+        # ProductionNode has no CE of its own; reuse the last one for repr.
+        super().__init__(compiled_ces[-1], rule.name, stats)
+        self.rule = rule
+        self.ces = compiled_ces
+        self.conflict_set = conflict_set
+        self._inst_keys: Dict[TokenKey, Instantiation] = {}
+
+    def on_left_add(self, token: Token) -> None:
+        wmes: List[Optional[WME]] = []
+        it = iter(token.wmes)
+        for ce in self.ces:
+            wmes.append(None if ce.negated else next(it))
+        inst = Instantiation(self.rule, tuple(wmes), token.env)
+        self._inst_keys[token.key] = inst
+        self.conflict_set.add(inst)
+        self.stats.bump("instantiations", self.rule_name)
+
+    def on_left_remove(self, key: TokenKey) -> None:
+        inst = self._inst_keys.pop(key, None)
+        if inst is not None:
+            self.conflict_set.discard_key(inst.key)
+            self.stats.bump("retractions", self.rule_name)
+
+    def on_right_add(self, wme: WME) -> None:  # pragma: no cover
+        raise AssertionError("production nodes have no right input")
+
+    def on_right_remove(self, wme: WME) -> None:  # pragma: no cover
+        raise AssertionError("production nodes have no right input")

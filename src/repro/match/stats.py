@@ -1,0 +1,87 @@
+"""Match-work accounting.
+
+Match engines count the abstract operations they perform. The counters serve
+two purposes:
+
+1. *Measurement* — Figure 3 and Ablation A2 compare engines by work done,
+   which is steadier than wall-clock on a shared machine;
+2. *Simulation* — :class:`repro.parallel.simmachine.SimMachine` converts
+   per-rule operation counts into simulated time through a
+   :class:`repro.parallel.costmodel.CostModel`, which is how the paper-style
+   speedup curves are produced deterministically.
+
+Counter semantics (shared vocabulary across engines):
+
+``alpha_tests``
+    WME-local test evaluations,
+``join_probes``
+    hash-index probes or nested-loop candidate visits during joins,
+``join_checks``
+    full join-test evaluations on candidate pairs,
+``tokens``
+    partial matches created (RETE beta insertions / TREAT seed extensions),
+``instantiations``
+    complete matches added to the conflict set,
+``retractions``
+    tokens or instantiations removed due to WME retraction.
+
+Per-rule attribution lives in :attr:`MatchStats.per_rule` under the same
+keys.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+__all__ = ["MatchStats", "COUNTER_NAMES"]
+
+COUNTER_NAMES: Tuple[str, ...] = (
+    "alpha_tests",
+    "join_probes",
+    "join_checks",
+    "tokens",
+    "instantiations",
+    "retractions",
+)
+
+
+@dataclass
+class MatchStats:
+    """Mutable operation counters, overall and attributed per rule."""
+
+    totals: Counter = field(default_factory=Counter)
+    per_rule: Dict[str, Counter] = field(default_factory=dict)
+
+    def bump(self, counter: str, rule: str = "", n: int = 1) -> None:
+        """Increment ``counter`` by ``n``, attributing to ``rule`` if given."""
+        self.totals[counter] += n
+        if rule:
+            bucket = self.per_rule.get(rule)
+            if bucket is None:
+                bucket = self.per_rule[rule] = Counter()
+            bucket[counter] += n
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.per_rule.clear()
+
+    def snapshot(self) -> Counter:
+        return Counter(self.totals)
+
+    def rule_total(self, rule: str, counters: Iterable[str] = COUNTER_NAMES) -> int:
+        bucket = self.per_rule.get(rule)
+        if not bucket:
+            return 0
+        return sum(bucket[c] for c in counters)
+
+    def merge(self, other: "MatchStats") -> None:
+        self.totals.update(other.totals)
+        for rule, bucket in other.per_rule.items():
+            mine = self.per_rule.setdefault(rule, Counter())
+            mine.update(bucket)
+
+    def __str__(self) -> str:
+        parts = [f"{name}={self.totals[name]}" for name in COUNTER_NAMES]
+        return "MatchStats(" + ", ".join(parts) + ")"

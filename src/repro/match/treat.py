@@ -1,0 +1,135 @@
+"""TREAT match engine (Miranker 1987, from the DADO lineage PARULEL grew
+out of).
+
+TREAT retains only **alpha memories** and the **conflict set** — no beta
+memories. Each WME delta seeds a join:
+
+- *Add to a positive CE's memory*: enumerate the rule's join with that CE
+  pinned to the new WME (every new instantiation must use it there).
+- *Add to a negated CE's memory*: scan the rule's conflict-set entries and
+  retract those the new WME now blocks.
+- *Remove from a positive CE's memory*: drop conflict-set entries that used
+  the WME.
+- *Remove from a negated CE's memory*: instantiations it was blocking may
+  now exist. When the negated CE's join tests are all equalities we seed the
+  join with the variable values the removed WME pinned; otherwise we fall
+  back to a full re-enumeration of that rule (deduplicated against the
+  retained set).
+
+The trade: TREAT redoes join work RETE would have cached, but pays nothing
+to maintain beta state when WMEs churn — the regime Ablation A2 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lang.ast import Value
+from repro.match.compile import AlphaKey, CompiledCE, CompiledRule, alpha_test_passes
+from repro.match.interface import Matcher
+from repro.match.join import enumerate_matches, join_tests_pass
+from repro.wm.wme import WME
+
+__all__ = ["TreatMatcher"]
+
+
+class TreatMatcher(Matcher):
+    """Conflict-set-retaining matcher with alpha memories only."""
+
+    name = "treat"
+
+    def _build(self) -> None:
+        #: alpha pattern -> ordered set of WMEs.
+        self._mems: Dict[AlphaKey, Dict[WME, None]] = {}
+        #: class name -> alpha keys to test on each add/remove.
+        self._keys_by_class: Dict[str, List[AlphaKey]] = {}
+        #: alpha pattern -> (rule, ce) pairs fed by it.
+        self._subscribers: Dict[AlphaKey, List[Tuple[CompiledRule, CompiledCE]]] = {}
+        for compiled in self.compiled:
+            for ce in compiled.ces:
+                key = ce.alpha_key
+                if key not in self._mems:
+                    self._mems[key] = {}
+                    self._keys_by_class.setdefault(ce.class_name, []).append(key)
+                    self._subscribers[key] = []
+                self._subscribers[key].append((compiled, ce))
+
+    def _alpha_source(self, ce: CompiledCE) -> Iterable[WME]:
+        return tuple(self._mems[ce.alpha_key])
+
+    # -- add -----------------------------------------------------------------
+
+    def _on_add(self, wme: WME) -> None:
+        # Phase 1: update every alpha memory before any join runs, so a WME
+        # matching several CEs is visible to all of them at once.
+        hits: List[AlphaKey] = []
+        for key in self._keys_by_class.get(wme.class_name, ()):
+            self.stats.bump("alpha_tests")
+            if alpha_test_passes(key[1], wme):
+                self._mems[key][wme] = None
+                hits.append(key)
+        # Phase 2: seeded joins / negation invalidation.
+        for key in hits:
+            for compiled, ce in self._subscribers[key]:
+                if ce.negated:
+                    self._invalidate_blocked(compiled, ce, wme)
+                else:
+                    for inst in enumerate_matches(
+                        compiled,
+                        self.wm,
+                        self.stats,
+                        fixed=(ce.index, wme),
+                        alpha_source=self._alpha_source,
+                    ):
+                        self.conflict_set.add(inst)
+
+    def _invalidate_blocked(self, compiled: CompiledRule, ce: CompiledCE, wme: WME) -> None:
+        """A WME newly matching a negated CE retracts the instantiations it
+        blocks (those whose environment satisfies the CE's join tests)."""
+        for inst in self.conflict_set.of_rule(compiled.name):
+            self.stats.bump("join_checks", compiled.name)
+            if join_tests_pass(ce, wme, inst.env):
+                self.conflict_set.remove(inst)
+                self.stats.bump("retractions", compiled.name)
+
+    # -- remove ---------------------------------------------------------------
+
+    def _on_remove(self, wme: WME) -> None:
+        hits: List[AlphaKey] = []
+        for key in self._keys_by_class.get(wme.class_name, ()):
+            mem = self._mems[key]
+            if wme in mem:  # values are None: membership, not pop-default
+                del mem[wme]
+                hits.append(key)
+        if not hits:
+            return
+        # Positive participation: drop conflict-set entries that used it.
+        removed = self.conflict_set.remove_with_wme(wme)
+        if removed:
+            self.stats.bump("retractions", n=len(removed))
+        # Negative participation: unblocked instantiations may now exist.
+        for key in hits:
+            for compiled, ce in self._subscribers[key]:
+                if ce.negated:
+                    self._discover_unblocked(compiled, ce, wme)
+
+    def _discover_unblocked(self, compiled: CompiledRule, ce: CompiledCE, wme: WME) -> None:
+        eq = ce.eq_join_tests
+        if eq:
+            # Any environment the removed WME was blocking had to satisfy its
+            # equality tests, so pinning those variables to the WME's values
+            # covers every candidate; enumerate_matches re-checks the negated
+            # CE against the *current* memories, so no false positives.
+            seed = {var: wme.get(attr) for attr, var in eq}
+        else:
+            if not ce.join_tests and self._mems[ce.alpha_key]:
+                return  # purely alpha-level negation, still blocked for all
+            seed = None  # only non-equality tests: re-enumerate the rule
+        for inst in enumerate_matches(
+            compiled,
+            self.wm,
+            self.stats,
+            seed_env=seed,
+            alpha_source=self._alpha_source,
+        ):
+            self.conflict_set.add(inst)

@@ -1,0 +1,11 @@
+"""Instrumentation and reporting helpers for the experiment suite.
+
+- :mod:`repro.metrics.timers` — phase timers and cycle statistics,
+- :mod:`repro.metrics.report` — fixed-width text tables (the benches print
+  paper-style tables with these) and CSV emission.
+"""
+
+from repro.metrics.report import Table, format_table, write_csv
+from repro.metrics.timers import PhaseTimer, summarize_cycles
+
+__all__ = ["PhaseTimer", "Table", "format_table", "summarize_cycles", "write_csv"]

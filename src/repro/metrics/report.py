@@ -1,0 +1,105 @@
+"""Plain-text tables and CSV output for the benchmark harness.
+
+Every experiment bench renders its results through :class:`Table`, so
+``pytest benchmarks/ --benchmark-only`` prints the same rows the paper's
+tables would hold, and EXPERIMENTS.md quotes them verbatim.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["Table", "format_table", "write_csv"]
+
+Cell = Union[str, int, float, None]
+
+
+def _render(cell: Cell, precision: int) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.{precision}f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Render a fixed-width table with a rule under the header.
+
+    Numeric columns are right-aligned; floats use ``precision`` decimals.
+    """
+    rendered: List[List[str]] = [[_render(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def align(cells: Sequence[str], is_header: bool) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if is_header:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(align(list(headers), True))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(align(row, False))
+    return "\n".join(lines)
+
+
+@dataclass
+class Table:
+    """Accumulates rows, prints itself, and can persist to CSV."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+    precision: int = 2
+
+    def add(self, *cells: Cell) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def __str__(self) -> str:
+        return format_table(self.headers, self.rows, self.title, self.precision)
+
+    def show(self) -> None:
+        """Print with surrounding blank lines (pytest -s friendly)."""
+        print()
+        print(str(self))
+        print()
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buf.getvalue()
+
+    def save_csv(self, path: str) -> None:
+        with open(path, "w", newline="") as fh:
+            fh.write(self.to_csv())
+
+
+def write_csv(path: str, headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> None:
+    """One-shot CSV dump."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)

@@ -1,0 +1,73 @@
+"""Phase timing and cycle-report summarization."""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Sequence
+
+from repro.core.engine import CycleReport
+
+__all__ = ["PhaseTimer", "summarize_cycles"]
+
+
+class PhaseTimer:
+    """Accumulates wall-clock per named phase via a context manager::
+
+        timer = PhaseTimer()
+        with timer.phase("match"):
+            ...
+        timer.seconds["match"]
+    """
+
+    def __init__(self) -> None:
+        self.seconds: Counter = Counter()
+        self.entries: Counter = Counter()
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds[name] += time.perf_counter() - start
+            self.entries[name] += 1
+
+    def fraction(self, name: str) -> float:
+        """Share of total recorded time spent in ``name`` (0 when empty)."""
+        total = sum(self.seconds.values())
+        return self.seconds[name] / total if total else 0.0
+
+    def reset(self) -> None:
+        self.seconds.clear()
+        self.entries.clear()
+
+
+def summarize_cycles(reports: Sequence[CycleReport]) -> Dict[str, float]:
+    """Aggregate a run's cycle reports into the quantities the experiment
+    tables print: firing-set statistics, redaction load, delta volume."""
+    if not reports:
+        return {
+            "cycles": 0,
+            "firings": 0,
+            "mean_firing_set": 0.0,
+            "max_firing_set": 0,
+            "total_redacted": 0,
+            "redacted_per_cycle": 0.0,
+            "meta_cycles": 0,
+            "wm_changes": 0,
+        }
+    fired = [r.fired for r in reports]
+    redacted = [r.redaction.redacted for r in reports]
+    firing = [f for f in fired if f]
+    return {
+        "cycles": len(reports),
+        "firings": sum(fired),
+        "mean_firing_set": (sum(firing) / len(firing)) if firing else 0.0,
+        "max_firing_set": max(fired),
+        "total_redacted": sum(redacted),
+        "redacted_per_cycle": sum(redacted) / len(reports),
+        "meta_cycles": sum(r.redaction.meta_cycles for r in reports),
+        "wm_changes": sum(r.delta_removes + r.delta_makes for r in reports),
+    }

@@ -1,0 +1,154 @@
+"""Automatic parallelization planning: profile → copy-and-constrain → LPT.
+
+The paper's workflow for preparing a program for P processors was manual:
+profile, find the hot rule, split it with copy-and-constrain, balance the
+pieces. :func:`autotune` automates exactly that pipeline:
+
+1. **Profile** a calibration run on one site
+   (:func:`~repro.parallel.partition.profile_rule_weights`);
+2. **Split** — if the hottest rule carries more than ``threshold`` of the
+   total match work and a value domain is known for one of its condition
+   elements' attributes, replicate it into ``n_sites`` constrained copies
+   (:func:`~repro.parallel.partition.copy_and_constrain_program`);
+3. **Re-profile and pack** the transformed program's rules onto sites with
+   LPT.
+
+The result is a :class:`TunedPlan` carrying the transformed program, the
+assignment, and a human-readable report of what was done and why — the
+kind of artifact the PARADISER tooling produced for its users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.lang.ast import Program, Value
+from repro.parallel.partition import (
+    Assignment,
+    copy_and_constrain_program,
+    hash_partitions,
+    lpt_assignment,
+    profile_rule_weights,
+)
+
+__all__ = ["TunedPlan", "autotune", "hottest_rule"]
+
+
+@dataclass
+class TunedPlan:
+    """Outcome of :func:`autotune`."""
+
+    program: Program
+    assignment: Assignment
+    n_sites: int
+    #: Rule split by copy-and-constrain, or None if no split was needed.
+    split_rule: Optional[str] = None
+    #: (class, attr) the split partitioned on.
+    split_on: Optional[Tuple[str, str]] = None
+    #: Hot rule's share of total profiled match work before the split.
+    hot_share: float = 0.0
+    notes: List[str] = field(default_factory=list)
+
+    def report(self) -> str:
+        lines = [f"autotune plan for {self.n_sites} sites:"]
+        lines.extend(f"  - {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def hottest_rule(weights: Mapping[str, float]) -> Tuple[str, float]:
+    """The heaviest rule and its share of the total profiled work."""
+    total = sum(weights.values())
+    if not total:
+        name = sorted(weights)[0]
+        return name, 0.0
+    name = max(sorted(weights), key=lambda n: weights[n])
+    return name, weights[name] / total
+
+
+def _splittable_attr(
+    program: Program,
+    rule_name: str,
+    domains: Mapping[Tuple[str, str], Sequence[Value]],
+) -> Optional[Tuple[int, str]]:
+    """First positive CE position + attribute with a known value domain."""
+    rule = program.rule(rule_name)
+    for idx, ce in enumerate(rule.conditions, start=1):
+        if ce.negated:
+            continue
+        for attr, _test in ce.tests:
+            if (ce.class_name, attr) in domains:
+                return idx, attr
+    return None
+
+
+def autotune(
+    program: Program,
+    setup: Callable,
+    n_sites: int,
+    domains: Optional[Mapping[Tuple[str, str], Sequence[Value]]] = None,
+    threshold: float = 0.4,
+    matcher: str = "rete",
+) -> TunedPlan:
+    """Produce a parallelization plan for ``program`` on ``n_sites`` sites.
+
+    ``setup(engine)`` loads the calibration workload; ``domains`` maps
+    ``(class, attr)`` to runtime value domains (what
+    :class:`~repro.programs.base.BenchmarkWorkload` exposes).
+    """
+    domains = domains or {}
+    plan_notes: List[str] = []
+
+    weights = profile_rule_weights(program, setup, matcher=matcher)
+    hot_name, share = hottest_rule(weights)
+    plan_notes.append(
+        f"profiled {len(weights)} rules; hottest is {hot_name!r} with "
+        f"{share:.0%} of match work"
+    )
+
+    tuned = program
+    split_rule = None
+    split_on = None
+    if n_sites > 1 and share >= threshold:
+        target = _splittable_attr(program, hot_name, domains)
+        if target is None:
+            plan_notes.append(
+                f"{hot_name!r} exceeds the {threshold:.0%} split threshold but "
+                f"no value domain is known for its condition attributes — "
+                f"leaving it whole"
+            )
+        else:
+            ce_index, attr = target
+            rule = program.rule(hot_name)
+            class_name = rule.conditions[ce_index - 1].class_name
+            domain = list(domains[(class_name, attr)])
+            parts = hash_partitions(domain, n_sites)
+            tuned = copy_and_constrain_program(
+                program, hot_name, ce_index, attr, parts
+            )
+            split_rule = hot_name
+            split_on = (class_name, attr)
+            plan_notes.append(
+                f"copy-and-constrained {hot_name!r} on {class_name}.{attr} "
+                f"into {n_sites} copies over a {len(domain)}-value domain"
+            )
+    else:
+        plan_notes.append(
+            "no split: below threshold or single site — rule parallelism only"
+        )
+
+    tuned_weights = profile_rule_weights(tuned, setup, matcher=matcher)
+    assignment = lpt_assignment(tuned.rules, n_sites, tuned_weights)
+    plan_notes.append(
+        f"LPT-packed {len(tuned.rules)} rules onto {n_sites} sites"
+    )
+
+    return TunedPlan(
+        program=tuned,
+        assignment=assignment,
+        n_sites=n_sites,
+        split_rule=split_rule,
+        split_on=split_on,
+        hot_share=share,
+        notes=plan_notes,
+    )

@@ -1,0 +1,73 @@
+"""Abstract cost model for the simulated multiprocessor.
+
+The simulator charges each site for the *operations its match engine
+actually performed* (from :class:`~repro.match.stats.MatchStats`), plus
+firing, broadcast and synchronization costs. Units are abstract "ticks";
+only ratios matter for speedup curves, which is exactly why the simulation
+is deterministic where wall-clock would be noisy.
+
+Defaults are chosen to echo the published relative magnitudes for
+production systems of the era (match dominates; a join probe costs a few
+comparisons; firing and WM broadcast are heavier than a single test):
+
+===============  =====  ==========================================
+counter/phase    ticks  charged per
+===============  =====  ==========================================
+alpha_tests        1    WME-local test evaluated
+join_probes        2    hash probe / candidate visited
+join_checks        1    non-equality join test evaluated
+tokens             2    partial match created
+instantiations     3    conflict-set insertion
+retractions        2    token/instantiation removed
+fire              10    instantiation RHS evaluated
+wm_broadcast       4    WM change delivered to ONE site
+barrier           25    cycle synchronization, per cycle
+redact_overhead    5    meta-level firing (on top of its match ops)
+===============  =====  ==========================================
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Tick charges for match operations and cycle phases."""
+
+    alpha_tests: float = 1.0
+    join_probes: float = 2.0
+    join_checks: float = 1.0
+    tokens: float = 2.0
+    instantiations: float = 3.0
+    retractions: float = 2.0
+    fire: float = 10.0
+    wm_broadcast: float = 4.0
+    barrier: float = 25.0
+    redact_overhead: float = 5.0
+
+    def match_cost(self, counters: Mapping[str, int]) -> float:
+        """Ticks for a bundle of match-operation counters."""
+        return (
+            self.alpha_tests * counters.get("alpha_tests", 0)
+            + self.join_probes * counters.get("join_probes", 0)
+            + self.join_checks * counters.get("join_checks", 0)
+            + self.tokens * counters.get("tokens", 0)
+            + self.instantiations * counters.get("instantiations", 0)
+            + self.retractions * counters.get("retractions", 0)
+        )
+
+    def fire_cost(self, n_firings: int) -> float:
+        return self.fire * n_firings
+
+    def broadcast_cost(self, n_changes: int) -> float:
+        """Delivering ``n_changes`` WM updates to one site."""
+        return self.wm_broadcast * n_changes
+
+    def redaction_cost(self, match_counters: Mapping[str, int], meta_firings: int) -> float:
+        """Serial meta-level time: its own match work plus firing overhead."""
+        return self.match_cost(match_counters) + self.redact_overhead * meta_firings

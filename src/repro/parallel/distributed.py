@@ -1,0 +1,297 @@
+"""Distributed execution with replicated working memories (PARADISER-style).
+
+The :class:`~repro.parallel.simmachine.SimMachine` models the paper's
+*shared-memory* multiprocessor (one physical store, per-site match state).
+PARULEL's successor environment, PARADISER, targeted *distributed*
+machines: every site holds its **own working-memory replica**, kept
+consistent by shipping the cycle delta as messages. This module implements
+that execution model honestly:
+
+- each site owns a real, separate :class:`~repro.wm.memory.WorkingMemory`
+  (no shared store at all) plus a match engine over its assigned rules;
+- a **master** (site 0's replica) runs redaction and the delta merge;
+- per cycle the coordinator (a) gathers candidate instantiations from the
+  sites, (b) redacts on the master, (c) evaluates survivors against the
+  master replica, and (d) ships the merged delta to every site, which
+  applies it to its own replica;
+- WME identity is by value + timestamp and every replica applies the same
+  delta sequence, so timestamps — and therefore instantiation keys —
+  agree across replicas without any global coordination; tests assert
+  replicas stay byte-identical and the whole machine is functionally
+  equivalent to a single :class:`~repro.core.engine.ParulelEngine`.
+
+The :class:`NetworkModel` charges communication:
+
+- ``latency`` per communication round (two rounds per cycle: gather,
+  scatter),
+- ``per_message`` per candidate summary, redaction verdict, and delta
+  entry shipped (delta entries go to P−1 remote sites, or only to
+  interested sites with ``multicast=True``).
+
+Figure 5 sweeps ``latency`` to show where communication swamps the
+parallel match gain — the trade that separated the DADO/shared-memory
+line from distributed rule systems.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import CycleLimitExceeded
+from repro.core.actions import ActionEvaluator, InstantiationDelta
+from repro.core.delta import InterferencePolicy, merge_deltas
+from repro.core.redaction import MetaLevel
+from repro.lang.ast import Program, Value
+from repro.match.compile import compile_rules
+from repro.match.instantiation import InstKey, Instantiation
+from repro.match.interface import Matcher, create_matcher
+from repro.parallel.costmodel import CostModel
+from repro.parallel.partition import Assignment, round_robin_assignment
+from repro.wm.memory import WorkingMemory
+from repro.wm.template import TemplateRegistry
+from repro.wm.wme import WME
+
+__all__ = ["NetworkModel", "DistributedMachine", "DistResult"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Communication charges for the distributed machine (ticks)."""
+
+    #: Fixed cost per communication round (gather or scatter).
+    latency: float = 50.0
+    #: Cost per message: candidate summary, verdict, or delta entry-hop.
+    per_message: float = 2.0
+
+    def round_cost(self, n_messages: int) -> float:
+        return self.latency + self.per_message * n_messages
+
+
+@dataclass
+class DistResult:
+    """Outcome and cost accounting of a distributed run."""
+
+    n_sites: int
+    cycles: int
+    firings: int
+    reason: str
+    compute_ticks: float
+    comm_ticks: float
+    serial_ticks: float
+    messages: int
+    output: List[str] = field(default_factory=list)
+
+    @property
+    def total_ticks(self) -> float:
+        return self.compute_ticks + self.comm_ticks + self.serial_ticks
+
+    @property
+    def comm_fraction(self) -> float:
+        total = self.total_ticks
+        return self.comm_ticks / total if total else 0.0
+
+
+class DistributedMachine:
+    """PARULEL over P working-memory replicas and a message network."""
+
+    def __init__(
+        self,
+        program: Program,
+        n_sites: int,
+        assignment: Optional[Assignment] = None,
+        cost_model: Optional[CostModel] = None,
+        network: Optional[NetworkModel] = None,
+        matcher: str = "rete",
+        interference: InterferencePolicy = InterferencePolicy.ERROR,
+        dedupe_makes: bool = True,
+        multicast: bool = False,
+    ) -> None:
+        if n_sites < 1:
+            raise ValueError("need at least one site")
+        self.program = program
+        self.n_sites = n_sites
+        self.assignment = assignment or round_robin_assignment(program.rules, n_sites)
+        self.assignment.validate(program.rules)
+        self.cost = cost_model or CostModel()
+        self.network = network or NetworkModel()
+        self.interference = InterferencePolicy.of(interference)
+        self.dedupe_makes = dedupe_makes
+        self.multicast = multicast
+
+        #: One REAL working memory per site — nothing is shared.
+        self.replicas: List[WorkingMemory] = [
+            WorkingMemory(TemplateRegistry.from_program(program))
+            for _ in range(n_sites)
+        ]
+        self.evaluator = ActionEvaluator()
+        self.site_matchers: List[Matcher] = []
+        self._site_interests: List[frozenset] = []
+        for site in range(n_sites):
+            rules = self.assignment.rules_of_site(site, program.rules)
+            self.site_matchers.append(
+                create_matcher(matcher, rules, self.replicas[site])
+            )
+            classes: Set[str] = set()
+            for compiled in compile_rules(rules):
+                for ce in compiled.ces:
+                    classes.add(ce.class_name)
+            self._site_interests.append(frozenset(classes))
+        # The master replica hosts the meta level (reifications are local
+        # to the master; they are retracted before any delta ships).
+        self.meta = MetaLevel(program.meta_rules, self.replicas[0], self.evaluator)
+        self.fired: Set[InstKey] = set()
+        self.output: List[str] = []
+        self._site_op_marks = [Counter() for _ in range(n_sites)]
+
+    # -- workload ---------------------------------------------------------------
+
+    def make(self, class_name: str, attrs: Optional[Mapping[str, Value]] = None, **kw: Value):
+        """Assert an initial WME into *every* replica (same timestamps)."""
+        first = self.replicas[0].make(class_name, attrs, **kw)
+        for replica in self.replicas[1:]:
+            replica.add(WME(first.class_name, first.attributes, first.timestamp))
+        return first
+
+    # -- consistency (tests call this) ---------------------------------------------
+
+    def replicas_consistent(self) -> bool:
+        """All replicas hold exactly the same WMEs."""
+        reference = {w for w in self.replicas[0] if w.class_name != "instantiation"}
+        return all(
+            {w for w in replica if w.class_name != "instantiation"} == reference
+            for replica in self.replicas[1:]
+        )
+
+    # -- accounting -------------------------------------------------------------
+
+    def _site_ops_delta(self, site: int) -> Counter:
+        now = self.site_matchers[site].stats.snapshot()
+        delta = now - self._site_op_marks[site]
+        self._site_op_marks[site] = now
+        return delta
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, max_cycles: int = 100_000) -> DistResult:
+        compute = 0.0
+        comm = 0.0
+        serial = 0.0
+        messages = 0
+        cycles = 0
+        firings = 0
+        reason = "quiescence"
+
+        # Load phase: parallel across sites.
+        load = [self.cost.match_cost(self._site_ops_delta(s)) for s in range(self.n_sites)]
+        compute += max(load) if load else 0.0
+
+        while True:
+            if cycles >= max_cycles:
+                raise CycleLimitExceeded(f"distributed run exceeded {max_cycles} cycles")
+
+            # ---- gather candidates (one communication round) --------------
+            candidates: List[Instantiation] = []
+            inst_site: Dict[InstKey, int] = {}
+            gather_msgs = 0
+            for site, m in enumerate(self.site_matchers):
+                for inst in m.instantiations():
+                    if inst.key in self.fired:
+                        continue
+                    candidates.append(inst)
+                    inst_site[inst.key] = site
+                    if site != 0:
+                        gather_msgs += 1
+            if not candidates:
+                break
+            cycles += 1
+            comm += self.network.round_cost(gather_msgs)
+            messages += gather_msgs
+
+            # ---- redact on the master -------------------------------------
+            survivors, red_report = self.meta.redact(candidates)
+            self.output.extend(self.meta.writes)
+            serial += self.cost.redact_overhead * red_report.meta_firings
+            # Only redaction verdicts ship back (survivors fire in place).
+            comm += self.network.per_message * red_report.redacted
+            messages += red_report.redacted
+
+            if not survivors:
+                reason = "redaction-quiescence"
+                break
+
+            # ---- fire (each site evaluates its own survivors) --------------
+            deltas: List[InstantiationDelta] = []
+            fire_ticks = [0.0] * self.n_sites
+            for inst in survivors:
+                self.fired.add(inst.key)
+                deltas.append(self.evaluator.evaluate(inst))
+                fire_ticks[inst_site[inst.key]] += self.cost.fire
+            firings += len(survivors)
+
+            merged = merge_deltas(
+                deltas, policy=self.interference, dedupe_makes=self.dedupe_makes
+            )
+            serial += self.cost.wm_broadcast * 0.5 * merged.size
+
+            # ---- scatter the delta; every replica applies it ----------------
+            removed_keys = [
+                (w.class_name, w.attributes, w.timestamp) for w in merged.removes
+            ]
+            scatter_msgs = 0
+            new_timestamps: List[int] = []
+            for site, replica in enumerate(self.replicas):
+                # Removes resolve by value+timestamp in each replica.
+                for class_name, attrs, ts in removed_keys:
+                    replica.remove(WME(class_name, dict(attrs), ts))
+                for i, (class_name, attrs) in enumerate(merged.makes):
+                    if site == 0:
+                        wme = replica.make(class_name, attrs)
+                        new_timestamps.append(wme.timestamp)
+                    else:
+                        replica.add(WME(class_name, dict(attrs), new_timestamps[i]))
+                if site != 0:
+                    if self.multicast:
+                        relevant = sum(
+                            1
+                            for cls, _a in merged.makes
+                            if cls in self._site_interests[site]
+                        ) + sum(
+                            1
+                            for cls, _a, _t in removed_keys
+                            if cls in self._site_interests[site]
+                        )
+                    else:
+                        relevant = merged.size
+                    scatter_msgs += relevant
+            comm += self.network.round_cost(scatter_msgs)
+            messages += scatter_msgs
+            for delta in deltas:
+                self.evaluator.run_calls(delta)
+            self.output.extend(merged.writes)
+
+            # ---- per-site compute time ---------------------------------------
+            site_ticks = []
+            for s in range(self.n_sites):
+                site_ticks.append(
+                    self.cost.match_cost(self._site_ops_delta(s)) + fire_ticks[s]
+                )
+            compute += max(site_ticks)
+            serial += self.cost.barrier
+
+            if merged.halt or self.meta.halt_requested:
+                reason = "halt"
+                break
+
+        return DistResult(
+            n_sites=self.n_sites,
+            cycles=cycles,
+            firings=firings,
+            reason=reason,
+            compute_ticks=compute,
+            comm_ticks=comm,
+            serial_ticks=serial,
+            messages=messages,
+            output=list(self.output),
+        )

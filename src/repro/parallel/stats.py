@@ -1,0 +1,58 @@
+"""Speedup/efficiency series for the figure benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["SpeedupSeries"]
+
+
+@dataclass
+class SpeedupSeries:
+    """Accumulates (P, time) points and derives speedup/efficiency.
+
+    The P=1 point must be present before reading speedups.
+    """
+
+    label: str = ""
+    points: Dict[int, float] = field(default_factory=dict)
+
+    def add(self, n_sites: int, ticks: float) -> None:
+        if n_sites < 1:
+            raise ValueError("site counts start at 1")
+        if ticks <= 0:
+            raise ValueError("time must be positive")
+        self.points[n_sites] = ticks
+
+    @property
+    def baseline(self) -> float:
+        try:
+            return self.points[1]
+        except KeyError:
+            raise ValueError("no P=1 baseline recorded") from None
+
+    def speedup(self, n_sites: int) -> float:
+        return self.baseline / self.points[n_sites]
+
+    def efficiency(self, n_sites: int) -> float:
+        return self.speedup(n_sites) / n_sites
+
+    def series(self) -> List[Tuple[int, float, float, float]]:
+        """Sorted rows of (P, ticks, speedup, efficiency)."""
+        return [
+            (p, t, self.speedup(p), self.efficiency(p))
+            for p, t in sorted(self.points.items())
+        ]
+
+    def is_monotone_to(self, n_sites: int, slack: float = 0.02) -> bool:
+        """Speedup non-decreasing (within ``slack``) up to ``n_sites`` —
+        the shape check the figure benches assert."""
+        prev = 0.0
+        for p, _t, s, _e in self.series():
+            if p > n_sites:
+                break
+            if s < prev * (1.0 - slack):
+                return False
+            prev = max(prev, s)
+        return True

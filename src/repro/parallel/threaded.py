@@ -1,0 +1,81 @@
+"""Real-thread match fan-out (Table 4: the GIL ceiling, measured).
+
+The reproduction bands for this paper note that CPython's GIL hides the
+data-parallel firing benefits a real multiprocessor shows. Rather than skip
+the experiment, this module *measures* that: :class:`ThreadedMatchPool`
+computes the conflict set by fanning per-site naive re-matching out to a
+``ThreadPoolExecutor`` — an embarrassingly parallel, read-only workload that
+WOULD scale on the paper's hardware — and Table 4 reports the (lack of)
+wall-clock speedup with 1..N threads.
+
+The pool is semantically interchangeable with the incremental matchers (it
+returns the same conflict sets; differential tests assert this), just slow —
+it exists to exercise a genuine concurrent code path, not to win.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from repro.lang.ast import Program, Rule
+from repro.match.compile import CompiledRule, compile_rules
+from repro.match.instantiation import Instantiation
+from repro.match.join import enumerate_matches
+from repro.parallel.partition import Assignment, round_robin_assignment
+from repro.wm.memory import WorkingMemory
+
+__all__ = ["ThreadedMatchPool"]
+
+
+class ThreadedMatchPool:
+    """Computes conflict sets with one worker thread per site.
+
+    Working memory is read-only during :meth:`conflict_set` — the caller
+    must not mutate it concurrently (the engines never do: match and apply
+    are separate phases of the cycle).
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        wm: WorkingMemory,
+        n_threads: int,
+        assignment: Optional[Assignment] = None,
+    ) -> None:
+        if n_threads < 1:
+            raise ValueError("need at least one thread")
+        self.wm = wm
+        self.n_threads = n_threads
+        self.assignment = assignment or round_robin_assignment(rules, n_threads)
+        compiled = compile_rules(rules)
+        self._site_rules: List[List[CompiledRule]] = [[] for _ in range(n_threads)]
+        for cr in compiled:
+            self._site_rules[self.assignment.site_of[cr.name]].append(cr)
+        self._pool = ThreadPoolExecutor(max_workers=n_threads)
+
+    def _match_site(self, site: int) -> List[Instantiation]:
+        out: List[Instantiation] = []
+        for compiled in self._site_rules[site]:
+            out.extend(enumerate_matches(compiled, self.wm))
+        return out
+
+    def conflict_set(self) -> List[Instantiation]:
+        """Full conflict set, deterministic order (site 0's rules first)."""
+        futures = [
+            self._pool.submit(self._match_site, site)
+            for site in range(self.n_threads)
+        ]
+        merged: List[Instantiation] = []
+        for fut in futures:
+            merged.extend(fut.result())
+        return merged
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ThreadedMatchPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

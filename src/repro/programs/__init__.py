@@ -1,0 +1,68 @@
+"""Benchmark rule programs (the workloads of the experiment suite).
+
+Each module builds a :class:`~repro.programs.base.BenchmarkWorkload` — a
+PARULEL program, an initial-working-memory loader, a result verifier, and
+domain hints for copy-and-constrain:
+
+- :mod:`repro.programs.tc` — transitive closure over generated graphs; the
+  cleanest demonstration of set-oriented firing (whole frontier per cycle);
+- :mod:`repro.programs.waltz` — Waltz-style constraint-label propagation
+  over replicated line drawings (the classic "wave" benchmark shape);
+- :mod:`repro.programs.manners` — Miss-Manners-style seating, where
+  **meta-rules** pick one candidate per cycle (the redaction showcase);
+- :mod:`repro.programs.sort` — odd-even transposition sort, phase-based and
+  a meta-rule variant whose redactions resolve overlapping swaps;
+- :mod:`repro.programs.sieve` — prime sieve by per-prime marker rules
+  (rule-level parallelism across primes);
+- :mod:`repro.programs.routing` — Bellman-Ford shortest paths, whose
+  minimum selection is expressed as redaction meta-rules;
+- :mod:`repro.programs.circuit` — combinational-logic simulation (wide
+  wave propagation with 4-way joins, the best copy-and-constrain subject);
+- :mod:`repro.programs.monkey` — monkey-and-bananas planning (the MEA
+  baseline's natural habitat);
+- :mod:`repro.programs.synthetic` — parameterized join/churn workloads for
+  the match-engine comparisons (Figure 3, Ablation A2).
+
+``REGISTRY`` maps workload names to their default builders — Table 1
+iterates it.
+"""
+
+from repro.programs.base import BenchmarkWorkload
+from repro.programs.circuit import build_circuit
+from repro.programs.manners import build_manners
+from repro.programs.monkey import build_monkey
+from repro.programs.routing import build_routing
+from repro.programs.sieve import build_sieve
+from repro.programs.sort import build_sort, build_sort_meta
+from repro.programs.synthetic import build_churn_workload, build_join_workload
+from repro.programs.tc import build_tc
+from repro.programs.waltz import build_waltz
+
+#: name -> zero-argument builder with paper-scale default parameters.
+REGISTRY = {
+    "tc": lambda: build_tc(n_nodes=24, shape="chain"),
+    "waltz": lambda: build_waltz(n_drawings=8, chain_length=12),
+    "manners": lambda: build_manners(n_guests=16),
+    "sort": lambda: build_sort(n_items=24),
+    "sort-meta": lambda: build_sort_meta(n_items=12),
+    "sieve": lambda: build_sieve(limit=60),
+    "circuit": lambda: build_circuit(n_inputs=6, n_levels=8, gates_per_level=6),
+    "routing": lambda: build_routing(n_nodes=14, extra_edges=14),
+    "monkey": lambda: build_monkey(),
+}
+
+__all__ = [
+    "BenchmarkWorkload",
+    "REGISTRY",
+    "build_churn_workload",
+    "build_circuit",
+    "build_join_workload",
+    "build_manners",
+    "build_monkey",
+    "build_routing",
+    "build_sieve",
+    "build_sort",
+    "build_sort_meta",
+    "build_tc",
+    "build_waltz",
+]

@@ -1,0 +1,162 @@
+"""Combinational-logic simulation — wide wave propagation with 4-way joins.
+
+A random layered circuit of 2-input gates (AND/OR/XOR/NAND) and NOT gates
+is evaluated by rules: a gate whose input wires are known produces its
+output wire. Truth tables live in working memory as facts, so one rule
+covers all 2-input gate types — the match is a genuine 4-way join
+(gate ⋈ wire ⋈ wire ⋈ truth-table-row), heavier per instantiation than
+tc/waltz and therefore the best copy-and-constrain subject of the bundled
+programs.
+
+Under PARULEL each circuit *level* evaluates in one cycle (every gate of
+the level fires simultaneously); OPS5 does one gate per cycle. Ground
+truth: direct Python evaluation of the same netlist.
+
+Working-memory classes::
+
+    (gate ^id ^type ^in1 ^in2 ^out)   2-input gates (^in2 nil for NOT)
+    (wire ^id ^value)                 known wire values, 0/1
+    (tt  ^type ^a ^b ^out)            truth-table rows for 2-input types
+    (ttn ^a ^out)                     NOT's table
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.lang.builder import ProgramBuilder, v
+from repro.programs.base import BenchmarkWorkload
+from repro.wm.memory import WorkingMemory
+
+__all__ = ["build_circuit", "circuit_program", "generate_circuit", "GATE_FUNCS"]
+
+GATE_FUNCS = {
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "nand": lambda a, b: 1 - (a & b),
+}
+
+
+def circuit_program():
+    pb = ProgramBuilder()
+    pb.literalize("gate", "id", "type", "in1", "in2", "out")
+    pb.literalize("wire", "id", "value")
+    pb.literalize("tt", "type", "a", "b", "out")
+    pb.literalize("ttn", "a", "out")
+
+    (
+        pb.rule("eval-gate")
+        .ce("gate", type=v("t"), in1=v("i1"), in2=v("i2"), out=v("o"))
+        .ce("wire", id=v("i1"), value=v("va"))
+        .ce("wire", id=v("i2"), value=v("vb"))
+        .ce("tt", type=v("t"), a=v("va"), b=v("vb"), out=v("vo"))
+        .neg("wire", id=v("o"))
+        .make("wire", id=v("o"), value=v("vo"))
+    )
+    (
+        pb.rule("eval-not")
+        .ce("gate", type="not", in1=v("i1"), out=v("o"))
+        .ce("wire", id=v("i1"), value=v("va"))
+        .ce("ttn", a=v("va"), out=v("vo"))
+        .neg("wire", id=v("o"))
+        .make("wire", id=v("o"), value=v("vo"))
+    )
+    return pb.build()
+
+
+#: One generated gate: (gate id, type, in1 wire, in2 wire or None, out wire).
+Gate = Tuple[str, str, str, str, str]
+
+
+def generate_circuit(
+    n_inputs: int, n_levels: int, gates_per_level: int, seed: int
+) -> Tuple[List[str], List[Gate]]:
+    """A layered random circuit.
+
+    Level k's gates draw inputs from any earlier wire, so the dependency
+    depth is exactly ``n_levels`` — the PARULEL cycle count to settle.
+    Returns (input wire names, gates).
+    """
+    rng = random.Random(seed)
+    inputs = [f"w-in{i}" for i in range(n_inputs)]
+    available = list(inputs)
+    gates: List[Gate] = []
+    for level in range(n_levels):
+        new_wires = []
+        for g in range(gates_per_level):
+            gid = f"g{level}-{g}"
+            out = f"w{level}-{g}"
+            if rng.random() < 0.2:
+                gtype = "not"
+                gates.append((gid, gtype, rng.choice(available), "nil", out))
+            else:
+                gtype = rng.choice(sorted(GATE_FUNCS))
+                gates.append(
+                    (gid, gtype, rng.choice(available), rng.choice(available), out)
+                )
+            new_wires.append(out)
+        available.extend(new_wires)
+    return inputs, gates
+
+
+def _evaluate_reference(
+    inputs: Dict[str, int], gates: List[Gate]
+) -> Dict[str, int]:
+    """Ground truth: evaluate the netlist directly (gates are in
+    dependency order by construction)."""
+    values = dict(inputs)
+    for _gid, gtype, in1, in2, out in gates:
+        if gtype == "not":
+            values[out] = 1 - values[in1]
+        else:
+            values[out] = GATE_FUNCS[gtype](values[in1], values[in2])
+    return values
+
+
+def build_circuit(
+    n_inputs: int = 6, n_levels: int = 8, gates_per_level: int = 6, seed: int = 19
+) -> BenchmarkWorkload:
+    """Random layered circuit workload."""
+    input_names, gates = generate_circuit(n_inputs, n_levels, gates_per_level, seed)
+    rng = random.Random(seed + 1)
+    input_values = {name: rng.randint(0, 1) for name in input_names}
+    expected = _evaluate_reference(input_values, gates)
+
+    def setup(engine) -> None:
+        for gtype, fn in sorted(GATE_FUNCS.items()):
+            for a in (0, 1):
+                for b in (0, 1):
+                    engine.make("tt", type=gtype, a=a, b=b, out=fn(a, b))
+        for a in (0, 1):
+            engine.make("ttn", a=a, out=1 - a)
+        for gid, gtype, in1, in2, out in gates:
+            engine.make("gate", id=gid, type=gtype, in1=in1, in2=in2, out=out)
+        for name, value in input_values.items():
+            engine.make("wire", id=name, value=value)
+
+    def verify(wm: WorkingMemory) -> Dict[str, bool]:
+        got = {w.get("id"): w.get("value") for w in wm.by_class("wire")}
+        return {
+            "all-wires-settled": set(got) == set(expected),
+            "values-match-reference": got == expected,
+            "one-value-per-wire": len(got) == wm.count_class("wire"),
+        }
+
+    all_wires = sorted(expected)
+    return BenchmarkWorkload(
+        name="circuit",
+        description=f"logic simulation, {len(gates)} gates in {n_levels} levels",
+        program=circuit_program(),
+        setup=setup,
+        verify=verify,
+        params={
+            "n_inputs": n_inputs,
+            "n_levels": n_levels,
+            "gates_per_level": gates_per_level,
+            "seed": seed,
+        },
+        domains={("wire", "id"): all_wires, ("gate", "id"): [g[0] for g in gates]},
+        cc_hint=("eval-gate", 1, "id"),
+    )

@@ -1,0 +1,99 @@
+"""Monkey and bananas — the classic OPS5 planning demo.
+
+A deliberately *sequential* workload: each cycle exactly one rule is
+applicable (walk to the ladder → push it under the bananas → climb →
+grab), so PARULEL gains nothing over OPS5 here — it anchors the bottom of
+Table 2 (speedup ≈ 1) and exercises the MEA strategy's natural habitat
+(the goal element leads every rule).
+
+Fixed initial state: monkey at ``c1`` on the floor holding nothing, ladder
+at ``c5``, bananas hanging at ``c7``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.lang.builder import ProgramBuilder, conj, ne, v
+from repro.programs.base import BenchmarkWorkload
+from repro.wm.memory import WorkingMemory
+
+__all__ = ["build_monkey", "monkey_program"]
+
+
+def monkey_program():
+    pb = ProgramBuilder()
+    pb.literalize("goal", "action", "object", "status")
+    pb.literalize("monkey", "at", "on", "holds")
+    pb.literalize("thing", "name", "at")
+
+    (
+        pb.rule("walk-to-ladder")
+        .ce("goal", action="grab", object="bananas", status="active")
+        .ce("monkey", at=v("m"), on="floor", holds="nil")
+        .ce("thing", name="ladder", at=conj(v("l"), ne(v("m"))))
+        .modify(2, at=v("l"))
+        .write("monkey walks to", v("l"))
+    )
+    (
+        pb.rule("push-ladder")
+        .ce("goal", action="grab", object="bananas", status="active")
+        .ce("thing", name="ladder", at=v("l"))
+        .ce("monkey", at=v("l"), on="floor", holds="nil")
+        .ce("thing", name="bananas", at=conj(v("b"), ne(v("l"))))
+        .modify(2, at=v("b"))
+        .modify(3, at=v("b"))
+        .write("monkey pushes ladder to", v("b"))
+    )
+    (
+        pb.rule("climb")
+        .ce("goal", action="grab", object="bananas", status="active")
+        .ce("thing", name="bananas", at=v("b"))
+        .ce("thing", name="ladder", at=v("b"))
+        .ce("monkey", at=v("b"), on="floor")
+        .modify(4, on="ladder")
+        .write("monkey climbs the ladder")
+    )
+    (
+        pb.rule("grab")
+        .ce("goal", action="grab", object="bananas", status="active")
+        .ce("thing", name="bananas", at=v("b"))
+        .ce("monkey", at=v("b"), on="ladder", holds="nil")
+        .modify(3, holds="bananas")
+        .modify(1, status="satisfied")
+        .write("monkey grabs the bananas")
+        .halt()
+    )
+    return pb.build()
+
+
+def build_monkey() -> BenchmarkWorkload:
+    """The fixed four-step monkey-and-bananas scenario."""
+
+    def setup(engine) -> None:
+        engine.make("goal", action="grab", object="bananas", status="active")
+        engine.make("monkey", at="c1", on="floor", holds="nil")
+        engine.make("thing", name="ladder", at="c5")
+        engine.make("thing", name="bananas", at="c7")
+
+    def verify(wm: WorkingMemory) -> Dict[str, bool]:
+        monkeys = wm.by_class("monkey")
+        goals = wm.by_class("goal")
+        return {
+            "monkey-holds-bananas": bool(monkeys)
+            and monkeys[0].get("holds") == "bananas",
+            "goal-satisfied": bool(goals) and goals[0].get("status") == "satisfied",
+            "monkey-on-ladder-under-bananas": bool(monkeys)
+            and monkeys[0].get("at") == "c7",
+        }
+
+    return BenchmarkWorkload(
+        name="monkey",
+        description="monkey and bananas (sequential planning chain)",
+        program=monkey_program(),
+        setup=setup,
+        verify=verify,
+        params={},
+        domains={},
+        cc_hint=None,
+    )

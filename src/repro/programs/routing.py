@@ -1,0 +1,194 @@
+"""Single-source shortest paths (Bellman–Ford) — aggregation by redaction.
+
+Shortest path needs a *minimum* — an aggregate classic production systems
+struggle with. The PARULEL idiom: relax every edge in parallel into
+candidate facts, and let **meta-rules pick the minimum declaratively** by
+redacting dominated candidates before they fire. Working-memory classes::
+
+    (edge ^src ^dst ^w)      the weighted graph
+    (dist ^node ^cost)       current best-known distance (one per node)
+    (cand ^node ^cost)       a relaxation proposal
+
+Object rules:
+
+``relax``
+    ``dist(n, c)`` + ``edge(n, m, w)`` ⇒ ``cand(m, c + w)`` — fires for the
+    whole frontier at once (refraction keeps each (dist, edge) pair from
+    re-proposing);
+``seed-dist``
+    a candidate for a node with no distance yet becomes its first ``dist``;
+``improve``
+    a candidate cheaper than the node's current ``dist`` overwrites it;
+``discard``
+    a candidate no cheaper than the current ``dist`` is dropped.
+
+Meta-rules (the aggregation):
+
+``seed-min-cost`` / ``seed-tie-break``
+    of several first-candidates for one node, only the cheapest (lowest id
+    on ties) may seed — otherwise two ``dist`` WMEs for one node would be
+    made in the same cycle;
+``improve-min-cost``
+    of several improvements to one node, only the cheapest fires —
+    otherwise two modifies of one WME would interfere (the engine's
+    ``error`` policy would abort; run with the meta-rules removed to see
+    exactly that, which is what ``tests/programs/test_routing.py`` does).
+
+Under PARULEL the run takes O(graph depth) relaxation waves; under OPS5
+every relax/seed/improve/discard is its own cycle. Ground truth:
+``networkx.single_source_dijkstra_path_length``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.lang.builder import ProgramBuilder, compute, conj, gt, le, lt, ne, v
+from repro.programs.base import BenchmarkWorkload
+from repro.wm.memory import WorkingMemory
+
+__all__ = ["build_routing", "routing_program", "generate_weighted_graph"]
+
+
+def routing_program(with_meta_rules: bool = True):
+    pb = ProgramBuilder()
+    pb.literalize("edge", "src", "dst", "w")
+    pb.literalize("dist", "node", "cost")
+    pb.literalize("cand", "node", "cost")
+
+    (
+        pb.rule("relax")
+        .ce("dist", node=v("n"), cost=v("c"))
+        .ce("edge", src=v("n"), dst=v("m"), w=v("w"))
+        .make("cand", node=v("m"), cost=compute(v("c"), "+", v("w")))
+    )
+    (
+        pb.rule("seed-dist")
+        .ce("cand", node=v("m"), cost=v("cc"))
+        .neg("dist", node=v("m"))
+        .make("dist", node=v("m"), cost=v("cc"))
+        .remove(1)
+    )
+    (
+        pb.rule("improve")
+        .ce("cand", node=v("m"), cost=v("cc"))
+        .ce("dist", node=v("m"), cost=gt(v("cc")))
+        .modify(2, cost=v("cc"))
+        .remove(1)
+    )
+    (
+        pb.rule("discard")
+        .ce("cand", node=v("m"), cost=v("cc"))
+        .ce("dist", node=v("m"), cost=le(v("cc")))
+        .remove(1)
+    )
+
+    if with_meta_rules:
+        (
+            pb.meta_rule("seed-min-cost")
+            .ce("instantiation", rule="seed-dist", id=v("i"), m=v("node"), cc=v("c1"))
+            .ce(
+                "instantiation",
+                rule="seed-dist",
+                id=conj(v("j"), ne(v("i"))),
+                m=v("node"),
+                cc=gt(v("c1")),
+            )
+            .redact(v("j"))
+        )
+        (
+            pb.meta_rule("seed-tie-break")
+            .ce("instantiation", rule="seed-dist", id=v("i"), m=v("node"), cc=v("c1"))
+            .ce(
+                "instantiation",
+                rule="seed-dist",
+                id=conj(v("j"), gt(v("i"))),
+                m=v("node"),
+                cc=v("c1"),
+            )
+            .redact(v("j"))
+        )
+        (
+            pb.meta_rule("improve-min-cost")
+            .ce("instantiation", rule="improve", id=v("i"), m=v("node"), cc=v("c1"))
+            .ce(
+                "instantiation",
+                rule="improve",
+                id=conj(v("j"), ne(v("i"))),
+                m=v("node"),
+                cc=gt(v("c1")),
+            )
+            .redact(v("j"))
+        )
+    return pb.build()
+
+
+def generate_weighted_graph(
+    n_nodes: int, extra_edges: int, seed: int
+) -> List[Tuple[int, int, int]]:
+    """A connected weighted digraph: a random chain plus random shortcuts.
+
+    Deterministic for a given seed. Weights in 1..9.
+    """
+    rng = random.Random(seed)
+    order = list(range(1, n_nodes))
+    rng.shuffle(order)
+    edges: List[Tuple[int, int, int]] = []
+    reached = [0]
+    for node in order:  # spanning structure: every node reachable from 0
+        parent = rng.choice(reached)
+        edges.append((parent, node, rng.randint(1, 9)))
+        reached.append(node)
+    seen = {(a, b) for a, b, _ in edges}
+    attempts = 0
+    while len(edges) < n_nodes - 1 + extra_edges and attempts < extra_edges * 20:
+        attempts += 1
+        a, b = rng.randrange(n_nodes), rng.randrange(n_nodes)
+        if a == b or (a, b) in seen:
+            continue
+        seen.add((a, b))
+        edges.append((a, b, rng.randint(1, 9)))
+    return edges
+
+
+def build_routing(
+    n_nodes: int = 14, extra_edges: int = 14, seed: int = 23
+) -> BenchmarkWorkload:
+    """Shortest paths from node ``n0`` over a generated weighted digraph."""
+    edges = generate_weighted_graph(n_nodes, extra_edges, seed)
+
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(n_nodes))
+    graph.add_weighted_edges_from(edges)
+    expected = {
+        f"n{node}": int(cost)
+        for node, cost in nx.single_source_dijkstra_path_length(graph, 0).items()
+    }
+
+    def setup(engine) -> None:
+        engine.make("dist", node="n0", cost=0)
+        for a, b, w in edges:
+            engine.make("edge", src=f"n{a}", dst=f"n{b}", w=w)
+
+    def verify(wm: WorkingMemory) -> Dict[str, bool]:
+        got = {w.get("node"): w.get("cost") for w in wm.by_class("dist")}
+        return {
+            "distances-match-dijkstra": got == expected,
+            "one-dist-per-node": len(got) == wm.count_class("dist"),
+            "no-leftover-candidates": wm.count_class("cand") == 0,
+        }
+
+    return BenchmarkWorkload(
+        name="routing",
+        description=f"Bellman-Ford shortest paths, {n_nodes} nodes, "
+        f"{len(edges)} weighted edges",
+        program=routing_program(),
+        setup=setup,
+        verify=verify,
+        params={"n_nodes": n_nodes, "extra_edges": extra_edges, "seed": seed},
+        domains={("cand", "node"): [f"n{i}" for i in range(n_nodes)]},
+        cc_hint=("relax", 2, "src"),
+    )

@@ -1,0 +1,119 @@
+"""Prime sieve — rule-level parallelism across independent markers.
+
+For every discovered prime ``p`` a *marker* WME walks the multiples
+``p², p²+p, …`` of ``p``, asserting ``composite`` facts; a ``promote`` rule
+declares a number prime when its turn comes and no composite fact covers
+it. Markers for different primes are independent, so PARULEL advances all
+of them in one cycle — a different parallelism shape from tc/waltz (many
+long-lived concurrent activities rather than one wide frontier).
+
+Working-memory classes::
+
+    (number  ^n i)                 the candidates 2..limit
+    (cursor  ^n i)                 the scan position for prime promotion
+    (prime   ^p i)
+    (composite ^n i)
+    (marker  ^p i ^next m)         the sieve marker for prime i
+
+Rule inventory: ``promote`` (cursor hits a non-composite ⇒ prime + marker),
+``skip`` (cursor hits a composite ⇒ advance), ``mark`` (marker stamps its
+current multiple and advances), ``retire-marker`` (marker past the limit),
+``done`` (cursor past the limit ⇒ halt).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.lang.builder import ProgramBuilder, compute, conj, gt, le, v
+from repro.programs.base import BenchmarkWorkload
+from repro.wm.memory import WorkingMemory
+
+__all__ = ["build_sieve", "sieve_program", "primes_below"]
+
+
+def primes_below(limit: int) -> List[int]:
+    """Ground truth: primes ≤ limit by a plain Python sieve."""
+    flags = [True] * (limit + 1)
+    flags[0:2] = [False, False]
+    for p in range(2, int(limit**0.5) + 1):
+        if flags[p]:
+            for m in range(p * p, limit + 1, p):
+                flags[m] = False
+    return [i for i, f in enumerate(flags) if f]
+
+
+def sieve_program(limit: int):
+    pb = ProgramBuilder()
+    pb.literalize("cursor", "n")
+    pb.literalize("prime", "p")
+    pb.literalize("composite", "n")
+    pb.literalize("marker", "p", "next")
+
+    (
+        pb.rule("promote")
+        .ce("cursor", n=conj(v("i"), le(limit)))
+        .neg("composite", n=v("i"))
+        .make("prime", p=v("i"))
+        .make("marker", p=v("i"), next=compute(v("i"), "*", v("i")))
+        .modify(1, n=compute(v("i"), "+", 1))
+    )
+    (
+        pb.rule("skip")
+        .ce("cursor", n=conj(v("i"), le(limit)))
+        .ce("composite", n=v("i"))
+        .modify(1, n=compute(v("i"), "+", 1))
+    )
+    (
+        pb.rule("mark")
+        .ce("marker", p=v("p"), next=conj(v("m"), le(limit)))
+        .neg("composite", n=v("m"))
+        .make("composite", n=v("m"))
+        .modify(1, next=compute(v("m"), "+", v("p")))
+    )
+    (
+        pb.rule("mark-known")
+        .ce("marker", p=v("p"), next=conj(v("m"), le(limit)))
+        .ce("composite", n=v("m"))
+        .modify(1, next=compute(v("m"), "+", v("p")))
+    )
+    (
+        pb.rule("retire-marker")
+        .ce("marker", next=gt(limit))
+        .remove(1)
+    )
+    (
+        pb.rule("done")
+        .ce("cursor", n=gt(limit))
+        .remove(1)
+    )
+    return pb.build()
+
+
+def build_sieve(limit: int = 60) -> BenchmarkWorkload:
+    """Sieve of Eratosthenes up to ``limit``."""
+    expected = set(primes_below(limit))
+
+    def setup(engine) -> None:
+        engine.make("cursor", n=2)
+
+    def verify(wm: WorkingMemory) -> Dict[str, bool]:
+        primes = {w.get("p") for w in wm.by_class("prime")}
+        composites = {w.get("n") for w in wm.by_class("composite")}
+        return {
+            "primes-exact": primes == expected,
+            "no-prime-marked-composite": not (primes & composites),
+            "all-retired": wm.count_class("marker") == 0
+            and wm.count_class("cursor") == 0,
+        }
+
+    return BenchmarkWorkload(
+        name="sieve",
+        description=f"prime sieve to {limit} via per-prime markers",
+        program=sieve_program(limit),
+        setup=setup,
+        verify=verify,
+        params={"limit": limit},
+        domains={("marker", "p"): primes_below(limit)},
+        cc_hint=("mark", 1, "p"),
+    )

@@ -1,0 +1,158 @@
+"""Odd-even transposition sort — parallel firing with disjoint updates.
+
+Items occupy positions 0..n-1; a swap rule exchanges the *values* of an
+adjacent out-of-order pair. Two variants:
+
+**Phase-based** (:func:`build_sort`) — the textbook parallel algorithm: a
+``phase`` WME alternates between ``even`` and ``odd``; only pairs of the
+current parity may swap, so every firing in a cycle touches disjoint items
+and the set-oriented semantics is interference-free by construction. The
+``advance`` rule ticks the phase each cycle (firing alongside the swaps —
+they only *read* the phase) and halts after n rounds, by which point
+odd-even transposition sort is guaranteed complete. PARULEL sorts in
+Θ(n) cycles with Θ(n) parallel swaps per cycle; OPS5 needs one cycle per
+swap — Θ(n²) (Table 2's strongest contrast).
+
+**Meta-rule variant** (:func:`build_sort_meta`) — no phases: *every*
+out-of-order adjacent pair is proposed, and overlapping proposals (sharing
+an item) would interfere; the ``independent-swaps`` meta-rule redacts any
+swap whose left index is one more than another proposed swap's left index,
+i.e. keeps a maximal set of non-overlapping swaps greedily from the left.
+This is the paper's motivating use of redaction: turning a conflicting
+candidate set into a safe parallel firing set declaratively.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.lang.builder import ProgramBuilder, compute, conj, lt, ne, v
+from repro.programs.base import BenchmarkWorkload
+from repro.wm.memory import WorkingMemory
+
+__all__ = ["build_sort", "build_sort_meta", "sort_program"]
+
+
+def sort_program(n_items: int):
+    pb = ProgramBuilder()
+    pb.literalize("item", "pos", "val")
+    pb.literalize("pair", "left", "right", "parity")
+    pb.literalize("phase", "parity", "round")
+
+    (
+        pb.rule("swap")
+        .ce("phase", parity=v("par"))
+        .ce("pair", left=v("i"), right=v("j"), parity=v("par"))
+        .ce("item", pos=v("i"), val=v("x"))
+        .ce("item", pos=v("j"), val=conj(v("y"), lt(v("x"))))
+        .modify(3, val=v("y"))
+        .modify(4, val=v("x"))
+    )
+    (
+        pb.rule("advance", salience=-1)
+        .ce("phase", parity="even", round=conj(v("r"), lt(n_items)))
+        .modify(1, parity="odd", round=compute(v("r"), "+", 1))
+    )
+    (
+        pb.rule("advance-odd", salience=-1)
+        .ce("phase", parity="odd", round=conj(v("r"), lt(n_items)))
+        .modify(1, parity="even", round=compute(v("r"), "+", 1))
+    )
+    (
+        pb.rule("finish")
+        .ce("phase", round=n_items)
+        .remove(1)
+    )
+    return pb.build()
+
+
+def build_sort(n_items: int = 24, seed: int = 3) -> BenchmarkWorkload:
+    """Phase-based odd-even transposition sort of a shuffled permutation."""
+    rng = random.Random(seed)
+    values = list(range(n_items))
+    rng.shuffle(values)
+
+    def setup(engine) -> None:
+        engine.make("phase", parity="even", round=0)
+        for i in range(n_items - 1):
+            engine.make(
+                "pair", left=i, right=i + 1, parity="even" if i % 2 == 0 else "odd"
+            )
+        for i, val in enumerate(values):
+            engine.make("item", pos=i, val=val)
+
+    def verify(wm: WorkingMemory) -> Dict[str, bool]:
+        items = sorted(wm.by_class("item"), key=lambda w: w.get("pos"))
+        vals = [w.get("val") for w in items]
+        return {
+            "sorted": vals == sorted(values),
+            "is-permutation": sorted(vals) == sorted(values),
+            "phase-retired": wm.count_class("phase") == 0,
+        }
+
+    return BenchmarkWorkload(
+        name="sort",
+        description=f"odd-even transposition sort, {n_items} items (phased)",
+        program=sort_program(n_items),
+        setup=setup,
+        verify=verify,
+        params={"n_items": n_items, "seed": seed},
+        domains={("item", "pos"): list(range(n_items))},
+        cc_hint=("swap", 3, "pos"),
+    )
+
+
+def build_sort_meta(n_items: int = 12, seed: int = 5) -> BenchmarkWorkload:
+    """Meta-rule-arbitrated sort: redaction resolves overlapping swaps."""
+    pb = ProgramBuilder()
+    pb.literalize("item", "pos", "val")
+    pb.literalize("pair", "left", "right")
+    (
+        pb.rule("swap")
+        .ce("pair", left=v("i"), right=v("j"))
+        .ce("item", pos=v("i"), val=v("x"))
+        .ce("item", pos=v("j"), val=conj(v("y"), lt(v("x"))))
+        .modify(2, val=v("y"))
+        .modify(3, val=v("x"))
+    )
+    # Two proposed swaps conflict iff they share an item, i.e. their left
+    # indices differ by exactly 1. Redact the RIGHT one of any adjacent
+    # conflicting pair; the meta fixpoint then re-admits nothing (redaction
+    # is conservative: left-most swaps of each conflict chain survive).
+    (
+        pb.meta_rule("drop-right-neighbour")
+        .ce("instantiation", rule="swap", id=v("a"), i=v("p"), j=v("q"))
+        .ce("instantiation", rule="swap", id=v("b"), i=v("q"))
+        .redact(v("b"))
+    )
+    program = pb.build()
+
+    rng = random.Random(seed)
+    values = list(range(n_items))
+    rng.shuffle(values)
+
+    def setup(engine) -> None:
+        for i in range(n_items - 1):
+            engine.make("pair", left=i, right=i + 1)
+        for i, val in enumerate(values):
+            engine.make("item", pos=i, val=val)
+
+    def verify(wm: WorkingMemory) -> Dict[str, bool]:
+        items = sorted(wm.by_class("item"), key=lambda w: w.get("pos"))
+        vals = [w.get("val") for w in items]
+        return {
+            "sorted": vals == sorted(values),
+            "is-permutation": sorted(vals) == sorted(values),
+        }
+
+    return BenchmarkWorkload(
+        name="sort-meta",
+        description=f"meta-rule-arbitrated transposition sort, {n_items} items",
+        program=program,
+        setup=setup,
+        verify=verify,
+        params={"n_items": n_items, "seed": seed},
+        domains={("item", "pos"): list(range(n_items))},
+        cc_hint=("swap", 2, "pos"),
+    )

@@ -1,0 +1,132 @@
+"""Synthetic match workloads for the engine-comparison experiments.
+
+Two generators, both *pure match* (their conflict sets are inspected, the
+rules never need to fire):
+
+:func:`build_join_workload` (Figure 3)
+    ``n_rules`` two-way equijoin rules over class pairs, loaded with
+    ``n_wmes`` per class at a controllable selectivity. Used to measure
+    per-cycle match cost of RETE / TREAT / naive as WM size grows.
+
+:func:`build_churn_workload` (Ablation A2)
+    a long join chain with high working-memory turnover: each churn step
+    retracts and re-asserts a block of WMEs. RETE pays beta-memory
+    maintenance on every change; TREAT recomputes seeded joins but carries
+    no beta state — the classic trade Miranker measured.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Tuple
+
+from repro.lang.ast import Program
+from repro.lang.builder import ProgramBuilder, v
+from repro.wm.memory import WorkingMemory
+from repro.wm.template import TemplateRegistry
+
+__all__ = ["build_join_workload", "build_churn_workload", "JoinWorkload", "ChurnWorkload"]
+
+
+class JoinWorkload:
+    """A match-only program plus loaders for Figure 3."""
+
+    def __init__(self, program: Program, load: Callable[[WorkingMemory, int], None]):
+        self.program = program
+        self.load = load
+
+    def fresh_wm(self) -> WorkingMemory:
+        return WorkingMemory(TemplateRegistry.from_program(self.program))
+
+
+def build_join_workload(
+    n_rules: int = 4, n_keys: int = 50, seed: int = 13
+) -> JoinWorkload:
+    """``n_rules`` independent equijoins ``left_i ⋈ right_i`` on ``key``.
+
+    ``load(wm, n_wmes)`` asserts ``n_wmes`` WMEs per class with keys drawn
+    uniformly from ``n_keys`` values — expected join output per rule is
+    ``n_wmes²/n_keys``.
+    """
+    pb = ProgramBuilder()
+    for r in range(n_rules):
+        pb.literalize(f"left{r}", "key", "payload")
+        pb.literalize(f"right{r}", "key", "payload")
+        pb.literalize(f"out{r}", "key")
+        (
+            pb.rule(f"join{r}")
+            .ce(f"left{r}", key=v("k"), payload=v("p"))
+            .ce(f"right{r}", key=v("k"), payload=v("q"))
+            .make(f"out{r}", key=v("k"))
+        )
+    program = pb.build()
+
+    def load(wm: WorkingMemory, n_wmes: int) -> None:
+        rng = random.Random(seed)
+        for r in range(n_rules):
+            for i in range(n_wmes):
+                wm.make(f"left{r}", key=rng.randrange(n_keys), payload=i)
+            for i in range(n_wmes):
+                wm.make(f"right{r}", key=rng.randrange(n_keys), payload=i)
+
+    return JoinWorkload(program, load)
+
+
+class ChurnWorkload:
+    """A chain-join program plus a churn driver for Ablation A2."""
+
+    def __init__(
+        self,
+        program: Program,
+        load: Callable[[WorkingMemory], List],
+        churn: Callable[[WorkingMemory, List, int], List],
+    ):
+        self.program = program
+        self.load = load
+        self.churn = churn
+
+    def fresh_wm(self) -> WorkingMemory:
+        return WorkingMemory(TemplateRegistry.from_program(self.program))
+
+
+def build_churn_workload(
+    chain_length: int = 4, n_entities: int = 30, seed: int = 17
+) -> ChurnWorkload:
+    """A ``chain_length``-way join ``stage0 ⋈ stage1 ⋈ …`` over entity ids.
+
+    ``load(wm)`` asserts one WME per (stage, entity) and returns the
+    stage-0 WMEs; ``churn(wm, block, step)`` retracts the given stage-0
+    block and re-asserts it with fresh timestamps, returning the new block
+    — the delete/re-add turnover TREAT is built for.
+    """
+    pb = ProgramBuilder()
+    for s in range(chain_length):
+        pb.literalize(f"stage{s}", "ent", "tag")
+    pb.literalize("hit", "ent")
+    rb = pb.rule("chain")
+    for s in range(chain_length):
+        rb.ce(f"stage{s}", ent=v("e"), tag=v(f"t{s}"))
+    rb.make("hit", ent=v("e"))
+    program = pb.build()
+
+    def load(wm: WorkingMemory) -> List:
+        rng = random.Random(seed)
+        block = []
+        for s in range(chain_length):
+            for e in range(n_entities):
+                wme = wm.make(f"stage{s}", ent=e, tag=rng.randrange(5))
+                if s == 0:
+                    block.append(wme)
+        return block
+
+    def churn(wm: WorkingMemory, block: List, step: int) -> List:
+        new_block = []
+        for wme in block:
+            wm.remove(wme)
+        for wme in block:
+            new_block.append(
+                wm.make("stage0", ent=wme.get("ent"), tag=(step + wme.get("tag")) % 5)
+            )
+        return new_block
+
+    return ChurnWorkload(program, load, churn)

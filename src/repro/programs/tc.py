@@ -1,0 +1,115 @@
+"""Transitive closure — the cleanest set-oriented-firing workload.
+
+Two rules derive ``path`` facts from ``edge`` facts::
+
+    (p tc-init   (edge a b), no path a b          -> make path a b)
+    (p tc-extend (path a b), (edge b c), no path a c -> make path a c)
+
+Under OPS5 each derived path costs one sequential cycle; under PARULEL the
+whole frontier fires per cycle, so cycles ≈ graph diameter while firings
+stay equal — the Table 2 headline. The ``tc-extend`` join is also the
+canonical copy-and-constrain target (Figure 2): partition on ``^src``.
+
+Graph shapes: ``chain`` (n edges, diameter n), ``cycle``, ``tree`` (binary),
+``random`` (Erdős–Rényi via a seeded RNG). Ground truth comes from
+:mod:`networkx` transitive closure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+import networkx as nx
+
+from repro.lang.builder import ProgramBuilder, v
+from repro.programs.base import BenchmarkWorkload
+from repro.wm.memory import WorkingMemory
+
+__all__ = ["build_tc", "tc_program", "generate_graph"]
+
+
+def tc_program():
+    """The two-rule transitive-closure program."""
+    pb = ProgramBuilder()
+    pb.literalize("edge", "src", "dst")
+    pb.literalize("path", "src", "dst")
+    (
+        pb.rule("tc-init")
+        .ce("edge", src=v("a"), dst=v("b"))
+        .neg("path", src=v("a"), dst=v("b"))
+        .make("path", src=v("a"), dst=v("b"))
+    )
+    (
+        pb.rule("tc-extend")
+        .ce("path", src=v("a"), dst=v("b"))
+        .ce("edge", src=v("b"), dst=v("c"))
+        .neg("path", src=v("a"), dst=v("c"))
+        .make("path", src=v("a"), dst=v("c"))
+    )
+    return pb.build()
+
+
+def generate_graph(n_nodes: int, shape: str, seed: int = 7, density: float = 0.12) -> List[Tuple[int, int]]:
+    """Deterministic edge list for the requested shape."""
+    if shape == "chain":
+        return [(i, i + 1) for i in range(n_nodes - 1)]
+    if shape == "cycle":
+        return [(i, (i + 1) % n_nodes) for i in range(n_nodes)]
+    if shape == "tree":
+        return [(i, 2 * i + 1) for i in range(n_nodes) if 2 * i + 1 < n_nodes] + [
+            (i, 2 * i + 2) for i in range(n_nodes) if 2 * i + 2 < n_nodes
+        ]
+    if shape == "random":
+        rng = random.Random(seed)
+        edges = []
+        for a in range(n_nodes):
+            for b in range(n_nodes):
+                if a != b and rng.random() < density:
+                    edges.append((a, b))
+        return edges
+    raise ValueError(f"unknown graph shape {shape!r}")
+
+
+def build_tc(
+    n_nodes: int = 24, shape: str = "chain", seed: int = 7, density: float = 0.12
+) -> BenchmarkWorkload:
+    """Transitive-closure workload over a generated graph."""
+    edges = generate_graph(n_nodes, shape, seed, density)
+    node_names = [f"n{i}" for i in range(n_nodes)]
+
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(n_nodes))
+    graph.add_edges_from(edges)
+    # Non-reflexive transitive closure: (a, b) iff a path of length >= 1
+    # exists — including (a, a) when a lies on a cycle, exactly what the
+    # rules derive (nx.descendants would wrongly drop those self-paths).
+    closed = nx.transitive_closure(graph, reflexive=False)
+    closure: Set[Tuple[str, str]] = {
+        (f"n{a}", f"n{b}") for a, b in closed.edges
+    }
+
+    def setup(engine) -> None:
+        for a, b in edges:
+            engine.make("edge", src=f"n{a}", dst=f"n{b}")
+
+    def verify(wm: WorkingMemory) -> Dict[str, bool]:
+        derived = {
+            (wme.get("src"), wme.get("dst")) for wme in wm.by_class("path")
+        }
+        return {
+            "paths-match-networkx-closure": derived == closure,
+            "no-duplicate-paths": len(derived) == wm.count_class("path"),
+        }
+
+    return BenchmarkWorkload(
+        name="tc",
+        description=f"transitive closure, {shape} graph, {n_nodes} nodes, "
+        f"{len(edges)} edges",
+        program=tc_program(),
+        setup=setup,
+        verify=verify,
+        params={"n_nodes": n_nodes, "shape": shape, "seed": seed, "density": density},
+        domains={("path", "src"): node_names, ("edge", "src"): node_names},
+        cc_hint=("tc-extend", 1, "src"),
+    )

@@ -1,0 +1,126 @@
+"""Waltz-style constraint-label propagation over replicated drawings.
+
+The classic Waltz line-labeling benchmark (as used throughout the parallel
+production-system literature) replicates a base line drawing n times and
+propagates edge labels from seeded boundary lines through junction
+constraints — a *wave* of inference per drawing. This module reproduces
+that shape with a simplified junction dictionary:
+
+- each drawing is a chain of two-line junctions (L-junctions);
+- the dictionary ``ldict(type, v1 → v2)`` gives, for each junction type and
+  incoming label, the unique outgoing label (the functional subset of
+  Waltz's L-junction table: ``+ → -``, ``- → +``, ``left → right``,
+  ``right → left`` for type ``L``; identity for type ``T``);
+- the seed labels the first line of every chain, and the single
+  ``propagate`` rule pushes labels junction by junction.
+
+Under OPS5 one line is labeled per cycle (n_drawings × chain_length
+firings ⇒ as many cycles); under PARULEL every drawing's frontier advances
+each cycle, so cycles ≈ chain_length regardless of n_drawings — data
+parallelism across drawings, the Figure 1 shape.
+
+The simplification relative to full Waltz (multi-label sets with pruning)
+is documented in DESIGN.md: full Waltz needs "no supporting combination
+exists" tests — conjunctive negation — which OPS5-class languages (and the
+original benchmark program) also avoided by constructive propagation, which
+is exactly what we implement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.lang.builder import ProgramBuilder, v
+from repro.programs.base import BenchmarkWorkload
+from repro.wm.memory import WorkingMemory
+
+__all__ = ["build_waltz", "waltz_program", "LDICT"]
+
+#: Junction dictionary: (junction type, incoming label) -> outgoing label.
+LDICT: Dict[tuple, str] = {
+    ("L", "plus"): "minus",
+    ("L", "minus"): "plus",
+    ("L", "left"): "right",
+    ("L", "right"): "left",
+    ("T", "plus"): "plus",
+    ("T", "minus"): "minus",
+    ("T", "left"): "left",
+    ("T", "right"): "right",
+}
+
+#: The label each chain's first line is seeded with.
+SEED_LABEL = "plus"
+
+
+def waltz_program():
+    """Single propagation rule over junctions + the dictionary in WM."""
+    pb = ProgramBuilder()
+    pb.literalize("junction", "id", "type", "line-in", "line-out")
+    pb.literalize("labeled", "line", "value")
+    pb.literalize("ldict", "type", "v-in", "v-out")
+    (
+        pb.rule("propagate")
+        .ce("junction", type=v("t"), line_in=v("lin"), line_out=v("lout"))
+        .ce("labeled", line=v("lin"), value=v("vin"))
+        .ce("ldict", type=v("t"), v_in=v("vin"), v_out=v("vout"))
+        .neg("labeled", line=v("lout"))
+        .make("labeled", line=v("lout"), value=v("vout"))
+    )
+    return pb.build()
+
+
+def _expected_labels(n_drawings: int, chain_length: int) -> Dict[str, str]:
+    """Ground truth by direct simulation of the dictionary."""
+    expected: Dict[str, str] = {}
+    for d in range(n_drawings):
+        label = SEED_LABEL
+        expected[f"d{d}-l0"] = label
+        for j in range(chain_length):
+            jtype = "L" if j % 2 == 0 else "T"
+            label = LDICT[(jtype, label)]
+            expected[f"d{d}-l{j + 1}"] = label
+    return expected
+
+
+def build_waltz(n_drawings: int = 8, chain_length: int = 12) -> BenchmarkWorkload:
+    """``n_drawings`` replicated chains of ``chain_length`` junctions."""
+    expected = _expected_labels(n_drawings, chain_length)
+    line_names = sorted(expected)
+
+    def setup(engine) -> None:
+        for jtype, vin in sorted(LDICT):
+            engine.make(
+                "ldict", {"type": jtype, "v-in": vin, "v-out": LDICT[(jtype, vin)]}
+            )
+        for d in range(n_drawings):
+            for j in range(chain_length):
+                engine.make(
+                    "junction",
+                    {
+                        "id": f"d{d}-j{j}",
+                        "type": "L" if j % 2 == 0 else "T",
+                        "line-in": f"d{d}-l{j}",
+                        "line-out": f"d{d}-l{j + 1}",
+                    },
+                )
+            engine.make("labeled", line=f"d{d}-l0", value=SEED_LABEL)
+
+    def verify(wm: WorkingMemory) -> Dict[str, bool]:
+        got = {w.get("line"): w.get("value") for w in wm.by_class("labeled")}
+        return {
+            "all-lines-labeled": set(got) == set(expected),
+            "labels-match-dictionary": got == expected,
+            "one-label-per-line": len(got) == wm.count_class("labeled"),
+        }
+
+    return BenchmarkWorkload(
+        name="waltz",
+        description=f"waltz-style label propagation, {n_drawings} drawings × "
+        f"{chain_length} junctions",
+        program=waltz_program(),
+        setup=setup,
+        verify=verify,
+        params={"n_drawings": n_drawings, "chain_length": chain_length},
+        domains={("labeled", "line"): line_names},
+        cc_hint=("propagate", 2, "line"),
+    )

@@ -1,0 +1,60 @@
+"""Content-level diffs between working memories.
+
+Timestamps are run state, so comparisons use each WME's
+:meth:`~repro.wm.wme.WME.content_key` with multiplicity: two same-content
+WMEs count twice. Useful for "what did this cycle actually change" tooling
+and for tests comparing engines that assign different timestamps.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+from repro.wm.memory import WorkingMemory
+from repro.wm.wme import WME
+
+__all__ = ["WMDiff", "diff_wm"]
+
+
+def _content_counts(wmes: Iterable[WME]) -> Counter:
+    return Counter(w.content_key() for w in wmes)
+
+
+@dataclass
+class WMDiff:
+    """Multiset difference between two memories (``before`` → ``after``)."""
+
+    #: Content keys present more often in ``after`` (with multiplicity).
+    added: List[tuple] = field(default_factory=list)
+    #: Content keys present more often in ``before``.
+    removed: List[tuple] = field(default_factory=list)
+
+    @property
+    def unchanged(self) -> bool:
+        return not self.added and not self.removed
+
+    def summary(self) -> str:
+        if self.unchanged:
+            return "working memories are content-identical"
+        lines = []
+        for class_name, attrs in sorted(self.removed):
+            inner = " ".join(f"^{a} {v!r}" for a, v in attrs)
+            lines.append(f"- ({class_name} {inner})".rstrip())
+        for class_name, attrs in sorted(self.added):
+            inner = " ".join(f"^{a} {v!r}" for a, v in attrs)
+            lines.append(f"+ ({class_name} {inner})".rstrip())
+        return "\n".join(lines)
+
+
+def diff_wm(before: WorkingMemory, after: WorkingMemory) -> WMDiff:
+    """Content diff with multiplicity (duplicate contents counted)."""
+    b = _content_counts(before)
+    a = _content_counts(after)
+    diff = WMDiff()
+    for key, n in sorted((a - b).items()):
+        diff.added.extend([key] * n)
+    for key, n in sorted((b - a).items()):
+        diff.removed.extend([key] * n)
+    return diff

@@ -1,0 +1,160 @@
+"""Graphviz DOT export: RETE networks and derivation graphs.
+
+Pure text generation — paste the output into any Graphviz renderer.
+``rete_to_dot`` shows the compiled network topology (alpha memories with
+their patterns and live sizes, join/negative nodes per rule chain,
+production leaves); ``provenance_to_dot`` draws a WME's derivation DAG as
+recorded by :class:`~repro.core.provenance.ProvenanceTracker`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.provenance import ProvenanceTracker
+from repro.match.rete import ReteMatcher
+from repro.match.rete.nodes import JoinBetaNode, NegativeNode, ProductionNode
+from repro.wm.wme import WME
+
+__all__ = ["rete_to_dot", "provenance_to_dot"]
+
+
+def _esc(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _alpha_label(key) -> str:
+    class_name, conds = key
+    parts = [class_name]
+    for cond in conds:
+        if cond[0] == "const":
+            _k, attr, op, value = cond
+            parts.append(f"^{attr} {op} {value!r}" if op != "=" else f"^{attr} {value!r}")
+        elif cond[0] == "in":
+            _k, attr, alts = cond
+            parts.append(f"^{attr} in {list(alts)!r}")
+        else:
+            _k, attr, op, other = cond
+            parts.append(f"^{attr} {op} ^{other}")
+    return "\\n".join(_esc(p) for p in parts)
+
+
+def rete_to_dot(matcher: ReteMatcher, include_sizes: bool = True) -> str:
+    """Render a RETE matcher's network as a DOT digraph."""
+    lines: List[str] = [
+        "digraph rete {",
+        "  rankdir=TB;",
+        '  node [fontname="monospace", fontsize=10];',
+    ]
+    node_ids: Dict[int, str] = {}
+
+    # Alpha memories.
+    for i, (key, mem) in enumerate(matcher._alpha.items()):
+        nid = f"alpha{i}"
+        size = f"\\n[{len(mem)} wmes]" if include_sizes else ""
+        lines.append(
+            f'  {nid} [shape=box, style=filled, fillcolor=lightyellow, '
+            f'label="{_alpha_label(key)}{size}"];'
+        )
+        node_ids[id(mem)] = nid
+
+    # Beta chains: walk every alpha memory's successors, then chain children.
+    counter = 0
+    seen: Set[int] = set()
+
+    def visit(node) -> str:
+        nonlocal counter
+        if id(node) in node_ids:
+            return node_ids[id(node)]
+        counter += 1
+        nid = f"beta{counter}"
+        node_ids[id(node)] = nid
+        if isinstance(node, ProductionNode):
+            lines.append(
+                f'  {nid} [shape=doubleoctagon, style=filled, '
+                f'fillcolor=lightblue, label="{_esc(node.rule.name)}"];'
+            )
+        elif isinstance(node, NegativeNode):
+            size = f"\\n[{len(node.tokens)} passing]" if include_sizes else ""
+            lines.append(
+                f'  {nid} [shape=ellipse, style=filled, fillcolor=mistyrose, '
+                f'label="NOT ce{node.ce.index + 1} ({_esc(node.rule_name)}){size}"];'
+            )
+        else:
+            size = f"\\n[{len(node.tokens)} tokens]" if include_sizes else ""
+            lines.append(
+                f'  {nid} [shape=ellipse, label="join ce{node.ce.index + 1} '
+                f'({_esc(node.rule_name)}){size}"];'
+            )
+        return nid
+
+    def walk(node, prev_id):
+        if (id(node), prev_id) in seen:
+            return
+        seen.add((id(node), prev_id))
+        nid = visit(node)
+        if prev_id is not None:
+            lines.append(f"  {prev_id} -> {nid};")
+        if isinstance(node, (JoinBetaNode, NegativeNode)):
+            edge = f"  {node_ids[id(node.alpha)]} -> {nid} [style=dashed];"
+            if edge not in lines:
+                lines.append(edge)
+        for child in getattr(node, "children", ()):
+            walk(child, nid)
+
+    for mem in matcher._alpha.values():
+        for node in mem.successors:
+            walk(node, None)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def provenance_to_dot(
+    tracker: ProvenanceTracker, root: WME, max_depth: int = 12
+) -> str:
+    """Render the derivation DAG of ``root`` as a DOT digraph.
+
+    WMEs are boxes (grey when retired); edges point from parents (support)
+    to the derived element, labelled with the deriving rule.
+    """
+    lines: List[str] = [
+        "digraph provenance {",
+        "  rankdir=BT;",
+        '  node [shape=box, fontname="monospace", fontsize=10];',
+    ]
+    ids: Dict[WME, str] = {}
+    emitted_edges: Set[tuple] = set()
+
+    def node_id(wme: WME) -> str:
+        if wme not in ids:
+            ids[wme] = f"w{len(ids)}"
+            retired = tracker.is_retired(wme)
+            fill = ", style=filled, fillcolor=lightgrey" if retired else ""
+            lines.append(f'  {ids[wme]} [label="{_esc(repr(wme))}"{fill}];')
+        return ids[wme]
+
+    def walk(wme: WME, depth: int) -> None:
+        nid = node_id(wme)
+        if depth >= max_depth:
+            return
+        record = tracker.derivation(wme)
+        if record is None:
+            return
+        supports = list(record.parents)
+        if record.replaced is not None:
+            supports.append(record.replaced)
+        for parent in supports:
+            pid = node_id(parent)
+            label = record.rule or ""
+            edge = (pid, nid, label)
+            if edge not in emitted_edges:
+                emitted_edges.add(edge)
+                style = (
+                    f' [label="{_esc(label)}"]' if label else ""
+                )
+                lines.append(f"  {pid} -> {nid}{style};")
+            walk(parent, depth + 1)
+
+    walk(root, 0)
+    lines.append("}")
+    return "\n".join(lines)

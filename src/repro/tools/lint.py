@@ -1,0 +1,211 @@
+"""Porting lint: static interference analysis for set-oriented firing.
+
+An OPS5 program ported to PARULEL changes semantics: *all* instantiations
+fire per cycle, so two firings that ``modify``/``remove`` the same WME —
+perfectly fine sequentially — now interfere. This linter finds the rule
+pairs that *could* do that and drafts the meta-rule skeletons a programmer
+would write to arbitrate them, mirroring the porting workflow PARULEL's
+authors describe (take an OPS5 program, add redaction meta-rules).
+
+Analysis (static, conservative):
+
+1. For every rule, collect its **write targets**: the (CE index, class,
+   compiled alpha pattern) of each ``modify``/``remove`` target CE.
+   ``make`` never interferes (with dedupe it is set insertion).
+2. Two write targets **may alias** when their classes match and their
+   constant equality tests do not contradict (same attribute forced to two
+   different constants ⇒ provably disjoint).
+3. A pair of rules (including a rule with itself) with aliasing write
+   targets is an **interference candidate** — unless it is a rule whose
+   only positive CE is the written one (two instantiations of such a rule
+   necessarily matched different WMEs, so they cannot collide).
+
+False positives are expected (that is what makes it a lint, not a
+verifier): the dynamic check remains the engine's interference detection.
+The point is the worklist: every InterferenceError raised at runtime is
+guaranteed to correspond to a reported candidate pair (tests assert this
+on the bundled workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lang.ast import MetaRule, ModifyAction, Program, RemoveAction, Rule
+from repro.match.compile import CompiledCE, compile_rule
+
+__all__ = ["InterferenceCandidate", "find_interference_candidates", "suggest_meta_rules", "lint_program"]
+
+
+@dataclass(frozen=True)
+class InterferenceCandidate:
+    """Two rules that may issue conflicting writes to one WME."""
+
+    rule_a: str
+    rule_b: str  # == rule_a for self-interference
+    class_name: str
+    #: 1-based CE indices of the written condition elements.
+    ce_a: int
+    ce_b: int
+    #: 'modify/modify', 'modify/remove' or 'remove/remove'.
+    kind: str
+
+    def describe(self) -> str:
+        who = (
+            f"two instantiations of {self.rule_a!r}"
+            if self.rule_a == self.rule_b
+            else f"{self.rule_a!r} and {self.rule_b!r}"
+        )
+        return (
+            f"{who} may {self.kind} the same {self.class_name!r} WME "
+            f"(CE {self.ce_a} vs CE {self.ce_b})"
+        )
+
+
+def _write_targets(rule: Rule) -> List[Tuple[int, CompiledCE, str]]:
+    """(ce_index, compiled CE, 'modify'|'remove') for each written CE."""
+    compiled = compile_rule(rule)
+    out = []
+    for action in rule.actions:
+        if isinstance(action, ModifyAction):
+            out.append((action.ce_index, compiled.ces[action.ce_index - 1], "modify"))
+        elif isinstance(action, RemoveAction):
+            for idx in action.ce_indices:
+                out.append((idx, compiled.ces[idx - 1], "remove"))
+    return out
+
+
+def _constant_eq_tests(ce: CompiledCE) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    for cond in ce.alpha_conds:
+        if cond[0] == "const" and cond[2] == "=":
+            _kind, attr, _op, value = cond
+            out[attr] = value
+    return out
+
+
+def _may_alias(a: CompiledCE, b: CompiledCE) -> bool:
+    """Could one WME match both compiled CEs? (conservative)"""
+    if a.class_name != b.class_name:
+        return False
+    consts_a = _constant_eq_tests(a)
+    consts_b = _constant_eq_tests(b)
+    for attr, value in consts_a.items():
+        if attr in consts_b and consts_b[attr] != value:
+            return False  # provably disjoint
+    return True
+
+
+def _single_ce_self_safe(rule: Rule, ce_index: int) -> bool:
+    """A self-pair is safe when the written CE is the rule's only positive
+    CE: two instantiations then matched two different WMEs there."""
+    positives = [i + 1 for i, ce in enumerate(rule.conditions) if not ce.negated]
+    return positives == [ce_index]
+
+
+def find_interference_candidates(program: Program) -> List[InterferenceCandidate]:
+    """All rule pairs whose writes may collide under parallel firing."""
+    targets = {rule.name: (_write_targets(rule), rule) for rule in program.rules}
+    names = [r.name for r in program.rules]
+    out: List[InterferenceCandidate] = []
+    for i, name_a in enumerate(names):
+        writes_a, rule_a = targets[name_a]
+        for name_b in names[i:]:
+            writes_b, rule_b = targets[name_b]
+            for idx_a, ce_a, kind_a in writes_a:
+                for idx_b, ce_b, kind_b in writes_b:
+                    if name_a == name_b and idx_b < idx_a:
+                        continue  # unordered within a rule
+                    if not _may_alias(ce_a, ce_b):
+                        continue
+                    if name_a == name_b and idx_a == idx_b:
+                        if _single_ce_self_safe(rule_a, idx_a):
+                            continue
+                    kind = "/".join(sorted((kind_a, kind_b)))
+                    out.append(
+                        InterferenceCandidate(
+                            rule_a=name_a,
+                            rule_b=name_b,
+                            class_name=ce_a.class_name,
+                            ce_a=idx_a,
+                            ce_b=idx_b,
+                            kind=kind,
+                        )
+                    )
+    # Dedupe (same pair can be reached via several action combinations).
+    seen: Set[InterferenceCandidate] = set()
+    unique = []
+    for cand in out:
+        if cand not in seen:
+            seen.add(cand)
+            unique.append(cand)
+    return unique
+
+
+def _binding_vars(rule: Rule, ce_index: int) -> List[str]:
+    compiled = compile_rule(rule)
+    ce = compiled.ces[ce_index - 1]
+    vars_ = [var for _attr, var in ce.bindings]
+    vars_.extend(var for _attr, _op, var in ce.join_tests)
+    return sorted(set(vars_))
+
+
+def suggest_meta_rules(program: Program) -> List[str]:
+    """Draft one ``mp`` skeleton per interference candidate.
+
+    The skeletons compile and run (they arbitrate by instantiation id),
+    but the comments tell the programmer which bindings identify the
+    contended WME so the rule can be narrowed from "serialize these rules"
+    to "serialize only true collisions".
+    """
+    skeletons = []
+    used_names: Dict[str, int] = {}
+    for cand in find_interference_candidates(program):
+        rule_a = program.rule(cand.rule_a)
+        vars_a = _binding_vars(rule_a, cand.ce_a)
+        hint = (
+            f"; NOTE: narrow by equating the bindings that identify the "
+            f"contended {cand.class_name!r} WME (rule {cand.rule_a!r} CE "
+            f"{cand.ce_a} binds: {', '.join('<' + v + '>' for v in vars_a) or 'none'})"
+        )
+        name = (
+            f"arbitrate-{cand.rule_a}"
+            if cand.rule_a == cand.rule_b
+            else f"arbitrate-{cand.rule_a}-{cand.rule_b}"
+        )
+        n = used_names.get(name, 0)
+        used_names[name] = n + 1
+        if n:
+            name = f"{name}-{n + 1}"  # rule names must be unique
+        skeletons.append(
+            f"; {cand.describe()}\n"
+            f"{hint}\n"
+            f"(mp {name}\n"
+            f"    (instantiation ^rule {cand.rule_a} ^id <i>)\n"
+            f"    (instantiation ^rule {cand.rule_b} ^id {{<j> > <i>}})\n"
+            f"    -->\n"
+            f"    (redact <j>))"
+        )
+    return skeletons
+
+
+def lint_program(program: Program) -> str:
+    """Human-readable lint report (empty string when clean)."""
+    candidates = find_interference_candidates(program)
+    if not candidates:
+        return ""
+    lines = [
+        f"{len(candidates)} potential parallel-firing interference(s):",
+    ]
+    lines.extend(f"  - {c.describe()}" for c in candidates)
+    existing = len(program.meta_rules)
+    lines.append(
+        f"({existing} meta-rule(s) present — the linter cannot verify they "
+        f"cover these; suggested skeletons below)"
+        if existing
+        else "(no meta-rules present; suggested skeletons below)"
+    )
+    lines.append("")
+    lines.extend(suggest_meta_rules(program))
+    return "\n".join(lines)

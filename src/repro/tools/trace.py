@@ -1,0 +1,107 @@
+"""Structured run tracing: capture every cycle, render a timeline.
+
+:class:`RunTracer` plugs into :class:`~repro.core.engine.ParulelEngine`'s
+``trace`` callback, records each :class:`~repro.core.engine.CycleReport`,
+and renders either a compact per-cycle timeline or a CSV-able table —
+the "what did this run do" artifact for debugging rule programs::
+
+    tracer = RunTracer()
+    engine = ParulelEngine(program, trace=tracer)
+    engine.run()
+    print(tracer.timeline())
+
+Timeline sample::
+
+    cycle  CS  cand  redact  fire  -wm  +wm  notes
+        1  12    12       3     9    0    9
+        2  15     6       0     6    6    6   writes:2
+        3   4     1       0     1    0    0   halt
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.engine import CycleReport
+from repro.metrics.report import Table
+
+__all__ = ["RunTracer"]
+
+
+class RunTracer:
+    """Callable trace sink with rendering helpers."""
+
+    def __init__(self, keep_writes: bool = True) -> None:
+        self.reports: List[CycleReport] = []
+        self.keep_writes = keep_writes
+
+    def __call__(self, report: CycleReport) -> None:
+        self.reports.append(report)
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    @property
+    def total_fired(self) -> int:
+        return sum(r.fired for r in self.reports)
+
+    @property
+    def total_redacted(self) -> int:
+        return sum(r.redaction.redacted for r in self.reports)
+
+    def busiest_cycle(self) -> Optional[CycleReport]:
+        if not self.reports:
+            return None
+        return max(self.reports, key=lambda r: r.fired)
+
+    # -- rendering ------------------------------------------------------------
+
+    def timeline(self) -> str:
+        """Fixed-width per-cycle timeline."""
+        table = Table(
+            "run timeline",
+            ["cycle", "CS", "cand", "redact", "fire", "-wm", "+wm", "notes"],
+        )
+        for r in self.reports:
+            notes = []
+            if r.writes and self.keep_writes:
+                notes.append(f"writes:{len(r.writes)}")
+            if r.conflicts_resolved:
+                notes.append(f"conflicts:{r.conflicts_resolved}")
+            if r.makes_deduped:
+                notes.append(f"deduped:{r.makes_deduped}")
+            if r.halted:
+                notes.append("halt")
+            table.add(
+                r.cycle,
+                r.conflict_set_size,
+                r.candidates,
+                r.redaction.redacted,
+                r.fired,
+                r.delta_removes,
+                r.delta_makes,
+                " ".join(notes),
+            )
+        return str(table)
+
+    def to_table(self) -> Table:
+        """The timeline as a :class:`~repro.metrics.report.Table` (for CSV)."""
+        table = Table(
+            "run timeline",
+            ["cycle", "conflict_set", "candidates", "redacted", "fired",
+             "removes", "makes", "halted"],
+        )
+        for r in self.reports:
+            table.add(
+                r.cycle,
+                r.conflict_set_size,
+                r.candidates,
+                r.redaction.redacted,
+                r.fired,
+                r.delta_removes,
+                r.delta_makes,
+                int(r.halted),
+            )
+        return table

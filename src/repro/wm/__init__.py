@@ -1,0 +1,27 @@
+"""Working memory: WMEs, class templates, and the indexed store.
+
+Working memory is the mutable heart of a production system. This package
+keeps it small and fast:
+
+- :class:`~repro.wm.wme.WME` — an immutable working-memory element with a
+  monotonically increasing timestamp (OPS5's recency),
+- :class:`~repro.wm.memory.WorkingMemory` — the store, indexed by class name
+  (and lazily by attribute value) so match engines can seed joins cheaply,
+- :class:`~repro.wm.template.TemplateRegistry` — per-class attribute
+  declarations from ``literalize``, enforcing shape on ``make``.
+"""
+
+from repro.wm.io import dump, dumps, load_facts, parse_facts_text
+from repro.wm.memory import WorkingMemory
+from repro.wm.template import TemplateRegistry
+from repro.wm.wme import WME
+
+__all__ = [
+    "WME",
+    "WorkingMemory",
+    "TemplateRegistry",
+    "dump",
+    "dumps",
+    "load_facts",
+    "parse_facts_text",
+]

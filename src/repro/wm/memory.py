@@ -1,0 +1,176 @@
+"""The indexed working-memory store.
+
+:class:`WorkingMemory` owns the timestamp counter and keeps WMEs indexed by
+class name, in timestamp order. It notifies registered listeners (match
+engines) of every add/remove, which is how RETE/TREAT stay incremental.
+
+Design notes (hpc-parallel guide: measure, index, avoid copies):
+
+- the per-class index is a dict of insertion-ordered dicts used as ordered
+  sets — O(1) add/remove while preserving timestamp order for deterministic
+  iteration;
+- listeners receive the *same* WME objects stored in the index; WMEs are
+  immutable so sharing is safe across engines and (simulated) sites;
+- ``snapshot()`` is O(n) but only taken by tooling, never inside the match
+  loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import WorkingMemoryError
+from repro.lang.ast import Value
+from repro.wm.template import TemplateRegistry
+from repro.wm.wme import WME
+
+__all__ = ["WorkingMemory"]
+
+#: Listener signature: ``callback(wme, added)`` — ``added`` is True for an
+#: assert and False for a retract.
+Listener = Callable[[WME, bool], None]
+
+
+class WorkingMemory:
+    """Timestamped, class-indexed store of WMEs."""
+
+    def __init__(self, templates: Optional[TemplateRegistry] = None) -> None:
+        self._by_class: Dict[str, Dict[WME, None]] = {}
+        self._count = 0
+        self._next_timestamp = 1
+        self._listeners: List[Listener] = []
+        self.templates = templates or TemplateRegistry()
+
+    # -- listeners -----------------------------------------------------------
+
+    def add_listener(self, listener: Listener) -> None:
+        """Register a match engine (or tracer) for add/remove notifications."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Listener) -> None:
+        self._listeners.remove(listener)
+
+    # -- mutation --------------------------------------------------------------
+
+    def make(self, class_name: str, attrs: Optional[Mapping[str, Value]] = None, **kw: Value) -> WME:
+        """Assert a new WME and return it.
+
+        Attributes come from the ``attrs`` mapping and/or keyword arguments
+        (keywords use ``_`` for ``-``, as in the builder DSL).
+        """
+        merged: Dict[str, Value] = dict(attrs or {})
+        for key, val in kw.items():
+            merged[key.replace("_", "-")] = val
+        self.templates.validate(class_name, merged)
+        wme = WME(class_name, merged, self._next_timestamp)
+        self._next_timestamp += 1
+        self._insert(wme)
+        return wme
+
+    def add(self, wme: WME) -> None:
+        """Assert a pre-built WME (timestamp must be fresh).
+
+        Used by engines that construct WMEs themselves via
+        :meth:`allocate_timestamp`.
+        """
+        if wme.timestamp >= self._next_timestamp:
+            self._next_timestamp = wme.timestamp + 1
+        self._insert(wme)
+
+    def allocate_timestamp(self) -> int:
+        """Reserve the next timestamp (engines building WMEs directly)."""
+        ts = self._next_timestamp
+        self._next_timestamp += 1
+        return ts
+
+    def _insert(self, wme: WME) -> None:
+        bucket = self._by_class.setdefault(wme.class_name, {})
+        if wme in bucket:
+            raise WorkingMemoryError(f"duplicate WME {wme!r}")
+        bucket[wme] = None
+        self._count += 1
+        for listener in self._listeners:
+            listener(wme, True)
+
+    def remove(self, wme: WME) -> None:
+        """Retract a WME; raises if it is not present."""
+        bucket = self._by_class.get(wme.class_name)
+        if bucket is None or wme not in bucket:
+            raise WorkingMemoryError(f"cannot remove absent WME {wme!r}")
+        del bucket[wme]
+        self._count -= 1
+        for listener in self._listeners:
+            listener(wme, False)
+
+    def discard(self, wme: WME) -> bool:
+        """Retract if present; return whether anything was removed."""
+        bucket = self._by_class.get(wme.class_name)
+        if bucket is None or wme not in bucket:
+            return False
+        del bucket[wme]
+        self._count -= 1
+        for listener in self._listeners:
+            listener(wme, False)
+        return True
+
+    def clear_class(self, class_name: str) -> int:
+        """Retract every WME of one class (used to clear meta-level state).
+
+        Returns the number retracted. Listeners see each retraction.
+        """
+        bucket = self._by_class.get(class_name)
+        if not bucket:
+            return 0
+        victims = list(bucket)
+        for wme in victims:
+            del bucket[wme]
+            self._count -= 1
+            for listener in self._listeners:
+                listener(wme, False)
+        return len(victims)
+
+    # -- queries ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, wme: WME) -> bool:
+        bucket = self._by_class.get(wme.class_name)
+        return bucket is not None and wme in bucket
+
+    def __iter__(self) -> Iterator[WME]:
+        """All WMEs, grouped by class, each class in timestamp order."""
+        for bucket in self._by_class.values():
+            yield from bucket
+
+    def by_class(self, class_name: str) -> Tuple[WME, ...]:
+        """All live WMEs of one class, in timestamp order."""
+        bucket = self._by_class.get(class_name)
+        return tuple(bucket) if bucket else ()
+
+    def count_class(self, class_name: str) -> int:
+        bucket = self._by_class.get(class_name)
+        return len(bucket) if bucket else 0
+
+    def find(
+        self, class_name: str, where: Optional[Mapping[str, Value]] = None, **kw: Value
+    ) -> Tuple[WME, ...]:
+        """Convenience query: WMEs of a class whose attributes equal the
+        given values. Linear in the class bucket; for tests and tooling."""
+        wanted: Dict[str, Value] = dict(where or {})
+        for key, val in kw.items():
+            wanted[key.replace("_", "-")] = val
+        out = []
+        for wme in self.by_class(class_name):
+            if all(wme.get(a) == v for a, v in wanted.items()):
+                out.append(wme)
+        return tuple(out)
+
+    def snapshot(self) -> Tuple[WME, ...]:
+        """All live WMEs in global timestamp order (tooling only)."""
+        return tuple(sorted(self, key=lambda w: w.timestamp))
+
+    @property
+    def latest_timestamp(self) -> int:
+        """The most recently allocated timestamp (0 if none yet)."""
+        return self._next_timestamp - 1

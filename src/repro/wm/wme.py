@@ -1,0 +1,100 @@
+"""Working-memory elements.
+
+A WME is an immutable record ``(class, {attr: value}, timestamp)``. The
+timestamp is assigned by the :class:`~repro.wm.memory.WorkingMemory` when the
+element is asserted and orders elements by recency — OPS5's LEX/MEA conflict
+resolution and PARULEL's reified ``recency`` attribute both read it.
+
+Attribute values are restricted to symbols (``str``), ``int`` and ``float``.
+Missing attributes read as the symbol ``nil``, matching OPS5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple
+
+from repro.lang.ast import Value, _format_value
+
+__all__ = ["WME", "NIL"]
+
+#: The distinguished "absent" value. Attributes never explicitly assigned
+#: compare equal to ``nil``, as in OPS5.
+NIL: str = "nil"
+
+
+class WME:
+    """One immutable working-memory element.
+
+    WMEs hash and compare by identity-relevant content *plus* timestamp: two
+    asserts of the same attribute values at different times are distinct
+    elements (they can be individually removed), which is exactly OPS5's
+    behaviour.
+
+    ``__slots__`` keeps per-WME overhead low — benchmark working memories
+    hold 10^5+ elements.
+    """
+
+    __slots__ = ("class_name", "_attrs", "_map", "timestamp", "_hash")
+
+    def __init__(
+        self,
+        class_name: str,
+        attrs: Mapping[str, Value],
+        timestamp: int,
+    ) -> None:
+        self.class_name = class_name
+        # Sort once so equal contents always produce the same tuple (and
+        # hash) regardless of construction order; keep a dict for O(1) reads
+        # on the match hot path.
+        self._attrs: Tuple[Tuple[str, Value], ...] = tuple(sorted(attrs.items()))
+        self._map: Dict[str, Value] = dict(self._attrs)
+        self.timestamp = timestamp
+        self._hash = hash((class_name, self._attrs, timestamp))
+
+    # -- value access -------------------------------------------------------
+
+    def get(self, attr: str) -> Value:
+        """The attribute's value, or ``nil`` if never assigned."""
+        return self._map.get(attr, NIL)
+
+    def __getitem__(self, attr: str) -> Value:
+        return self.get(attr)
+
+    @property
+    def attributes(self) -> Dict[str, Value]:
+        """A fresh dict of the explicitly assigned attributes."""
+        return dict(self._attrs)
+
+    def items(self) -> Iterator[Tuple[str, Value]]:
+        return iter(self._attrs)
+
+    def with_updates(self, updates: Mapping[str, Value], timestamp: int) -> "WME":
+        """A new WME with ``updates`` applied and a fresh timestamp —
+        the primitive under the ``modify`` action."""
+        merged = dict(self._attrs)
+        merged.update(updates)
+        return WME(self.class_name, merged, timestamp)
+
+    # -- identity -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WME):
+            return NotImplemented
+        return (
+            self.timestamp == other.timestamp
+            and self.class_name == other.class_name
+            and self._attrs == other._attrs
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = " ".join(f"^{k} {_format_value(val)}" for k, val in self._attrs)
+        sep = " " if inner else ""
+        return f"({self.class_name}{sep}{inner})@{self.timestamp}"
+
+    def content_key(self) -> Tuple[str, Tuple[Tuple[str, Value], ...]]:
+        """Timestamp-independent identity, used for duplicate detection in
+        set-oriented firing (two firings making the same element)."""
+        return (self.class_name, self._attrs)

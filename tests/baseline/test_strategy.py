@@ -1,0 +1,93 @@
+"""Unit tests for LEX and MEA conflict-resolution strategies."""
+
+import pytest
+
+from repro.baseline.strategy import LexStrategy, MeaStrategy, create_strategy
+from repro.lang.parser import parse_program
+from repro.match.instantiation import Instantiation
+from repro.wm.wme import WME
+
+PLAIN = parse_program("(p plain (a ^x <x>) (b ^x <x>) --> (halt))").rules[0]
+SPECIFIC = parse_program(
+    "(p specific (a ^x <x> ^y 1 ^z 2) (b ^x <x>) --> (halt))"
+).rules[0]
+SALIENT = parse_program(
+    "(p salient (salience 5) (a ^x <x>) (b ^x <x>) --> (halt))"
+).rules[0]
+
+
+def make_inst(rule, ts_a, ts_b, x=0):
+    return Instantiation(
+        rule, (WME("a", {"x": x}, ts_a), WME("b", {"x": x}, ts_b)), {"x": x}
+    )
+
+
+class TestLex:
+    def test_recency_wins(self):
+        older = make_inst(PLAIN, 1, 2)
+        newer = make_inst(PLAIN, 1, 5)
+        assert LexStrategy().select([older, newer]) == newer
+
+    def test_recency_vector_lexicographic(self):
+        # (9, 1) beats (8, 7): compare most recent first.
+        a = make_inst(PLAIN, 9, 1)
+        b = make_inst(PLAIN, 8, 7)
+        assert LexStrategy().select([a, b]) == a
+
+    def test_specificity_breaks_recency_tie(self):
+        plain = make_inst(PLAIN, 1, 2)
+        specific = make_inst(SPECIFIC, 1, 2)
+        assert LexStrategy().select([plain, specific]) == specific
+
+    def test_salience_dominates_recency(self):
+        salient_old = make_inst(SALIENT, 1, 2)
+        plain_new = make_inst(PLAIN, 10, 11)
+        assert LexStrategy().select([salient_old, plain_new]) == salient_old
+
+    def test_rule_name_breaks_full_tie_deterministically(self):
+        # Same timestamps, same specificity: alphabetically first rule wins.
+        other = parse_program("(p aaa (a ^x <x>) (b ^x <x>) --> (halt))").rules[0]
+        i1 = make_inst(PLAIN, 1, 2)
+        i2 = make_inst(other, 1, 2)
+        assert LexStrategy().select([i1, i2]) == i2
+
+    def test_select_none_on_empty(self):
+        assert LexStrategy().select([]) is None
+
+    def test_order_is_total_and_stable(self):
+        insts = [make_inst(PLAIN, i, i + 1) for i in range(1, 9, 2)]
+        ordered = LexStrategy().order(insts)
+        assert ordered[0].recency == max(i.recency for i in insts)
+        assert ordered == sorted(
+            insts, key=LexStrategy().sort_key, reverse=True
+        )
+
+
+class TestMea:
+    def test_first_ce_recency_dominates(self):
+        # LEX would prefer b (overall recency 9); MEA compares the first
+        # CE's timestamp: 5 > 2, so a wins.
+        a = make_inst(PLAIN, 5, 6)
+        b = make_inst(PLAIN, 2, 9)
+        assert MeaStrategy().select([a, b]) == a
+        assert LexStrategy().select([a, b]) == b
+
+    def test_falls_back_to_lex_on_first_ce_tie(self):
+        plain = make_inst(PLAIN, 5, 2)
+        specific = make_inst(SPECIFIC, 5, 2)
+        assert MeaStrategy().select([plain, specific]) == specific
+
+    def test_salience_still_first(self):
+        salient = make_inst(SALIENT, 1, 1)
+        plain = make_inst(PLAIN, 9, 9)
+        assert MeaStrategy().select([salient, plain]) == salient
+
+
+class TestFactory:
+    def test_create_by_name(self):
+        assert isinstance(create_strategy("lex"), LexStrategy)
+        assert isinstance(create_strategy("mea"), MeaStrategy)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            create_strategy("random")

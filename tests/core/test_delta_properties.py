@@ -1,0 +1,110 @@
+"""Property-based tests of delta merging (interference resolution)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import InterferenceError
+from repro.core.actions import InstantiationDelta
+from repro.core.delta import InterferencePolicy, merge_deltas
+from repro.lang.parser import parse_program
+from repro.match.instantiation import Instantiation
+from repro.wm.wme import WME
+
+RULES = {
+    name: parse_program(f"(p {name} (c ^a <x>) --> (halt))").rules[0]
+    for name in ("r0", "r1", "r2")
+}
+
+#: A small pool of target WMEs the generated deltas contend over.
+TARGETS = [WME("t", {"slot": i, "v": 0}, 100 + i) for i in range(3)]
+
+
+@st.composite
+def delta_lists(draw):
+    n = draw(st.integers(1, 5))
+    deltas = []
+    for i in range(n):
+        rule = RULES[draw(st.sampled_from(sorted(RULES)))]
+        trigger = WME("c", {"a": i}, i + 1)
+        inst = Instantiation(rule, (trigger,), {"x": i})
+        d = InstantiationDelta(inst=inst)
+        for _ in range(draw(st.integers(0, 2))):
+            kind = draw(st.sampled_from(["make", "modify", "remove"]))
+            target = draw(st.sampled_from(TARGETS))
+            if kind == "make":
+                d.makes.append(("out", {"n": draw(st.integers(0, 2))}))
+            elif kind == "modify":
+                d.modifies.append((target, {"v": draw(st.integers(0, 2))}))
+            else:
+                d.removes.append(target)
+        deltas.append(d)
+    return deltas
+
+
+class TestMergeProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(deltas=delta_lists(), policy=st.sampled_from(["first", "merge"]))
+    def test_non_error_policies_never_raise(self, deltas, policy):
+        out = merge_deltas(deltas, InterferencePolicy.of(policy))
+        # A WME never appears twice in removes, and never both removed
+        # and re-made unchanged... removes are unique:
+        assert len(out.removes) == len(set(out.removes))
+
+    @settings(max_examples=150, deadline=None)
+    @given(deltas=delta_lists(), policy=st.sampled_from(["first", "merge"]))
+    def test_makes_and_origins_stay_parallel(self, deltas, policy):
+        out = merge_deltas(deltas, InterferencePolicy.of(policy))
+        assert len(out.makes) == len(out.make_origins)
+        for (cls, _attrs), (inst, kind, replaced) in zip(
+            out.makes, out.make_origins
+        ):
+            assert kind in ("make", "modify")
+            assert (replaced is not None) == (kind == "modify")
+            assert inst.rule.name in RULES
+
+    @settings(max_examples=150, deadline=None)
+    @given(deltas=delta_lists())
+    def test_error_policy_raises_or_agrees_with_merge(self, deltas):
+        """If ERROR does not raise, the firing set was conflict-free, and
+        then all three policies must produce the identical delta."""
+        try:
+            strict = merge_deltas(deltas, InterferencePolicy.ERROR)
+        except InterferenceError:
+            return
+        relaxed_first = merge_deltas(deltas, InterferencePolicy.FIRST)
+        relaxed_merge = merge_deltas(deltas, InterferencePolicy.MERGE)
+        for other in (relaxed_first, relaxed_merge):
+            assert other.removes == strict.removes
+            assert other.makes == strict.makes
+            assert other.conflicts_resolved == 0
+
+    @settings(max_examples=150, deadline=None)
+    @given(deltas=delta_lists(), policy=st.sampled_from(["error", "first", "merge"]))
+    def test_dedupe_only_removes_duplicates(self, deltas, policy):
+        try:
+            with_dedupe = merge_deltas(
+                deltas, InterferencePolicy.of(policy), dedupe_makes=True
+            )
+            without = merge_deltas(
+                deltas, InterferencePolicy.of(policy), dedupe_makes=False
+            )
+        except InterferenceError:
+            return
+        assert len(with_dedupe.makes) + with_dedupe.makes_deduped == len(
+            without.makes
+        )
+        # Deduped output is a sub-multiset of the raw output.
+        raw = [tuple(sorted(a.items())) + (c,) for c, a in without.makes]
+        kept = [tuple(sorted(a.items())) + (c,) for c, a in with_dedupe.makes]
+        for item in kept:
+            assert item in raw
+
+    @settings(max_examples=100, deadline=None)
+    @given(deltas=delta_lists(), policy=st.sampled_from(["first", "merge"]))
+    def test_deterministic(self, deltas, policy):
+        a = merge_deltas(deltas, InterferencePolicy.of(policy))
+        b = merge_deltas(deltas, InterferencePolicy.of(policy))
+        assert a.removes == b.removes
+        assert a.makes == b.makes
+        assert a.conflicts_resolved == b.conflicts_resolved

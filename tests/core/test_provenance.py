@@ -1,0 +1,133 @@
+"""Tests for derivation (provenance) tracking."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.core import EngineConfig, ParulelEngine
+from repro.lang.parser import parse_program
+
+TC = """
+(literalize edge src dst)
+(literalize path src dst)
+(p tc-init (edge ^src <a> ^dst <b>) -(path ^src <a> ^dst <b>)
+ --> (make path ^src <a> ^dst <b>))
+(p tc-extend (path ^src <a> ^dst <b>) (edge ^src <b> ^dst <c>)
+ -(path ^src <a> ^dst <c>) --> (make path ^src <a> ^dst <c>))
+"""
+
+COUNTER = """
+(literalize count value)
+(p bump (count ^value {<v> < 3}) --> (modify 1 ^value (compute <v> + 1)))
+"""
+
+
+def tc_engine():
+    e = ParulelEngine(parse_program(TC), EngineConfig(track_provenance=True))
+    for a, b in [("a", "b"), ("b", "c"), ("c", "d")]:
+        e.make("edge", src=a, dst=b)
+    e.run()
+    return e
+
+
+class TestRecording:
+    def test_initial_wmes_tracked(self):
+        e = tc_engine()
+        edge = e.wm.find("edge", src="a")[0]
+        record = e.provenance.derivation(edge)
+        assert record.kind == "initial"
+        assert record.cycle == 0
+        assert record.parents == ()
+
+    def test_make_tracked_with_rule_and_cycle(self):
+        e = tc_engine()
+        p_ab = e.wm.find("path", src="a", dst="b")[0]
+        record = e.provenance.derivation(p_ab)
+        assert record.kind == "make"
+        assert record.rule == "tc-init"
+        assert record.cycle == 1
+        assert len(record.parents) == 1  # the edge (negated CE excluded)
+
+    def test_modify_tracked_with_replaced_chain(self):
+        e = ParulelEngine(
+            parse_program(COUNTER), EngineConfig(track_provenance=True)
+        )
+        e.make("count", value=0)
+        e.run()
+        final = e.wm.find("count", value=3)[0]
+        record = e.provenance.derivation(final)
+        assert record.kind == "modify"
+        assert record.rule == "bump"
+        assert record.replaced is not None
+        # Chain of three modifies back to the initial assertion.
+        chain = list(e.provenance.lineage(final))
+        kinds = [d.kind for d in chain]
+        assert kinds.count("modify") == 3
+        assert kinds[-1] == "initial"
+
+    def test_retraction_recorded(self):
+        e = ParulelEngine(
+            parse_program(COUNTER), EngineConfig(track_provenance=True)
+        )
+        e.make("count", value=2)
+        e.run()
+        # The original WME was displaced by the modify in cycle 1.
+        retired = [w for w in e.provenance._records if e.provenance.is_retired(w)]
+        assert retired
+        assert e.provenance.retired_in_cycle(retired[0]) == 1
+
+    def test_derived_by_rule(self):
+        e = tc_engine()
+        inits = e.provenance.derived_by_rule("tc-init")
+        extends = e.provenance.derived_by_rule("tc-extend")
+        assert len(inits) == 3
+        assert len(extends) == 3  # a->c, b->d, a->d
+
+
+class TestExplain:
+    def test_tree_reaches_initial_facts(self):
+        e = tc_engine()
+        target = e.wm.find("path", src="a", dst="d")[0]
+        text = e.explain(target)
+        assert "tc-extend" in text
+        assert "tc-init" in text
+        assert text.count("asserted initially") == 3  # edges ab, bc, cd
+
+    def test_depth_limit_truncates(self):
+        e = tc_engine()
+        target = e.wm.find("path", src="a", dst="d")[0]
+        text = e.explain(target, max_depth=1)
+        assert "..." in text
+
+    def test_untracked_wme_labeled(self):
+        e = tc_engine()
+        from repro.wm.wme import WME
+
+        stranger = WME("edge", {"src": "x", "dst": "y"}, 999)
+        assert "untracked" in e.provenance.explain(stranger)
+
+    def test_explain_requires_flag(self):
+        e = ParulelEngine(parse_program(TC))
+        e.make("edge", src="a", dst="b")
+        e.run()
+        wme = e.wm.by_class("path")[0]
+        with pytest.raises(ExecutionError, match="track_provenance"):
+            e.explain(wme)
+
+
+class TestDedupeAttribution:
+    def test_first_deriver_wins_attribution(self):
+        # Two rules make the identical WME in one cycle; dedupe keeps one
+        # assertion, attributed to the first firing in conflict-set order.
+        src = """
+        (literalize seed n)
+        (literalize out tag)
+        (p maker-one (seed ^n <n>) --> (make out ^tag done))
+        (p maker-two (seed ^n <n>) --> (make out ^tag done))
+        """
+        e = ParulelEngine(parse_program(src), EngineConfig(track_provenance=True))
+        e.make("seed", n=1)
+        e.run()
+        (out,) = e.wm.by_class("out")
+        record = e.provenance.derivation(out)
+        assert record.rule in ("maker-one", "maker-two")
+        assert record.kind == "make"

@@ -1,0 +1,194 @@
+"""Unit tests for the meta level: reification and redaction fixpoints."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.core import EngineConfig, ParulelEngine
+from repro.core.redaction import reify_instantiation
+from repro.lang.parser import parse_program
+from repro.match.instantiation import Instantiation
+from repro.wm.wme import WME
+
+
+class TestReification:
+    def test_builtin_attributes(self):
+        rule = parse_program("(p r (c ^a <x>) (d ^b <y>) --> (halt))").rules[0]
+        inst = Instantiation(
+            rule,
+            (WME("c", {"a": 1}, 3), WME("d", {"b": 2}, 8)),
+            {"x": 1, "y": 2},
+        )
+        attrs = reify_instantiation(inst, 42)
+        assert attrs["rule"] == "r"
+        assert attrs["id"] == 42
+        assert attrs["salience"] == 0
+        assert attrs["specificity"] == 2
+        assert attrs["recency"] == 8
+        assert attrs["x"] == 1
+        assert attrs["y"] == 2
+
+    def test_variable_colliding_with_builtin_rejected(self):
+        rule = parse_program("(p r (c ^a <rule>) --> (halt))").rules[0]
+        inst = Instantiation(rule, (WME("c", {"a": 1}, 1),), {"rule": 1})
+        with pytest.raises(ExecutionError, match="collides"):
+            reify_instantiation(inst, 1)
+
+
+def run_engine(src, facts, **config):
+    engine = ParulelEngine(parse_program(src), EngineConfig(**config))
+    for cls, attrs in facts:
+        engine.make(cls, attrs)
+    result = engine.run(max_cycles=100)
+    return engine, result
+
+
+class TestRedactionSemantics:
+    PICK_ONE = """
+    (literalize req name)
+    (literalize grant name)
+    (p grant (req ^name <n>) --> (make grant ^name <n>) (remove 1))
+    (mp keep-first
+        (instantiation ^rule grant ^id <i> ^n <a>)
+        (instantiation ^rule grant ^id {<j> <> <i>} ^n > <a>)
+        -->
+        (redact <j>))
+    """
+
+    def test_only_minimum_survives_each_cycle(self):
+        engine, result = run_engine(
+            self.PICK_ONE,
+            [("req", {"name": f"r{i}"}) for i in range(4)],
+        )
+        # One grant per cycle, smallest name first.
+        assert result.cycles == 4
+        assert [r.fired for r in result.reports] == [1, 1, 1, 1]
+        assert [r.redaction.redacted for r in result.reports] == [3, 2, 1, 0]
+        granted = sorted(w.get("name") for w in engine.wm.by_class("grant"))
+        assert granted == ["r0", "r1", "r2", "r3"]
+
+    def test_redacted_instantiations_not_refracted(self):
+        # The same instantiation (same WMEs) must be allowed to fire in a
+        # later cycle after being redacted earlier — deferral, not deletion.
+        engine, result = run_engine(
+            self.PICK_ONE, [("req", {"name": "a"}), ("req", {"name": "b"})]
+        )
+        assert result.cycles == 2
+        assert engine.wm.count_class("grant") == 2
+
+    def test_symmetric_redaction_empties_pair(self):
+        src = """
+        (literalize req name)
+        (p grant (req ^name <n>) --> (remove 1))
+        (mp kill-both
+            (instantiation ^rule grant ^id <i> ^n <a>)
+            (instantiation ^rule grant ^id {<j> <> <i>} ^n <> <a>)
+            -->
+            (redact <j>))
+        """
+        engine, result = run_engine(
+            src, [("req", {"name": "a"}), ("req", {"name": "b"})]
+        )
+        # Both redact each other -> empty firing set -> redaction quiescence.
+        assert result.reason == "redaction-quiescence"
+        assert engine.wm.count_class("req") == 2
+
+    def test_meta_writes_reach_output(self):
+        src = """
+        (literalize req name)
+        (p grant (req ^name <n>) --> (remove 1))
+        (mp narrate
+            (instantiation ^rule grant ^id <i> ^n <a>)
+            (instantiation ^rule grant ^id {<j> <> <i>} ^n > <a>)
+            -->
+            (write redacting <j>)
+            (redact <j>))
+        """
+        engine, result = run_engine(
+            src, [("req", {"name": "a"}), ("req", {"name": "b"})]
+        )
+        assert any(line.startswith("redacting") for line in result.output)
+
+    def test_redact_of_non_integer_raises(self):
+        src = """
+        (literalize req name)
+        (p grant (req ^name <n>) --> (remove 1))
+        (mp bad (instantiation ^rule grant ^n <a>) --> (redact <a>))
+        """
+        with pytest.raises(ExecutionError, match="integer"):
+            run_engine(src, [("req", {"name": "a"})])
+
+    def test_redact_unknown_id_raises(self):
+        src = """
+        (literalize req name)
+        (p grant (req ^name <n>) --> (remove 1))
+        (mp bad (instantiation ^rule grant ^id <i>) --> (redact 999))
+        """
+        with pytest.raises(ExecutionError, match="no instantiation"):
+            run_engine(src, [("req", {"name": "a"})])
+
+    def test_reifications_cleaned_up_after_cycle(self):
+        engine, _result = run_engine(
+            self.PICK_ONE, [("req", {"name": "a"}), ("req", {"name": "b"})]
+        )
+        assert engine.wm.count_class("instantiation") == 0
+
+    def test_meta_rule_reading_object_wm(self):
+        # Meta rules may join ordinary WMEs: redact grants above a quota.
+        src = """
+        (literalize req name cost)
+        (literalize budget limit)
+        (p grant (req ^name <n> ^cost <c>) --> (remove 1))
+        (mp too-expensive
+            (instantiation ^rule grant ^id <i> ^c <cost>)
+            (budget ^limit < <cost>)
+            -->
+            (redact <i>))
+        """
+        engine, result = run_engine(
+            src,
+            [
+                ("req", {"name": "cheap", "cost": 1}),
+                ("req", {"name": "pricey", "cost": 10}),
+                ("budget", {"limit": 5}),
+            ],
+        )
+        names = sorted(w.get("name") for w in engine.wm.by_class("req"))
+        assert names == ["pricey"]  # cheap got granted/removed, pricey vetoed
+
+    def test_chained_redaction_fixpoint(self):
+        # kill-successor redacts j where j = i+1, but only if i survives;
+        # after redacting 2 (because of 1), 3 must survive (its redactor
+        # is gone). Exercises the multi-cycle meta fixpoint.
+        src = """
+        (literalize req name rank)
+        (p grant (req ^name <n> ^rank <r>) --> (remove 1))
+        (mp kill-successor
+            (instantiation ^rule grant ^id <i> ^r <a>)
+            (instantiation ^rule grant ^id <j> ^r {<b> > <a>})
+            -->
+            (redact <j>))
+        """
+        engine, result = run_engine(
+            src,
+            [
+                ("req", {"name": "x", "rank": 1}),
+                ("req", {"name": "y", "rank": 2}),
+                ("req", {"name": "z", "rank": 3}),
+            ],
+        )
+        first = result.reports[0]
+        assert first.fired == 1  # only rank 1 survives cycle 1
+        assert first.redaction.redacted == 2
+
+
+class TestNoMetaRules:
+    def test_everything_survives(self):
+        src = """
+        (literalize req name)
+        (p grant (req ^name <n>) --> (remove 1))
+        """
+        engine, result = run_engine(
+            src, [("req", {"name": f"r{i}"}) for i in range(5)]
+        )
+        assert result.cycles == 1
+        assert result.reports[0].fired == 5

@@ -1,0 +1,186 @@
+"""Semantic-analysis tests: what programs are rejected, and why."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang.analysis import analyze_program
+from repro.lang.parser import parse_program
+
+
+def analyze(src, **kw):
+    return analyze_program(parse_program(src), **kw)
+
+
+GOOD = """
+(literalize block name size)
+(p grow
+    (block ^name <n> ^size <s>)
+    -->
+    (modify 1 ^size (compute <s> + 1)))
+"""
+
+
+class TestStructure:
+    def test_valid_program_passes(self):
+        info = analyze(GOOD)
+        assert info.info("grow").bound_variables == ("n", "s")
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(SemanticError, match="duplicate rule name"):
+            analyze("(p r (c) --> (halt)) (p r (c) --> (halt))")
+
+    def test_duplicate_rule_and_meta_rule_name_rejected(self):
+        with pytest.raises(SemanticError, match="duplicate rule name"):
+            analyze(
+                "(p r (c) --> (halt))"
+                "(mp r (instantiation ^id <i>) --> (redact <i>))"
+            )
+
+    def test_duplicate_literalize_rejected(self):
+        with pytest.raises(SemanticError, match="duplicate literalize"):
+            analyze("(literalize c a) (literalize c b)")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SemanticError, match="duplicate attributes"):
+            analyze("(literalize c a a)")
+
+    def test_instantiation_class_reserved(self):
+        with pytest.raises(SemanticError, match="reserved"):
+            analyze("(literalize instantiation id)")
+
+    def test_first_ce_must_be_positive(self):
+        with pytest.raises(SemanticError, match="first condition"):
+            analyze("(p r -(c ^a 1) (d) --> (halt))")
+
+
+class TestClassDiscipline:
+    def test_undeclared_class_in_ce_rejected(self):
+        with pytest.raises(SemanticError, match="undeclared class"):
+            analyze("(literalize c a) (p r (d ^a 1) --> (halt))")
+
+    def test_undeclared_attribute_in_ce_rejected(self):
+        with pytest.raises(SemanticError, match="no attribute"):
+            analyze("(literalize c a) (p r (c ^b 1) --> (halt))")
+
+    def test_make_of_undeclared_class_rejected(self):
+        with pytest.raises(SemanticError, match="make of undeclared"):
+            analyze("(literalize c a) (p r (c ^a 1) --> (make d ^a 1))")
+
+    def test_make_with_undeclared_attribute_rejected(self):
+        with pytest.raises(SemanticError, match="undeclared attribute"):
+            analyze("(literalize c a) (p r (c ^a 1) --> (make c ^b 1))")
+
+    def test_modify_with_undeclared_attribute_rejected(self):
+        with pytest.raises(SemanticError, match="undeclared attribute"):
+            analyze("(literalize c a) (p r (c ^a 1) --> (modify 1 ^b 2))")
+
+    def test_untyped_program_skips_class_checks(self):
+        # No literalize at all: classes are implicit, everything allowed.
+        analyze("(p r (anything ^whatever 1) --> (make other ^x 2))")
+
+    def test_enforce_templates_false_skips_checks(self):
+        analyze(
+            "(literalize c a) (p r (d ^b 1) --> (halt))",
+            enforce_templates=False,
+        )
+
+    def test_meta_rules_may_match_instantiation_without_declaration(self):
+        analyze(
+            "(literalize c a)"
+            "(p r (c ^a <x>) --> (halt))"
+            "(mp m (instantiation ^rule r ^id <i> ^x <v>) --> (redact <i>))"
+        )
+
+
+class TestVariableDiscipline:
+    def test_predicate_on_unbound_variable_rejected(self):
+        with pytest.raises(SemanticError, match="never bound"):
+            analyze("(p r (c ^a <> <nope>) --> (halt))")
+
+    def test_variable_only_in_negated_ce_rejected(self):
+        with pytest.raises(SemanticError, match="only\\s+inside a negated"):
+            analyze("(p r (c ^a 1) -(d ^b <x>) --> (halt))")
+
+    def test_negated_ce_may_use_bound_variables(self):
+        analyze("(p r (c ^a <x>) -(d ^b <x>) --> (halt))")
+
+    def test_rhs_unbound_variable_rejected(self):
+        with pytest.raises(SemanticError, match="unbound variable"):
+            analyze("(p r (c ^a 1) --> (make d ^b <x>))")
+
+    def test_bind_introduces_variable_for_later_actions(self):
+        analyze("(p r (c ^a <x>) --> (bind <y> (compute <x> + 1)) (make d ^b <y>))")
+
+    def test_bind_scope_is_downward_only(self):
+        with pytest.raises(SemanticError, match="unbound variable"):
+            analyze("(p r (c ^a <x>) --> (make d ^b <y>) (bind <y> 1))")
+
+    def test_conjunctive_binding_counts(self):
+        # {<x> > 4} binds <x> and constrains it.
+        analyze("(p r (c ^a { <x> > 4 }) --> (make d ^b <x>))")
+
+
+class TestActionDiscipline:
+    def test_modify_index_out_of_range(self):
+        with pytest.raises(SemanticError, match="out of range"):
+            analyze("(p r (c ^a 1) --> (modify 2 ^a 2))")
+
+    def test_modify_of_negated_ce_rejected(self):
+        with pytest.raises(SemanticError, match="negated"):
+            analyze("(p r (c ^a <x>) -(d ^b <x>) --> (modify 2 ^b 1))")
+
+    def test_remove_index_out_of_range(self):
+        with pytest.raises(SemanticError, match="out of range"):
+            analyze("(p r (c ^a 1) --> (remove 3))")
+
+    def test_remove_of_negated_ce_rejected(self):
+        with pytest.raises(SemanticError, match="negated"):
+            analyze("(p r (c ^a <x>) -(d ^b <x>) --> (remove 2))")
+
+    def test_redact_in_object_rule_rejected(self):
+        with pytest.raises(SemanticError, match="only legal in meta-rules"):
+            analyze("(p r (c ^a <x>) --> (redact <x>))")
+
+
+class TestMetaRuleDiscipline:
+    def test_meta_rule_make_rejected(self):
+        with pytest.raises(SemanticError, match="not allowed at the\\s+meta level"):
+            analyze("(mp m (instantiation ^id <i>) --> (make c ^a 1))")
+
+    def test_meta_rule_modify_rejected(self):
+        with pytest.raises(SemanticError, match="not allowed"):
+            analyze("(mp m (instantiation ^id <i>) --> (modify 1 ^id 2))")
+
+    def test_meta_rule_remove_rejected(self):
+        with pytest.raises(SemanticError, match="not allowed"):
+            analyze("(mp m (instantiation ^id <i>) --> (remove 1))")
+
+    def test_meta_rule_redact_write_bind_halt_call_allowed(self):
+        analyze(
+            "(mp m (instantiation ^id <i>) --> "
+            "(bind <j> <i>) (write redacting <j>) (call log <j>) "
+            "(redact <j>) (halt))"
+        )
+
+
+class TestRuleInfo:
+    def test_classes_read_and_written(self):
+        info = analyze(
+            "(literalize a x) (literalize b x) (literalize c x)"
+            "(p r (a ^x <v>) -(b ^x <v>) --> (make c ^x <v>) (remove 1))"
+        )
+        ri = info.info("r")
+        assert ri.classes_read == frozenset({"a", "b"})
+        assert ri.classes_written == frozenset({"a", "c"})
+
+    def test_is_meta_flag(self):
+        info = analyze(
+            "(p r (c ^a <x>) --> (halt))"
+            "(mp m (instantiation ^id <i>) --> (redact <i>))"
+        )
+        assert not info.info("r").is_meta
+        assert info.info("m").is_meta
+
+    def test_unknown_rule_info_raises(self):
+        with pytest.raises(KeyError):
+            analyze(GOOD).info("absent")

@@ -1,0 +1,172 @@
+"""Tests for the programmatic builder DSL — it must produce the same ASTs
+as the parser does for equivalent surface syntax."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang.builder import (
+    ProgramBuilder,
+    RuleBuilder,
+    compute,
+    conj,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+    one_of,
+    raw,
+    same_type,
+    v,
+)
+from repro.lang.parser import parse_program
+
+
+class TestEquivalenceWithParser:
+    def test_simple_rule(self):
+        pb = ProgramBuilder()
+        pb.literalize("count", "value")
+        (
+            pb.rule("bump")
+            .ce("count", value=conj(v("v"), lt(5)))
+            .modify(1, value=compute(v("v"), "+", 1))
+        )
+        built = pb.build()
+        parsed = parse_program(
+            """
+            (literalize count value)
+            (p bump
+                (count ^value { <v> < 5 })
+                -->
+                (modify 1 ^value (compute <v> + 1)))
+            """
+        )
+        assert built == parsed
+
+    def test_negation_and_make(self):
+        pb = ProgramBuilder()
+        pb.literalize("edge", "src", "dst")
+        pb.literalize("path", "src", "dst")
+        (
+            pb.rule("init")
+            .ce("edge", src=v("a"), dst=v("b"))
+            .neg("path", src=v("a"), dst=v("b"))
+            .make("path", src=v("a"), dst=v("b"))
+        )
+        parsed = parse_program(
+            """
+            (literalize edge src dst)
+            (literalize path src dst)
+            (p init
+                (edge ^src <a> ^dst <b>)
+                -(path ^src <a> ^dst <b>)
+                -->
+                (make path ^src <a> ^dst <b>))
+            """
+        )
+        assert pb.build() == parsed
+
+    def test_meta_rule(self):
+        pb = ProgramBuilder()
+        (
+            pb.meta_rule("pick")
+            .ce("instantiation", rule="r", id=v("i"))
+            .ce("instantiation", rule="r", id=conj(v("j"), gt(v("i"))))
+            .redact(v("j"))
+        )
+        parsed = parse_program(
+            """
+            (mp pick
+                (instantiation ^rule r ^id <i>)
+                (instantiation ^rule r ^id { <j> > <i> })
+                -->
+                (redact <j>))
+            """
+        )
+        assert pb.build() == parsed
+
+    def test_disjunction_and_predicates(self):
+        pb = ProgramBuilder()
+        (
+            pb.rule("x")
+            .ce(
+                "c",
+                color=one_of("red", "green"),
+                size=ge(2),
+                kind=ne("blob"),
+                weight=le(9),
+                ty=same_type(4),
+            )
+            .halt()
+        )
+        parsed = parse_program(
+            """
+            (p x
+                (c ^color << red green >> ^size >= 2 ^kind <> blob
+                   ^weight <= 9 ^ty <=> 4)
+                -->
+                (halt))
+            """
+        )
+        assert pb.build(analyze=False) == parsed
+
+
+class TestAttributeNameTranslation:
+    def test_underscore_becomes_hyphen(self):
+        pb = ProgramBuilder()
+        pb.rule("r").ce("block", on_top_of="nil").halt()
+        prog = pb.build(analyze=False)
+        assert prog.rules[0].conditions[0].tests[0][0] == "on-top-of"
+
+    def test_raw_suppresses_translation(self):
+        rb = RuleBuilder("r")
+        rb.ce("c", where={raw("keep_underscore"): 1}).halt()
+        rule = rb.to_rule()
+        assert rule.conditions[0].tests[0][0] == "keep_underscore"
+
+    def test_where_dict_is_verbatim(self):
+        rb = RuleBuilder("r")
+        rb.ce("c", where={"as-is": 1}).halt()
+        assert rb.to_rule().conditions[0].tests[0][0] == "as-is"
+
+
+class TestBuilderValidation:
+    def test_build_analyzes_by_default(self):
+        pb = ProgramBuilder()
+        pb.literalize("c", "a")
+        pb.rule("bad").ce("c", a=v("x")).make("c", b=v("x"))  # undeclared attr b
+        with pytest.raises(SemanticError):
+            pb.build()
+
+    def test_build_without_analysis(self):
+        pb = ProgramBuilder()
+        pb.literalize("c", "a")
+        pb.rule("bad").ce("c", a=v("x")).make("c", b=v("x"))
+        pb.build(analyze=False)  # no error
+
+    def test_compute_rejects_bad_operator(self):
+        with pytest.raises(TypeError):
+            compute(v("x"), "**", 2)
+
+    def test_compute_rejects_trailing_operator(self):
+        with pytest.raises(TypeError):
+            compute(v("x"), "+")
+
+    def test_conj_rejects_nesting(self):
+        with pytest.raises(TypeError):
+            conj(conj(v("x")), 1)
+
+    def test_add_rule_accepts_prebuilt(self):
+        pb = ProgramBuilder()
+        rb = RuleBuilder("standalone")
+        rb.ce("c", a=1).halt()
+        pb.add_rule(rb.to_rule())
+        prog = pb.build(analyze=False)
+        assert prog.rules[0].name == "standalone"
+
+    def test_variable_on_rhs_via_v(self):
+        # v("x") is accepted in expression positions as a convenience.
+        rb = RuleBuilder("r")
+        rb.ce("c", a=v("x")).make("d", b=v("x"))
+        rule = rb.to_rule()
+        assert str(rule.actions[0]) == "(make d ^b <x>)"

@@ -1,0 +1,218 @@
+"""Unit tests for the PARULEL lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def values(source):
+    return [t.value for t in tokenize(source)][:-1]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_parens(self):
+        assert kinds("()") == [TokenKind.LPAREN, TokenKind.RPAREN]
+
+    def test_braces(self):
+        assert kinds("{}") == [TokenKind.LBRACE, TokenKind.RBRACE]
+
+    def test_caret(self):
+        assert kinds("^") == [TokenKind.CARET]
+
+    def test_arrow(self):
+        assert kinds("-->") == [TokenKind.ARROW]
+
+    def test_minus_alone(self):
+        assert kinds("-") == [TokenKind.MINUS]
+
+    def test_disjunction_brackets(self):
+        assert kinds("<< >>") == [TokenKind.LDISJ, TokenKind.RDISJ]
+
+    def test_whitespace_ignored(self):
+        assert kinds("  (\t\n ) ") == [TokenKind.LPAREN, TokenKind.RPAREN]
+
+
+class TestAtoms:
+    def test_symbol(self):
+        assert values("hello") == ["hello"]
+        assert kinds("hello") == [TokenKind.SYMBOL]
+
+    def test_symbol_with_hyphens(self):
+        assert values("on-top-of") == ["on-top-of"]
+        assert kinds("on-top-of") == [TokenKind.SYMBOL]
+
+    def test_integer(self):
+        toks = tokenize("42")
+        assert toks[0].kind is TokenKind.NUMBER
+        assert toks[0].value == 42
+        assert isinstance(toks[0].value, int)
+
+    def test_float(self):
+        toks = tokenize("3.25")
+        assert toks[0].kind is TokenKind.NUMBER
+        assert toks[0].value == 3.25
+
+    def test_negative_integer(self):
+        toks = tokenize("-7")
+        assert toks[0].kind is TokenKind.NUMBER
+        assert toks[0].value == -7
+
+    def test_negative_float(self):
+        toks = tokenize("-0.5")
+        assert toks[0].value == -0.5
+
+    def test_exponent_float(self):
+        toks = tokenize("1e3")
+        assert toks[0].kind is TokenKind.NUMBER
+        assert toks[0].value == 1000.0
+
+    def test_symbol_starting_with_digit_is_number_error_free(self):
+        # "2x" is not a number; it lexes as a symbol.
+        toks = tokenize("2x")
+        assert toks[0].kind is TokenKind.SYMBOL
+        assert toks[0].value == "2x"
+
+
+class TestVariables:
+    def test_simple_variable(self):
+        toks = tokenize("<x>")
+        assert toks[0].kind is TokenKind.VARIABLE
+        assert toks[0].value == "x"
+
+    def test_multichar_variable(self):
+        toks = tokenize("<block-name>")
+        assert toks[0].kind is TokenKind.VARIABLE
+        assert toks[0].value == "block-name"
+
+    def test_two_variables(self):
+        assert values("<a> <b>") == ["a", "b"]
+
+    def test_empty_angle_is_not_variable(self):
+        # "<>" is the not-equal predicate symbol.
+        toks = tokenize("<>")
+        assert toks[0].kind is TokenKind.SYMBOL
+        assert toks[0].value == "<>"
+
+
+class TestPredicateSymbols:
+    @pytest.mark.parametrize("sym", ["<", "<=", ">", ">=", "<>", "<=>", "="])
+    def test_predicate_lexes_as_symbol(self, sym):
+        toks = tokenize(sym)
+        assert toks[0].kind is TokenKind.SYMBOL
+        assert toks[0].value == sym
+
+    def test_predicate_followed_by_number(self):
+        assert values("> 4") == [">", 4]
+
+    def test_le_vs_ldisj(self):
+        # "<<" is a disjunction bracket, "<=" a predicate.
+        assert kinds("<<")[0] is TokenKind.LDISJ
+        assert kinds("<=")[0] is TokenKind.SYMBOL
+
+
+class TestStrings:
+    def test_bar_string(self):
+        toks = tokenize("|hello world|")
+        assert toks[0].kind is TokenKind.STRING
+        assert toks[0].value == "hello world"
+
+    def test_empty_string(self):
+        toks = tokenize("||")
+        assert toks[0].value == ""
+
+    def test_string_with_specials(self):
+        toks = tokenize("|a(b){c}^d|")
+        assert toks[0].value == "a(b){c}^d"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("|unterminated")
+
+
+class TestComments:
+    def test_comment_to_eol(self):
+        assert values("foo ; this is a comment\nbar") == ["foo", "bar"]
+
+    def test_comment_at_eof(self):
+        assert values("foo ; trailing") == ["foo"]
+
+    def test_full_line_comment(self):
+        assert values("; nothing here\n(") == ["("]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("(p\n  foo)")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (1, 2)
+        assert (toks[2].line, toks[2].column) == (2, 3)  # foo
+        assert (toks[3].line, toks[3].column) == (2, 6)  # )
+
+    def test_lex_error_carries_position(self):
+        try:
+            tokenize("abc\n  |oops")
+        except LexError as exc:
+            assert exc.line == 2
+            assert exc.column == 3
+        else:
+            pytest.fail("expected LexError")
+
+
+class TestRealisticFragments:
+    def test_condition_element(self):
+        src = "(block ^name <x> ^size > 4)"
+        ks = kinds(src)
+        assert ks == [
+            TokenKind.LPAREN,
+            TokenKind.SYMBOL,
+            TokenKind.CARET,
+            TokenKind.SYMBOL,
+            TokenKind.VARIABLE,
+            TokenKind.CARET,
+            TokenKind.SYMBOL,
+            TokenKind.SYMBOL,
+            TokenKind.NUMBER,
+            TokenKind.RPAREN,
+        ]
+
+    def test_negated_ce(self):
+        ks = kinds("-(path ^src <a>)")
+        assert ks[0] is TokenKind.MINUS
+        assert ks[1] is TokenKind.LPAREN
+
+    def test_arrow_between_minus_tokens(self):
+        # "a --> b" must not lex the arrow as minus-minus-gt.
+        assert kinds("a --> b") == [
+            TokenKind.SYMBOL,
+            TokenKind.ARROW,
+            TokenKind.SYMBOL,
+        ]
+
+    def test_conjunctive_test(self):
+        ks = kinds("{<x> > 4}")
+        assert ks == [
+            TokenKind.LBRACE,
+            TokenKind.VARIABLE,
+            TokenKind.SYMBOL,
+            TokenKind.NUMBER,
+            TokenKind.RBRACE,
+        ]
+
+    def test_disjunction_of_colors(self):
+        assert values("<< red green blue >>") == [
+            "<<",
+            "red",
+            "green",
+            "blue",
+            ">>",
+        ]

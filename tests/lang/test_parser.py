@@ -1,0 +1,273 @@
+"""Unit tests for the PARULEL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.ast import (
+    BindAction,
+    CallAction,
+    ComputeExpr,
+    ConjunctiveTest,
+    ConstantExpr,
+    ConstantTest,
+    DisjunctionTest,
+    HaltAction,
+    MakeAction,
+    MetaRule,
+    ModifyAction,
+    PredicateTest,
+    RedactAction,
+    RemoveAction,
+    Rule,
+    VariableExpr,
+    VariableTest,
+    WriteAction,
+)
+from repro.lang.parser import parse_program
+
+
+def first_rule(src):
+    return parse_program(src).rules[0]
+
+
+MINIMAL = "(p r (c ^a 1) --> (halt))"
+
+
+class TestDeclarations:
+    def test_empty_program(self):
+        prog = parse_program("")
+        assert prog.rules == ()
+        assert prog.literalizes == ()
+        assert prog.meta_rules == ()
+
+    def test_literalize(self):
+        prog = parse_program("(literalize block name size on-top-of)")
+        lit = prog.literalizes[0]
+        assert lit.class_name == "block"
+        assert lit.attributes == ("name", "size", "on-top-of")
+
+    def test_literalize_no_attributes(self):
+        prog = parse_program("(literalize marker)")
+        assert prog.literalizes[0].attributes == ()
+
+    def test_rule_and_meta_rule_separated(self):
+        prog = parse_program(
+            "(p r (c ^a 1) --> (halt))"
+            "(mp m (instantiation ^id <i>) --> (redact <i>))"
+        )
+        assert len(prog.rules) == 1
+        assert len(prog.meta_rules) == 1
+        assert isinstance(prog.rules[0], Rule)
+        assert not isinstance(prog.rules[0], MetaRule)
+        assert isinstance(prog.meta_rules[0], MetaRule)
+
+    def test_unknown_declaration_rejected(self):
+        with pytest.raises(ParseError, match="unknown declaration"):
+            parse_program("(production foo)")
+
+    def test_rule_lookup_by_name(self):
+        prog = parse_program(MINIMAL)
+        assert prog.rule("r").name == "r"
+        with pytest.raises(KeyError):
+            prog.rule("absent")
+
+
+class TestSalience:
+    def test_default_salience_zero(self):
+        assert first_rule(MINIMAL).salience == 0
+
+    def test_explicit_salience(self):
+        rule = first_rule("(p r (salience 5) (c ^a 1) --> (halt))")
+        assert rule.salience == 5
+
+    def test_negative_salience(self):
+        rule = first_rule("(p r (salience -3) (c ^a 1) --> (halt))")
+        assert rule.salience == -3
+
+    def test_float_salience_rejected(self):
+        with pytest.raises(ParseError, match="integer"):
+            parse_program("(p r (salience 1.5) (c ^a 1) --> (halt))")
+
+
+class TestConditionElements:
+    def test_class_only_ce(self):
+        rule = first_rule("(p r (goal) --> (halt))")
+        ce = rule.conditions[0]
+        assert ce.class_name == "goal"
+        assert ce.tests == ()
+        assert not ce.negated
+
+    def test_constant_tests(self):
+        rule = first_rule("(p r (c ^a 1 ^b foo ^s |two words|) --> (halt))")
+        tests = dict(rule.conditions[0].tests)
+        assert tests["a"] == ConstantTest(1)
+        assert tests["b"] == ConstantTest("foo")
+        assert tests["s"] == ConstantTest("two words")
+
+    def test_variable_test(self):
+        rule = first_rule("(p r (c ^a <x>) --> (halt))")
+        assert dict(rule.conditions[0].tests)["a"] == VariableTest("x")
+
+    def test_predicate_with_constant(self):
+        rule = first_rule("(p r (c ^a > 4) --> (halt))")
+        test = dict(rule.conditions[0].tests)["a"]
+        assert test == PredicateTest(">", ConstantTest(4))
+
+    def test_predicate_with_variable(self):
+        rule = first_rule("(p r (c ^a <x> ^b <> <x>) --> (halt))")
+        test = dict(rule.conditions[0].tests)["b"]
+        assert test == PredicateTest("<>", VariableTest("x"))
+
+    def test_disjunction(self):
+        rule = first_rule("(p r (c ^a << red green 3 >>) --> (halt))")
+        test = dict(rule.conditions[0].tests)["a"]
+        assert test == DisjunctionTest(("red", "green", 3))
+
+    def test_empty_disjunction_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("(p r (c ^a << >>) --> (halt))")
+
+    def test_conjunctive_test(self):
+        rule = first_rule("(p r (c ^a { <x> > 4 <> 9 }) --> (halt))")
+        test = dict(rule.conditions[0].tests)["a"]
+        assert isinstance(test, ConjunctiveTest)
+        assert test.tests == (
+            VariableTest("x"),
+            PredicateTest(">", ConstantTest(4)),
+            PredicateTest("<>", ConstantTest(9)),
+        )
+
+    def test_empty_conjunction_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("(p r (c ^a { }) --> (halt))")
+
+    def test_negated_ce(self):
+        rule = first_rule("(p r (c ^a <x>) -(d ^a <x>) --> (halt))")
+        assert not rule.conditions[0].negated
+        assert rule.conditions[1].negated
+
+    def test_multiple_ces_in_order(self):
+        rule = first_rule("(p r (c1) (c2) (c3) --> (halt))")
+        assert [ce.class_name for ce in rule.conditions] == ["c1", "c2", "c3"]
+
+    def test_rule_without_conditions_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("(p r --> (halt))")
+
+
+class TestActions:
+    def test_make(self):
+        rule = first_rule("(p r (c ^a <x>) --> (make d ^b <x> ^c 5))")
+        action = rule.actions[0]
+        assert action == MakeAction(
+            "d", (("b", VariableExpr("x")), ("c", ConstantExpr(5)))
+        )
+
+    def test_make_no_assignments(self):
+        rule = first_rule("(p r (c) --> (make d))")
+        assert rule.actions[0] == MakeAction("d", ())
+
+    def test_modify(self):
+        rule = first_rule("(p r (c ^a <x>) --> (modify 1 ^a 2))")
+        action = rule.actions[0]
+        assert isinstance(action, ModifyAction)
+        assert action.ce_index == 1
+
+    def test_modify_requires_positive_index(self):
+        with pytest.raises(ParseError):
+            parse_program("(p r (c) --> (modify 0 ^a 1))")
+
+    def test_remove_multiple(self):
+        rule = first_rule("(p r (c) (d) --> (remove 1 2))")
+        assert rule.actions[0] == RemoveAction((1, 2))
+
+    def test_remove_needs_index(self):
+        with pytest.raises(ParseError):
+            parse_program("(p r (c) --> (remove))")
+
+    def test_write(self):
+        rule = first_rule("(p r (c ^a <x>) --> (write found <x> 42))")
+        action = rule.actions[0]
+        assert action == WriteAction(
+            (ConstantExpr("found"), VariableExpr("x"), ConstantExpr(42))
+        )
+
+    def test_bind(self):
+        rule = first_rule("(p r (c ^a <x>) --> (bind <y> (compute <x> + 1)))")
+        action = rule.actions[0]
+        assert isinstance(action, BindAction)
+        assert action.name == "y"
+        assert isinstance(action.expr, ComputeExpr)
+
+    def test_halt(self):
+        assert first_rule(MINIMAL).actions[0] == HaltAction()
+
+    def test_call(self):
+        rule = first_rule("(p r (c ^a <x>) --> (call notify <x> done))")
+        action = rule.actions[0]
+        assert action == CallAction(
+            "notify", (VariableExpr("x"), ConstantExpr("done"))
+        )
+
+    def test_redact_in_meta_rule(self):
+        prog = parse_program("(mp m (instantiation ^id <i>) --> (redact <i>))")
+        assert prog.meta_rules[0].actions[0] == RedactAction(VariableExpr("i"))
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ParseError, match="unknown action"):
+            parse_program("(p r (c) --> (frobnicate))")
+
+
+class TestComputeExpressions:
+    def test_simple_addition(self):
+        rule = first_rule("(p r (c ^a <x>) --> (make d ^b (compute <x> + 1)))")
+        expr = rule.actions[0].assignments[0][1]
+        assert expr == ComputeExpr((VariableExpr("x"), "+", ConstantExpr(1)))
+
+    def test_chained_operators(self):
+        rule = first_rule(
+            "(p r (c ^a <x>) --> (make d ^b (compute <x> + 1 * 2 - 3)))"
+        )
+        expr = rule.actions[0].assignments[0][1]
+        assert [i for i in expr.items if isinstance(i, str)] == ["+", "*", "-"]
+
+    def test_mod_and_intdiv(self):
+        rule = first_rule(
+            "(p r (c ^a <x>) --> (make d ^b (compute <x> mod 2) ^c (compute <x> // 2)))"
+        )
+        exprs = [e for _a, e in rule.actions[0].assignments]
+        assert "mod" in exprs[0].items
+        assert "//" in exprs[1].items
+
+    def test_dangling_operator_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("(p r (c ^a <x>) --> (make d ^b (compute <x> +)))")
+
+    def test_missing_operator_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("(p r (c ^a <x>) --> (make d ^b (compute <x> 1)))")
+
+    def test_only_compute_heads_allowed(self):
+        with pytest.raises(ParseError, match="compute"):
+            parse_program("(p r (c ^a <x>) --> (make d ^b (plus <x> 1)))")
+
+
+class TestDerivedProperties:
+    def test_specificity_counts_tests(self):
+        rule = first_rule("(p r (c ^a 1 ^b <x>) (d ^e { > 1 < 9 }) --> (halt))")
+        assert rule.specificity == 4
+
+    def test_variables_in_order(self):
+        rule = first_rule("(p r (c ^a <x> ^b <y>) (d ^e <z> ^f <x>) --> (halt))")
+        assert rule.variables == ("x", "y", "z")
+
+    def test_positive_conditions_excludes_negated(self):
+        rule = first_rule("(p r (c ^a <x>) -(d ^a <x>) --> (halt))")
+        assert len(rule.positive_conditions) == 1
+
+
+class TestErrorPositions:
+    def test_error_mentions_line(self):
+        with pytest.raises(ParseError) as exc:
+            parse_program("(p r\n  (c ^a ^b 1)\n --> (halt))")
+        assert exc.value.line == 2

@@ -1,0 +1,141 @@
+"""Tests for LHS compilation (alpha/binding/join classification)."""
+
+import pytest
+
+from repro.errors import MatchError
+from repro.lang.parser import parse_program
+from repro.match.compile import compile_rule, compile_rules, value_predicate
+from repro.wm.wme import WME
+
+
+def compiled(src):
+    return compile_rule(parse_program(src).rules[0])
+
+
+class TestAlphaConditions:
+    def test_constant_test_is_alpha(self):
+        cr = compiled("(p r (c ^a 1) --> (halt))")
+        assert cr.ces[0].alpha_conds == (("const", "a", "=", 1),)
+        assert cr.ces[0].bindings == ()
+        assert cr.ces[0].join_tests == ()
+
+    def test_predicate_against_constant_is_alpha(self):
+        cr = compiled("(p r (c ^a > 4) --> (halt))")
+        assert cr.ces[0].alpha_conds == (("const", "a", ">", 4),)
+
+    def test_disjunction_is_alpha(self):
+        cr = compiled("(p r (c ^a << x y >>) --> (halt))")
+        assert cr.ces[0].alpha_conds == (("in", "a", ("x", "y")),)
+
+    def test_intra_ce_variable_repeat_is_alpha(self):
+        cr = compiled("(p r (c ^a <x> ^b <x>) --> (halt))")
+        ce = cr.ces[0]
+        assert ("intra", "b", "=", "a") in ce.alpha_conds
+        assert ce.bindings == (("a", "x"),)
+
+    def test_intra_ce_predicate(self):
+        cr = compiled("(p r (c ^a <x> ^b > <x>) --> (halt))")
+        assert ("intra", "b", ">", "a") in cr.ces[0].alpha_conds
+
+    def test_alpha_key_shared_for_identical_patterns(self):
+        prog = parse_program(
+            "(p r1 (c ^a 1 ^b <x>) --> (halt))"
+            "(p r2 (c ^b <y> ^a 1) --> (halt))"
+        )
+        crs = compile_rules(prog.rules)
+        assert crs[0].ces[0].alpha_key == crs[1].ces[0].alpha_key
+
+    def test_alpha_key_distinguishes_constants(self):
+        prog = parse_program(
+            "(p r1 (c ^a 1) --> (halt))(p r2 (c ^a 2) --> (halt))"
+        )
+        crs = compile_rules(prog.rules)
+        assert crs[0].ces[0].alpha_key != crs[1].ces[0].alpha_key
+
+
+class TestBindingsAndJoins:
+    def test_cross_ce_variable_is_join(self):
+        cr = compiled("(p r (c ^a <x>) (d ^b <x>) --> (halt))")
+        assert cr.ces[0].bindings == (("a", "x"),)
+        assert cr.ces[1].join_tests == (("b", "=", "x"),)
+        assert cr.ces[1].bindings == ()
+
+    def test_predicate_join(self):
+        cr = compiled("(p r (c ^a <x>) (d ^b > <x>) --> (halt))")
+        assert cr.ces[1].join_tests == (("b", ">", "x"),)
+        assert cr.ces[1].eq_join_tests == ()
+        assert cr.ces[1].other_join_tests == (("b", ">", "x"),)
+
+    def test_eq_join_tests_extracted(self):
+        cr = compiled("(p r (c ^a <x> ^b <y>) (d ^p <x> ^q <> <y>) --> (halt))")
+        ce = cr.ces[1]
+        assert ce.eq_join_tests == (("p", "x"),)
+        assert ce.other_join_tests == (("q", "<>", "y"),)
+
+    def test_conjunctive_binding_and_constraint(self):
+        cr = compiled("(p r (c ^a { <x> > 4 }) --> (halt))")
+        ce = cr.ces[0]
+        assert ce.bindings == (("a", "x"),)
+        assert ("const", "a", ">", 4) in ce.alpha_conds
+
+    def test_variables_property(self):
+        cr = compiled("(p r (c ^a <x> ^b <y>) (d ^e <z>) --> (halt))")
+        assert cr.variables == ("x", "y", "z")
+
+    def test_positive_and_negative_partition(self):
+        cr = compiled("(p r (c ^a <x>) -(d ^b <x>) (e) --> (halt))")
+        assert len(cr.positive_ces) == 2
+        assert len(cr.negative_ces) == 1
+        assert cr.negative_ces[0].index == 1
+
+
+class TestOrderingRestrictions:
+    def test_forward_reference_in_predicate_rejected(self):
+        with pytest.raises(MatchError, match="before being bound"):
+            compiled("(p r (c ^a > <x>) (d ^b <x>) --> (halt))")
+
+    def test_binding_inside_negated_ce_rejected(self):
+        with pytest.raises(MatchError, match="negated"):
+            compiled("(p r (c ^a 1) -(d ^b <x>) --> (halt))")
+
+    def test_negated_ce_with_bound_vars_ok(self):
+        cr = compiled("(p r (c ^a <x>) -(d ^b <x>) --> (halt))")
+        assert cr.ces[1].join_tests == (("b", "=", "x"),)
+
+
+class TestValuePredicate:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("=", 1, 1, True),
+            ("=", 1, 2, False),
+            ("=", "x", "x", True),
+            ("<>", 1, 2, True),
+            ("<>", "a", "a", False),
+            ("<", 1, 2, True),
+            ("<", 2, 1, False),
+            ("<=", 2, 2, True),
+            (">", 3, 2, True),
+            (">=", 2, 3, False),
+            ("<", "apple", "banana", True),
+            (">", "zebra", "ant", True),
+        ],
+    )
+    def test_basic(self, op, a, b, expected):
+        assert value_predicate(op, a, b) is expected
+
+    def test_int_float_equality(self):
+        assert value_predicate("=", 1, 1.0) is True
+
+    def test_mixed_ordering_is_false(self):
+        assert value_predicate("<", 1, "banana") is False
+        assert value_predicate(">", "a", 0) is False
+
+    def test_same_type(self):
+        assert value_predicate("<=>", 1, 2.5) is True
+        assert value_predicate("<=>", "a", "b") is True
+        assert value_predicate("<=>", 1, "a") is False
+
+    def test_unknown_predicate_raises(self):
+        with pytest.raises(MatchError):
+            value_predicate("~=", 1, 1)

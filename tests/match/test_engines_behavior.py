@@ -1,0 +1,327 @@
+"""Behavioural tests run identically against RETE, TREAT and naive.
+
+These pin the *semantics* of matching: what instantiations exist after any
+sequence of adds/removes. The conftest fixture parameterizes every test
+over all three engines.
+"""
+
+import pytest
+
+from tests.match.conftest import keys
+
+
+class TestSingleCE:
+    SRC = "(p r (c ^a <x>) --> (halt))"
+
+    def test_empty_wm_no_matches(self, setup):
+        _wm, m = setup(self.SRC)
+        assert m.instantiations() == []
+
+    def test_one_wme_one_instantiation(self, setup):
+        wm, m = setup(self.SRC)
+        wm.make("c", a=1)
+        insts = m.instantiations()
+        assert len(insts) == 1
+        assert insts[0].rule.name == "r"
+        assert insts[0].env == {"x": 1}
+
+    def test_wrong_class_ignored(self, setup):
+        wm, m = setup(self.SRC)
+        wm.make("d", a=1)
+        assert m.instantiations() == []
+
+    def test_each_wme_its_own_instantiation(self, setup):
+        wm, m = setup(self.SRC)
+        wm.make("c", a=1)
+        wm.make("c", a=2)
+        assert len(m.instantiations()) == 2
+
+    def test_remove_retracts(self, setup):
+        wm, m = setup(self.SRC)
+        w = wm.make("c", a=1)
+        assert len(m.instantiations()) == 1
+        wm.remove(w)
+        assert m.instantiations() == []
+
+    def test_missing_attribute_matches_nil(self, setup):
+        wm, m = setup("(p r (c ^a nil) --> (halt))")
+        wm.make("c", b=1)  # a unassigned -> nil
+        assert len(m.instantiations()) == 1
+
+
+class TestConstantAndPredicateTests:
+    def test_constant_filter(self, setup):
+        wm, m = setup("(p r (c ^color red) --> (halt))")
+        wm.make("c", color="red")
+        wm.make("c", color="blue")
+        assert len(m.instantiations()) == 1
+
+    def test_numeric_predicate(self, setup):
+        wm, m = setup("(p r (c ^size > 4) --> (halt))")
+        wm.make("c", size=3)
+        wm.make("c", size=5)
+        wm.make("c", size=4)
+        assert len(m.instantiations()) == 1
+
+    def test_disjunction(self, setup):
+        wm, m = setup("(p r (c ^color << red green >>) --> (halt))")
+        wm.make("c", color="red")
+        wm.make("c", color="green")
+        wm.make("c", color="blue")
+        assert len(m.instantiations()) == 2
+
+    def test_conjunction(self, setup):
+        wm, m = setup("(p r (c ^size { <s> > 2 < 6 }) --> (halt))")
+        for s in (1, 3, 5, 7):
+            wm.make("c", size=s)
+        envs = sorted(i.env["s"] for i in m.instantiations())
+        assert envs == [3, 5]
+
+    def test_intra_ce_equality(self, setup):
+        wm, m = setup("(p r (c ^a <x> ^b <x>) --> (halt))")
+        wm.make("c", a=1, b=1)
+        wm.make("c", a=1, b=2)
+        assert len(m.instantiations()) == 1
+
+    def test_intra_ce_inequality(self, setup):
+        wm, m = setup("(p r (c ^a <x> ^b <> <x>) --> (halt))")
+        wm.make("c", a=1, b=1)
+        wm.make("c", a=1, b=2)
+        assert len(m.instantiations()) == 1
+
+
+class TestJoins:
+    JOIN = "(p r (a ^k <k>) (b ^k <k>) --> (halt))"
+
+    def test_equijoin_pairs(self, setup):
+        wm, m = setup(self.JOIN)
+        wm.make("a", k=1)
+        wm.make("a", k=2)
+        wm.make("b", k=1)
+        wm.make("b", k=1)
+        # a(k=1) joins both b(k=1)s -> 2 instantiations
+        assert len(m.instantiations()) == 2
+
+    def test_join_order_of_arrival_irrelevant(self, setup):
+        wm, m = setup(self.JOIN)
+        wm.make("b", k=1)
+        wm.make("a", k=1)
+        assert len(m.instantiations()) == 1
+
+    def test_join_with_inequality(self, setup):
+        wm, m = setup("(p r (a ^k <k>) (b ^k > <k>) --> (halt))")
+        wm.make("a", k=5)
+        wm.make("b", k=4)
+        wm.make("b", k=6)
+        insts = m.instantiations()
+        assert len(insts) == 1
+        assert insts[0].wmes[1].get("k") == 6
+
+    def test_three_way_join(self, setup):
+        wm, m = setup("(p r (a ^k <k>) (b ^k <k> ^v <v>) (c ^v <v>) --> (halt))")
+        wm.make("a", k=1)
+        wm.make("b", k=1, v="x")
+        wm.make("b", k=1, v="y")
+        wm.make("c", v="x")
+        insts = m.instantiations()
+        assert len(insts) == 1
+        assert insts[0].env == {"k": 1, "v": "x"}
+
+    def test_removing_join_partner_retracts(self, setup):
+        wm, m = setup(self.JOIN)
+        wa = wm.make("a", k=1)
+        wb = wm.make("b", k=1)
+        assert len(m.instantiations()) == 1
+        wm.remove(wb)
+        assert m.instantiations() == []
+        wm.make("b", k=1)
+        assert len(m.instantiations()) == 1
+        wm.remove(wa)
+        assert m.instantiations() == []
+
+    def test_self_join_same_class(self, setup):
+        wm, m = setup("(p r (n ^v <a>) (n ^v > <a>) --> (halt))")
+        wm.make("n", v=1)
+        wm.make("n", v=2)
+        wm.make("n", v=3)
+        # ordered pairs with second > first: (1,2),(1,3),(2,3)
+        assert len(m.instantiations()) == 3
+
+    def test_join_on_multiple_attributes(self, setup):
+        wm, m = setup("(p r (a ^x <x> ^y <y>) (b ^x <x> ^y <y>) --> (halt))")
+        wm.make("a", x=1, y=1)
+        wm.make("b", x=1, y=1)
+        wm.make("b", x=1, y=2)
+        assert len(m.instantiations()) == 1
+
+
+class TestNegation:
+    NEG = "(p r (a ^k <k>) -(b ^k <k>) --> (halt))"
+
+    def test_negation_blocks(self, setup):
+        wm, m = setup(self.NEG)
+        wm.make("a", k=1)
+        wm.make("b", k=1)
+        assert m.instantiations() == []
+
+    def test_negation_passes_when_absent(self, setup):
+        wm, m = setup(self.NEG)
+        wm.make("a", k=1)
+        wm.make("b", k=2)
+        assert len(m.instantiations()) == 1
+
+    def test_adding_blocker_retracts(self, setup):
+        wm, m = setup(self.NEG)
+        wm.make("a", k=1)
+        assert len(m.instantiations()) == 1
+        wm.make("b", k=1)
+        assert m.instantiations() == []
+
+    def test_removing_blocker_reinstates(self, setup):
+        wm, m = setup(self.NEG)
+        wm.make("a", k=1)
+        blocker = wm.make("b", k=1)
+        assert m.instantiations() == []
+        wm.remove(blocker)
+        assert len(m.instantiations()) == 1
+
+    def test_two_blockers_both_must_go(self, setup):
+        wm, m = setup(self.NEG)
+        wm.make("a", k=1)
+        b1 = wm.make("b", k=1)
+        b2 = wm.make("b", k=1)
+        wm.remove(b1)
+        assert m.instantiations() == []
+        wm.remove(b2)
+        assert len(m.instantiations()) == 1
+
+    def test_pure_alpha_negation(self, setup):
+        wm, m = setup("(p r (a ^k <k>) -(stop) --> (halt))")
+        wm.make("a", k=1)
+        assert len(m.instantiations()) == 1
+        s = wm.make("stop")
+        assert m.instantiations() == []
+        wm.remove(s)
+        assert len(m.instantiations()) == 1
+
+    def test_negation_with_inequality_join(self, setup):
+        wm, m = setup("(p r (a ^k <k>) -(b ^k > <k>) --> (halt))")
+        wm.make("a", k=5)
+        assert len(m.instantiations()) == 1
+        hi = wm.make("b", k=9)
+        assert m.instantiations() == []
+        wm.make("b", k=1)  # not a blocker (1 < 5)
+        assert m.instantiations() == []
+        wm.remove(hi)
+        assert len(m.instantiations()) == 1
+
+    def test_negation_with_constant_alpha(self, setup):
+        wm, m = setup("(p r (a ^k <k>) -(b ^k <k> ^tag done) --> (halt))")
+        wm.make("a", k=1)
+        wm.make("b", k=1, tag="pending")  # alpha-filtered out, not a blocker
+        assert len(m.instantiations()) == 1
+        done = wm.make("b", k=1, tag="done")
+        assert m.instantiations() == []
+        wm.remove(done)
+        assert len(m.instantiations()) == 1
+
+    def test_two_negations(self, setup):
+        wm, m = setup("(p r (a ^k <k>) -(b ^k <k>) -(c ^k <k>) --> (halt))")
+        wm.make("a", k=1)
+        wb = wm.make("b", k=1)
+        wc = wm.make("c", k=1)
+        assert m.instantiations() == []
+        wm.remove(wb)
+        assert m.instantiations() == []
+        wm.remove(wc)
+        assert len(m.instantiations()) == 1
+
+    def test_negation_between_positives(self, setup):
+        wm, m = setup("(p r (a ^k <k>) -(b ^k <k>) (c ^k <k>) --> (halt))")
+        wm.make("a", k=1)
+        wm.make("c", k=1)
+        assert len(m.instantiations()) == 1
+        wm.make("b", k=1)
+        assert m.instantiations() == []
+
+
+class TestMultipleRules:
+    def test_rules_fire_independently(self, setup):
+        wm, m = setup(
+            "(p r1 (c ^a <x>) --> (halt))"
+            "(p r2 (c ^a > 5) --> (halt))"
+        )
+        wm.make("c", a=3)
+        wm.make("c", a=7)
+        names = sorted(i.rule.name for i in m.instantiations())
+        assert names == ["r1", "r1", "r2"]
+
+    def test_shared_alpha_pattern(self, setup):
+        # Identical first CE in both rules (alpha sharing path in RETE).
+        wm, m = setup(
+            "(p r1 (c ^a 1) (d ^b <y>) --> (halt))"
+            "(p r2 (c ^a 1) (e ^b <y>) --> (halt))"
+        )
+        wm.make("c", a=1)
+        wm.make("d", b=2)
+        wm.make("e", b=3)
+        names = sorted(i.rule.name for i in m.instantiations())
+        assert names == ["r1", "r2"]
+
+
+class TestEnvironmentContents:
+    def test_env_covers_all_bound_variables(self, setup):
+        wm, m = setup("(p r (a ^x <x>) (b ^y <y> ^x <x>) --> (halt))")
+        wm.make("a", x=1)
+        wm.make("b", x=1, y="payload")
+        (inst,) = m.instantiations()
+        assert inst.env == {"x": 1, "y": "payload"}
+
+    def test_wmes_aligned_with_ces(self, setup):
+        wm, m = setup("(p r (a ^x <x>) -(c ^x <x>) (b ^x <x>) --> (halt))")
+        wa = wm.make("a", x=1)
+        wb = wm.make("b", x=1)
+        (inst,) = m.instantiations()
+        assert inst.wmes == (wa, None, wb)
+        assert inst.wme_for_ce(1) == wa
+        assert inst.wme_for_ce(3) == wb
+        with pytest.raises(LookupError):
+            inst.wme_for_ce(2)
+
+    def test_key_is_rule_and_timestamps(self, setup):
+        wm, m = setup("(p r (a ^x <x>) --> (halt))")
+        w = wm.make("a", x=1)
+        (inst,) = m.instantiations()
+        assert inst.key == ("r", (w.timestamp,))
+
+
+class TestChurnStability:
+    def test_add_remove_interleaving(self, setup):
+        """A randomized-ish but deterministic interleaving must leave the
+        conflict set consistent at every step (verified against a freshly
+        built naive matcher at the end)."""
+        src = "(p r (a ^k <k>) (b ^k <k>) -(c ^k <k>) --> (halt))"
+        wm, m = setup(src)
+        live = []
+        script = [
+            ("a", 1), ("b", 1), ("c", 1), ("a", 2), ("b", 2),
+            ("-", 2), ("a", 1), ("-", 0), ("b", 3), ("a", 3),
+            ("c", 3), ("-", 10), ("-", 8),
+        ]
+        for cls, k in script:
+            if cls == "-":
+                wm.remove(live.pop(k % len(live)))
+            else:
+                live.append(wm.make(cls, k=k))
+        # Compare against fresh recomputation.
+        from repro.lang.parser import parse_program
+        from repro.match.interface import create_matcher
+        from repro.wm.memory import WorkingMemory
+
+        fresh_wm = WorkingMemory()
+        for wme in wm.snapshot():
+            fresh_wm.add(wme)
+        oracle = create_matcher("naive", parse_program(src).rules, fresh_wm)
+        assert sorted(i.key for i in m.instantiations()) == sorted(
+            i.key for i in oracle.instantiations()
+        )

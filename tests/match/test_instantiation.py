@@ -1,0 +1,124 @@
+"""Unit tests for Instantiation and ConflictSet."""
+
+import pytest
+
+from repro.lang.parser import parse_program
+from repro.match.instantiation import ConflictSet, Instantiation
+from repro.wm.wme import WME
+
+RULE = parse_program("(p r (a ^x <x>) (b ^x <x>) --> (halt))").rules[0]
+NEG_RULE = parse_program("(p n (a ^x <x>) -(b ^x <x>) --> (halt))").rules[0]
+
+
+def inst(ts_a=1, ts_b=2, rule=RULE, x=0):
+    wa = WME("a", {"x": x}, ts_a)
+    wb = WME("b", {"x": x}, ts_b)
+    return Instantiation(rule, (wa, wb), {"x": x})
+
+
+class TestInstantiation:
+    def test_key(self):
+        i = inst(3, 7)
+        assert i.key == ("r", (3, 7))
+
+    def test_wme_count_must_match_ces(self):
+        w = WME("a", {"x": 1}, 1)
+        with pytest.raises(ValueError):
+            Instantiation(RULE, (w,), {})
+
+    def test_negated_slot_is_none(self):
+        w = WME("a", {"x": 1}, 4)
+        i = Instantiation(NEG_RULE, (w, None), {"x": 1})
+        assert i.key == ("n", (4, 0))
+        assert i.timestamps == (4,)
+
+    def test_timestamps_sorted_descending(self):
+        assert inst(3, 9).timestamps == (9, 3)
+
+    def test_recency(self):
+        assert inst(3, 9).recency == 9
+
+    def test_salience_and_specificity_delegate_to_rule(self):
+        i = inst()
+        assert i.salience == RULE.salience
+        assert i.specificity == RULE.specificity
+
+    def test_binding(self):
+        i = inst(x=42)
+        assert i.binding("x") == 42
+        with pytest.raises(KeyError):
+            i.binding("nope")
+
+    def test_uses(self):
+        i = inst(1, 2)
+        assert i.uses(WME("a", {"x": 0}, 1))
+        assert not i.uses(WME("a", {"x": 0}, 99))
+
+    def test_equality_by_key(self):
+        assert inst(1, 2) == inst(1, 2)
+        assert inst(1, 2) != inst(1, 3)
+        assert hash(inst(1, 2)) == hash(inst(1, 2))
+
+
+class TestConflictSet:
+    def test_add_dedupes_by_key(self):
+        cs = ConflictSet()
+        assert cs.add(inst(1, 2)) is True
+        assert cs.add(inst(1, 2)) is False
+        assert len(cs) == 1
+
+    def test_insertion_order_preserved(self):
+        cs = ConflictSet()
+        a, b, c = inst(1, 2), inst(3, 4), inst(5, 6)
+        for i in (b, a, c):
+            cs.add(i)
+        assert cs.instantiations() == [b, a, c]
+
+    def test_remove_and_discard(self):
+        cs = ConflictSet()
+        i = inst(1, 2)
+        cs.add(i)
+        assert cs.discard_key(i.key) == i
+        assert cs.discard_key(i.key) is None
+        cs.add(i)
+        cs.remove(i)
+        assert len(cs) == 0
+
+    def test_contains_and_get(self):
+        cs = ConflictSet()
+        i = inst(1, 2)
+        cs.add(i)
+        assert i in cs
+        assert cs.get(i.key) == i
+        assert cs.get(("r", (9, 9))) is None
+
+    def test_remove_with_wme(self):
+        cs = ConflictSet()
+        i1, i2 = inst(1, 2), inst(1, 3)
+        cs.add(i1)
+        cs.add(i2)
+        victims = cs.remove_with_wme(WME("a", {"x": 0}, 1))
+        assert set(victims) == {i1, i2}
+        assert len(cs) == 0
+
+    def test_remove_with_wme_ignores_unrelated(self):
+        cs = ConflictSet()
+        i = inst(1, 2)
+        cs.add(i)
+        assert cs.remove_with_wme(WME("a", {"x": 0}, 77)) == []
+        assert len(cs) == 1
+
+    def test_of_rule(self):
+        cs = ConflictSet()
+        i1 = inst(1, 2)
+        i2 = Instantiation(NEG_RULE, (WME("a", {"x": 1}, 5), None), {"x": 1})
+        cs.add(i1)
+        cs.add(i2)
+        assert cs.of_rule("r") == [i1]
+        assert cs.of_rule("n") == [i2]
+
+    def test_clear(self):
+        cs = ConflictSet()
+        cs.add(inst(1, 2))
+        cs.clear()
+        assert len(cs) == 0

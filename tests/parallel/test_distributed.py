@@ -1,0 +1,144 @@
+"""Tests for the distributed (replicated-WM) machine."""
+
+import pytest
+
+from repro.core import ParulelEngine
+from repro.lang.parser import parse_program
+from repro.parallel import DistributedMachine, NetworkModel
+from repro.programs import REGISTRY, build_routing, build_tc
+
+TC_SRC = """
+(literalize edge src dst)
+(literalize path src dst)
+(p tc-init (edge ^src <a> ^dst <b>) -(path ^src <a> ^dst <b>)
+ --> (make path ^src <a> ^dst <b>))
+(p tc-extend (path ^src <a> ^dst <b>) (edge ^src <b> ^dst <c>)
+ -(path ^src <a> ^dst <c>) --> (make path ^src <a> ^dst <c>))
+"""
+
+
+def load_chain(machine, n=10):
+    for i in range(n):
+        machine.make("edge", src=f"n{i}", dst=f"n{i + 1}")
+
+
+class TestReplicaConsistency:
+    @pytest.mark.parametrize("n_sites", [1, 2, 3, 5])
+    def test_replicas_identical_after_run(self, n_sites):
+        dm = DistributedMachine(parse_program(TC_SRC), n_sites)
+        load_chain(dm)
+        dm.run()
+        assert dm.replicas_consistent()
+
+    def test_replicas_share_nothing(self):
+        dm = DistributedMachine(parse_program(TC_SRC), 3)
+        assert len({id(r) for r in dm.replicas}) == 3
+
+    def test_consistency_with_meta_rules(self):
+        wl = build_routing(n_nodes=10, extra_edges=10)
+        dm = DistributedMachine(wl.program, 3)
+        wl.setup(dm)
+        dm.run()
+        assert dm.replicas_consistent()
+        # Meta reifications never leak into any replica.
+        for replica in dm.replicas:
+            assert replica.count_class("instantiation") == 0
+
+    @pytest.mark.parametrize("name", ["tc", "waltz", "manners", "circuit", "routing"])
+    def test_workloads_verify_on_every_replica(self, name):
+        wl = REGISTRY[name]()
+        dm = DistributedMachine(wl.program, 3)
+        wl.setup(dm)
+        dm.run(max_cycles=5000)
+        for replica in dm.replicas:
+            assert wl.failed_checks(replica) == [], name
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("n_sites", [1, 2, 4])
+    def test_matches_single_engine(self, n_sites):
+        prog = parse_program(TC_SRC)
+        engine = ParulelEngine(prog)
+        for i in range(10):
+            engine.make("edge", src=f"n{i}", dst=f"n{i + 1}")
+        ref = engine.run()
+
+        dm = DistributedMachine(prog, n_sites)
+        load_chain(dm)
+        res = dm.run()
+        assert res.cycles == ref.cycles
+        assert res.firings == ref.firings
+        ref_paths = sorted(
+            (w.get("src"), w.get("dst")) for w in engine.wm.by_class("path")
+        )
+        for replica in dm.replicas:
+            paths = sorted(
+                (w.get("src"), w.get("dst")) for w in replica.by_class("path")
+            )
+            assert paths == ref_paths
+
+
+class TestCommunicationAccounting:
+    def test_single_site_sends_nothing(self):
+        dm = DistributedMachine(parse_program(TC_SRC), 1)
+        load_chain(dm)
+        res = dm.run()
+        assert res.messages == 0
+
+    def test_messages_grow_with_sites(self):
+        results = {}
+        for p in (2, 4):
+            dm = DistributedMachine(parse_program(TC_SRC), p)
+            load_chain(dm)
+            results[p] = dm.run().messages
+        assert results[4] > results[2]
+
+    def test_latency_scales_comm_ticks(self):
+        slow = DistributedMachine(
+            parse_program(TC_SRC), 2, network=NetworkModel(latency=500.0)
+        )
+        load_chain(slow)
+        fast = DistributedMachine(
+            parse_program(TC_SRC), 2, network=NetworkModel(latency=1.0)
+        )
+        load_chain(fast)
+        rs, rf = slow.run(), fast.run()
+        assert rs.comm_ticks > rf.comm_ticks
+        assert rs.cycles == rf.cycles  # timing model never changes results
+        assert rs.comm_fraction > rf.comm_fraction
+
+    def test_multicast_reduces_messages_on_fused_rules(self):
+        from repro.lang.ast import Program
+        from repro.programs import build_sieve
+
+        tc = build_tc(12, "chain")
+        sieve = build_sieve(30)
+        program = Program(
+            literalizes=tc.program.literalizes + sieve.program.literalizes,
+            rules=tc.program.rules + sieve.program.rules,
+        )
+
+        def run(multicast):
+            dm = DistributedMachine(program, 4, multicast=multicast)
+            tc.setup(dm)
+            sieve.setup(dm)
+            res = dm.run()
+            assert dm.replicas_consistent()
+            return res
+
+        broadcast, multicast = run(False), run(True)
+        assert multicast.messages < broadcast.messages
+        assert broadcast.cycles == multicast.cycles
+
+    def test_deterministic(self):
+        runs = []
+        for _ in range(2):
+            dm = DistributedMachine(parse_program(TC_SRC), 3)
+            load_chain(dm)
+            res = dm.run()
+            runs.append((res.total_ticks, res.messages, res.cycles))
+        assert runs[0] == runs[1]
+
+    def test_zero_sites_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedMachine(parse_program(TC_SRC), 0)

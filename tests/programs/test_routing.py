@@ -1,0 +1,122 @@
+"""Unit tests for the shortest-path (Bellman–Ford) workload — the
+min-by-redaction showcase."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import InterferenceError
+from repro.core import EngineConfig, ParulelEngine
+from repro.programs.routing import (
+    build_routing,
+    generate_weighted_graph,
+    routing_program,
+)
+
+
+class TestGraphGeneration:
+    def test_connected_from_source(self):
+        edges = generate_weighted_graph(12, 10, seed=3)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(12))
+        g.add_weighted_edges_from(edges)
+        reachable = nx.descendants(g, 0) | {0}
+        assert reachable == set(range(12))
+
+    def test_deterministic(self):
+        assert generate_weighted_graph(10, 5, seed=1) == generate_weighted_graph(
+            10, 5, seed=1
+        )
+
+    def test_no_duplicate_edges(self):
+        edges = generate_weighted_graph(10, 20, seed=2)
+        pairs = [(a, b) for a, b, _w in edges]
+        assert len(pairs) == len(set(pairs))
+
+    def test_positive_weights(self):
+        assert all(w >= 1 for _a, _b, w in generate_weighted_graph(10, 10, 4))
+
+
+class TestShortestPaths:
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_matches_dijkstra(self, seed):
+        wl = build_routing(n_nodes=10, extra_edges=10, seed=seed)
+        engine = ParulelEngine(wl.program)
+        wl.setup(engine)
+        engine.run(max_cycles=2000)
+        assert wl.failed_checks(engine.wm) == []
+
+    def test_one_dist_per_node_invariant_every_cycle(self):
+        wl = build_routing(n_nodes=8, extra_edges=8, seed=5)
+        engine = ParulelEngine(wl.program)
+        wl.setup(engine)
+        while True:
+            report = engine.step()
+            nodes = [w.get("node") for w in engine.wm.by_class("dist")]
+            assert len(nodes) == len(set(nodes)), "duplicate dist for a node"
+            if report is None:
+                break
+
+    def test_parallel_relaxation_waves(self):
+        wl = build_routing(n_nodes=14, extra_edges=14)
+        engine = ParulelEngine(wl.program)
+        wl.setup(engine)
+        result = engine.run(max_cycles=2000)
+        assert max(result.firing_set_sizes) >= 4
+
+    def test_redaction_performed_minimum_selection(self):
+        wl = build_routing(n_nodes=14, extra_edges=20, seed=2)
+        engine = ParulelEngine(wl.program)
+        wl.setup(engine)
+        result = engine.run(max_cycles=2000)
+        assert wl.failed_checks(engine.wm) == []
+        assert sum(r.redaction.redacted for r in result.reports) > 0
+
+
+class TestWithoutMetaRules:
+    """Stripping the meta-rules demonstrates *why* redaction exists: the
+    parallel firing set is no longer safe. Two distinct failure modes:
+
+    - two ``seed-dist`` firings for one node in the same cycle silently
+      create duplicate ``dist`` WMEs (makes of different content never
+      "interfere" mechanically — they are just both wrong), breaking the
+      one-dist-per-node invariant and hence the final distances;
+    - two ``improve`` firings on one ``dist`` WME with different costs DO
+      interfere mechanically (conflicting modifies), which the ``error``
+      policy turns into an InterferenceError.
+    """
+
+    def test_unarbitrated_run_is_wrong_or_aborts(self):
+        program = routing_program(with_meta_rules=False)
+        failures = 0
+        for seed in (2, 5, 23, 31):
+            wl = build_routing(n_nodes=10, extra_edges=16, seed=seed)
+            engine = ParulelEngine(program, EngineConfig(interference="first"))
+            wl.setup(engine)
+            try:
+                engine.run(max_cycles=2000)
+            except InterferenceError:
+                failures += 1
+                continue
+            if wl.failed_checks(engine.wm):
+                failures += 1
+        assert failures > 0, (
+            "without meta-rules at least some graphs must break — "
+            "otherwise the redaction rules are dead code"
+        )
+
+    def test_duplicate_seeds_are_the_observable_symptom(self):
+        program = routing_program(with_meta_rules=False)
+        wl = build_routing(n_nodes=10, extra_edges=16, seed=23)
+        engine = ParulelEngine(program, EngineConfig(interference="first"))
+        wl.setup(engine)
+        engine.run(max_cycles=2000)
+        nodes = [w.get("node") for w in engine.wm.by_class("dist")]
+        assert len(nodes) != len(set(nodes)) or wl.failed_checks(engine.wm)
+
+    def test_meta_rules_restore_correctness_on_same_graphs(self):
+        for seed in (2, 5, 23, 31):
+            wl = build_routing(n_nodes=10, extra_edges=16, seed=seed)
+            engine = ParulelEngine(wl.program)  # meta-rules included
+            wl.setup(engine)
+            engine.run(max_cycles=2000)
+            assert wl.failed_checks(engine.wm) == [], seed

@@ -1,0 +1,74 @@
+"""Unit tests for the transitive-closure workload."""
+
+import networkx as nx
+import pytest
+
+from repro.core import ParulelEngine
+from repro.programs.tc import build_tc, generate_graph
+
+
+class TestGraphGeneration:
+    def test_chain(self):
+        assert generate_graph(4, "chain") == [(0, 1), (1, 2), (2, 3)]
+
+    def test_cycle(self):
+        edges = generate_graph(3, "cycle")
+        assert (2, 0) in edges and len(edges) == 3
+
+    def test_tree_is_binary(self):
+        edges = generate_graph(7, "tree")
+        graph = nx.DiGraph(edges)
+        assert all(graph.out_degree(n) <= 2 for n in graph.nodes)
+
+    def test_random_deterministic_by_seed(self):
+        assert generate_graph(10, "random", seed=1) == generate_graph(
+            10, "random", seed=1
+        )
+        assert generate_graph(10, "random", seed=1) != generate_graph(
+            10, "random", seed=2
+        )
+
+    def test_unknown_shape(self):
+        with pytest.raises(ValueError):
+            generate_graph(5, "torus")
+
+
+class TestClosureCorrectness:
+    @pytest.mark.parametrize("shape", ["chain", "cycle", "tree", "random"])
+    def test_matches_networkx(self, shape):
+        wl = build_tc(n_nodes=10, shape=shape)
+        engine = ParulelEngine(wl.program)
+        wl.setup(engine)
+        engine.run(max_cycles=1000)
+        assert wl.failed_checks(engine.wm) == []
+
+    def test_chain_path_count(self):
+        n = 8
+        wl = build_tc(n_nodes=n, shape="chain")
+        engine = ParulelEngine(wl.program)
+        wl.setup(engine)
+        engine.run()
+        assert engine.wm.count_class("path") == (n - 1) * n // 2
+
+    def test_cycle_reaches_everything(self):
+        n = 5
+        wl = build_tc(n_nodes=n, shape="cycle")
+        engine = ParulelEngine(wl.program)
+        wl.setup(engine)
+        engine.run()
+        # On a directed cycle every node reaches every node (incl. itself).
+        assert engine.wm.count_class("path") == n * n
+
+    def test_cycles_bounded_by_diameter_plus_one(self):
+        wl = build_tc(n_nodes=12, shape="chain")
+        engine = ParulelEngine(wl.program)
+        wl.setup(engine)
+        res = engine.run()
+        # init cycle + one frontier advance per additional hop.
+        assert res.cycles <= 12
+
+    def test_domain_hints_cover_nodes(self):
+        wl = build_tc(n_nodes=5, shape="chain")
+        assert ("path", "src") in wl.domains
+        assert len(wl.domains[("path", "src")]) == 5
+        assert wl.cc_hint == ("tc-extend", 1, "src")

@@ -1,0 +1,204 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_facts
+from repro.errors import ParseError
+
+TC = """
+(literalize edge src dst)
+(literalize path src dst)
+(p tc-init (edge ^src <a> ^dst <b>) -(path ^src <a> ^dst <b>)
+ --> (make path ^src <a> ^dst <b>))
+(p tc-extend (path ^src <a> ^dst <b>) (edge ^src <b> ^dst <c>)
+ -(path ^src <a> ^dst <c>) --> (make path ^src <a> ^dst <c>) (write path <a> <c>))
+"""
+
+FACTS = """
+(edge ^src a ^dst b)
+(edge ^src b ^dst c)
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "tc.pl"
+    path.write_text(TC)
+    return str(path)
+
+
+@pytest.fixture
+def facts_file(tmp_path):
+    path = tmp_path / "facts.pl"
+    path.write_text(FACTS)
+    return str(path)
+
+
+class TestParseFacts:
+    def test_basic(self):
+        facts = parse_facts("(edge ^src a ^dst 2)(goal)")
+        assert facts == [("edge", {"src": "a", "dst": 2}), ("goal", {})]
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ParseError):
+            parse_facts("(edge ^src <var>)")
+
+    def test_empty(self):
+        assert parse_facts("") == []
+
+
+class TestRunCommand:
+    def test_parulel_run(self, program_file, facts_file, capsys):
+        rc = main(["run", program_file, "--facts", facts_file])
+        assert rc == 0
+        out, err = capsys.readouterr()
+        assert "path a c" in out
+        assert "[parulel]" in err
+
+    def test_ops5_run(self, program_file, facts_file, capsys):
+        rc = main(
+            ["run", program_file, "--facts", facts_file, "--engine", "ops5"]
+        )
+        assert rc == 0
+        _out, err = capsys.readouterr()
+        assert "[ops5/lex]" in err
+
+    def test_trace_and_stats(self, program_file, facts_file, capsys):
+        rc = main(
+            ["run", program_file, "--facts", facts_file, "--trace", "--stats"]
+        )
+        assert rc == 0
+        _out, err = capsys.readouterr()
+        assert "[cycle 1]" in err
+        assert "match:" in err
+
+    def test_matcher_option(self, program_file, facts_file):
+        for matcher in ("rete", "treat", "naive"):
+            assert (
+                main(["run", program_file, "--facts", facts_file, "--matcher", matcher])
+                == 0
+            )
+
+    def test_missing_file_errors(self, capsys):
+        rc = main(["run", "/nonexistent/prog.pl"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_program_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.pl"
+        bad.write_text("(p broken")
+        rc = main(["run", str(bad)])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCheckCommand:
+    def test_inventory(self, program_file, capsys):
+        rc = main(["check", program_file])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 classes, 2 rules, 0 meta-rules" in out
+        assert "tc-extend" in out
+
+    def test_semantic_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.pl"
+        bad.write_text("(literalize c a)(p r (d ^a 1) --> (halt))")
+        rc = main(["check", str(bad)])
+        assert rc == 1
+        assert "undeclared class" in capsys.readouterr().err
+
+
+class TestFmtCommand:
+    def test_canonical_output_reparses(self, program_file, capsys):
+        rc = main(["fmt", program_file])
+        assert rc == 0
+        out = capsys.readouterr().out
+        from repro.lang.parser import parse_program
+
+        assert parse_program(out) == parse_program(TC)
+
+
+class TestDemoCommand:
+    def test_known_demo(self, capsys):
+        rc = main(["demo", "monkey"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "parulel:" in out and "OK" in out
+
+    def test_unknown_demo(self, capsys):
+        rc = main(["demo", "nope"])
+        assert rc == 2
+        assert "available" in capsys.readouterr().err
+
+
+class TestDotCommand:
+    def test_dot_output(self, program_file, facts_file, capsys):
+        rc = main(["dot", program_file, "--facts", facts_file])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph rete {")
+        assert "tc-extend" in out
+        assert "[2 wmes]" in out  # the two edge facts
+
+    def test_dot_without_facts(self, program_file, capsys):
+        rc = main(["dot", program_file])
+        assert rc == 0
+        assert "digraph" in capsys.readouterr().out
+
+
+class TestExplainCommand:
+    def test_explain_derivation(self, program_file, facts_file, capsys):
+        rc = main(
+            [
+                "explain",
+                program_file,
+                "--facts",
+                facts_file,
+                "--wme",
+                "(path ^src a ^dst c)",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "made by rule 'tc-extend'" in out
+        assert "asserted initially" in out
+
+    def test_explain_no_match(self, program_file, facts_file, capsys):
+        rc = main(
+            [
+                "explain",
+                program_file,
+                "--facts",
+                facts_file,
+                "--wme",
+                "(path ^src z ^dst z)",
+            ]
+        )
+        assert rc == 1
+        assert "no live WME" in capsys.readouterr().err
+
+    def test_explain_bad_pattern(self, program_file, facts_file, capsys):
+        rc = main(
+            ["explain", program_file, "--facts", facts_file, "--wme", "(a)(b)"]
+        )
+        assert rc == 2
+
+
+class TestLintCommand:
+    def test_clean_program(self, program_file, capsys):
+        rc = main(["lint", program_file])  # tc only makes -> clean
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_flagged_program(self, tmp_path, capsys):
+        prog = tmp_path / "contended.pl"
+        prog.write_text(
+            "(literalize req n)\n"
+            "(literalize slot owner)\n"
+            "(p claim (req ^n <n>) (slot ^owner nil) --> (modify 2 ^owner <n>))\n"
+        )
+        rc = main(["lint", str(prog)])
+        assert rc == 3
+        out = capsys.readouterr().out
+        assert "interference" in out
+        assert "(mp arbitrate-claim" in out

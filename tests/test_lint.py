@@ -1,0 +1,183 @@
+"""Tests for the parallel-firing interference linter."""
+
+import pytest
+
+from repro.errors import InterferenceError
+from repro.core import ParulelEngine
+from repro.lang.parser import parse_program
+from repro.programs import REGISTRY
+from repro.programs.routing import routing_program
+from repro.tools.lint import (
+    find_interference_candidates,
+    lint_program,
+    suggest_meta_rules,
+)
+
+
+class TestCandidateDetection:
+    def test_classic_contention_flagged(self):
+        src = """
+        (literalize req n)
+        (literalize slot owner)
+        (p claim (req ^n <n>) (slot ^owner nil) --> (modify 2 ^owner <n>))
+        """
+        cands = find_interference_candidates(parse_program(src))
+        assert len(cands) == 1
+        c = cands[0]
+        assert c.rule_a == c.rule_b == "claim"
+        assert c.class_name == "slot"
+        assert c.kind == "modify/modify"
+
+    def test_single_ce_self_modify_is_safe(self):
+        # Two instantiations of a 1-positive-CE rule matched different WMEs.
+        src = """
+        (literalize count value)
+        (p bump (count ^value {<v> < 5}) --> (modify 1 ^value (compute <v> + 1)))
+        """
+        assert find_interference_candidates(parse_program(src)) == []
+
+    def test_cross_rule_contention(self):
+        src = """
+        (literalize item state tag)
+        (literalize trigger a)
+        (p close (trigger ^a 1) (item ^state open) --> (modify 2 ^state closed))
+        (p drop  (trigger ^a 2) (item ^state open) --> (remove 2))
+        """
+        cands = find_interference_candidates(parse_program(src))
+        kinds = {(c.rule_a, c.rule_b, c.kind) for c in cands}
+        assert ("close", "drop", "modify/remove") in kinds
+
+    def test_disjoint_constants_not_flagged(self):
+        # The written CEs force different constants on the same attribute:
+        # provably different WMEs.
+        src = """
+        (literalize item state kind)
+        (literalize trigger a)
+        (p close-a (trigger ^a <x>) (item ^kind a ^state open) --> (modify 2 ^state closed))
+        (p close-b (trigger ^a <x>) (item ^kind b ^state open) --> (modify 2 ^state closed))
+        """
+        cands = find_interference_candidates(parse_program(src))
+        pairs = {(c.rule_a, c.rule_b) for c in cands}
+        assert ("close-a", "close-b") not in pairs
+        # self-pairs for each rule remain (two triggers, one item).
+        assert ("close-a", "close-a") in pairs
+
+    def test_makes_never_flagged(self):
+        src = """
+        (literalize seed n)
+        (literalize out n)
+        (p derive (seed ^n <n>) --> (make out ^n <n>))
+        """
+        assert find_interference_candidates(parse_program(src)) == []
+
+    def test_reads_never_flagged(self):
+        src = """
+        (literalize ctx phase)
+        (literalize item n)
+        (p advance (ctx ^phase go) (item ^n <n>) --> (remove 2))
+        (p watch (ctx ^phase go) (item ^n <n>) --> (write saw <n>))
+        """
+        cands = find_interference_candidates(parse_program(src))
+        # 'watch' writes nothing; only advance/advance self-pair possible —
+        # and 'advance' removes its own per-instantiation item... but two
+        # instantiations share ctx; they write item only: flagged self-pair
+        # is (advance, advance) on 'item'; watch appears nowhere.
+        assert all("watch" not in (c.rule_a, c.rule_b) for c in cands)
+
+
+class TestRuntimeSoundness:
+    """Every runtime InterferenceError must be predicted by the linter."""
+
+    def test_routing_without_meta_rules_is_flagged(self):
+        program = routing_program(with_meta_rules=False)
+        cands = find_interference_candidates(program)
+        flagged_classes = {c.class_name for c in cands}
+        assert "dist" in flagged_classes  # the contended class at runtime
+
+    def test_runtime_error_implies_lint_hit(self):
+        src = """
+        (literalize req n)
+        (literalize slot owner)
+        (p claim (req ^n <n>) (slot ^owner nil) --> (modify 2 ^owner <n>))
+        """
+        program = parse_program(src)
+        engine = ParulelEngine(program)
+        engine.make("req", n="a")
+        engine.make("req", n="b")
+        engine.make("slot", owner="nil")
+        with pytest.raises(InterferenceError):
+            engine.run()
+        assert find_interference_candidates(program)
+
+    @pytest.mark.parametrize("name", sorted(REGISTRY))
+    def test_bundled_workloads_lint_coverage(self, name):
+        """Workloads that run cleanly under the error policy either lint
+        clean or carry meta-rules for their flagged pairs (the linter is
+        conservative; cleanliness at runtime is the dynamic guarantee)."""
+        wl = REGISTRY[name]()
+        cands = find_interference_candidates(wl.program)
+        if cands:
+            # every flagged program in the registry ships meta-rules ...
+            # except those whose disjointness the linter cannot see:
+            # sort's parity phases, and sieve's promote/skip + mark/
+            # mark-known pairs (mutually exclusive via negation/predicates).
+            assert wl.program.meta_rules or name in ("sort", "monkey", "sieve"), (
+                name,
+                [c.describe() for c in cands],
+            )
+
+
+class TestSuggestions:
+    SRC = """
+    (literalize req n)
+    (literalize slot owner)
+    (p claim (req ^n <n>) (slot ^owner nil) --> (modify 2 ^owner <n>))
+    """
+
+    def test_skeletons_parse_and_run(self):
+        program = parse_program(self.SRC)
+        skeletons = suggest_meta_rules(program)
+        assert len(skeletons) == 1
+        # Append the skeleton to the program: it must parse, analyze, and
+        # actually prevent the interference.
+        patched = parse_program(self.SRC + "\n" + skeletons[0])
+        engine = ParulelEngine(patched)
+        engine.make("req", n="a")
+        engine.make("req", n="b")
+        engine.make("slot", owner="nil")
+        result = engine.run()  # no InterferenceError
+        assert engine.wm.by_class("slot")[0].get("owner") in ("a", "b")
+
+    def test_report_text(self):
+        report = lint_program(parse_program(self.SRC))
+        assert "potential parallel-firing interference" in report
+        assert "arbitrate-claim" in report
+        assert "no meta-rules present" in report
+
+    def test_clean_program_empty_report(self):
+        src = """
+        (literalize seed n)
+        (literalize out n)
+        (p derive (seed ^n <n>) --> (make out ^n <n>))
+        """
+        assert lint_program(parse_program(src)) == ""
+
+
+class TestSkeletonNaming:
+    def test_names_unique_across_candidates(self):
+        src = """
+        (literalize order id item qty status)
+        (literalize stock item units)
+        (p fill
+            (order ^id <o> ^item <i> ^qty <q> ^status open)
+            (stock ^item <i> ^units {<u> >= <q>})
+            -->
+            (modify 2 ^units (compute <u> - <q>))
+            (modify 1 ^status filled))
+        """
+        program = parse_program(src)
+        skeletons = suggest_meta_rules(program)
+        assert len(skeletons) == 2
+        # Both skeletons appended together must parse (unique rule names).
+        combined = parse_program(src + "\n" + "\n".join(skeletons))
+        assert len(combined.meta_rules) == 2

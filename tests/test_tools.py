@@ -1,0 +1,135 @@
+"""Tests for the tooling package (DOT export, WM diff)."""
+
+import pytest
+
+from repro.core import EngineConfig, ParulelEngine
+from repro.lang.parser import parse_program
+from repro.match.rete import ReteMatcher
+from repro.tools import diff_wm, provenance_to_dot, rete_to_dot
+from repro.wm.memory import WorkingMemory
+
+TC = """
+(literalize edge src dst)
+(literalize path src dst)
+(p tc-init (edge ^src <a> ^dst <b>) -(path ^src <a> ^dst <b>)
+ --> (make path ^src <a> ^dst <b>))
+(p tc-extend (path ^src <a> ^dst <b>) (edge ^src <b> ^dst <c>)
+ -(path ^src <a> ^dst <c>) --> (make path ^src <a> ^dst <c>))
+"""
+
+
+class TestReteDot:
+    def test_structure_present(self):
+        wm = WorkingMemory()
+        matcher = ReteMatcher(parse_program(TC).rules, wm)
+        dot = rete_to_dot(matcher)
+        assert dot.startswith("digraph rete {")
+        assert dot.rstrip().endswith("}")
+        assert "tc-init" in dot and "tc-extend" in dot
+        assert "NOT" in dot  # negative nodes rendered
+        assert dot.count("doubleoctagon") == 2  # one production per rule
+
+    def test_sizes_reflect_memory(self):
+        wm = WorkingMemory()
+        matcher = ReteMatcher(parse_program(TC).rules, wm)
+        wm.make("edge", src="a", dst="b")
+        dot = rete_to_dot(matcher)
+        assert "[1 wmes]" in dot
+
+    def test_sizes_can_be_omitted(self):
+        wm = WorkingMemory()
+        matcher = ReteMatcher(parse_program(TC).rules, wm)
+        dot = rete_to_dot(matcher, include_sizes=False)
+        assert "wmes]" not in dot
+
+    def test_every_edge_references_defined_nodes(self):
+        wm = WorkingMemory()
+        matcher = ReteMatcher(parse_program(TC).rules, wm)
+        dot = rete_to_dot(matcher)
+        defined = set()
+        for line in dot.splitlines():
+            line = line.strip()
+            if line.startswith(("alpha", "beta")) and "[" in line and "->" not in line:
+                defined.add(line.split(" ")[0])
+        for line in dot.splitlines():
+            if "->" in line:
+                src, rest = line.strip().split(" -> ")
+                dst = rest.split(" ")[0].rstrip(";")
+                assert src in defined, src
+                assert dst in defined, dst
+
+
+class TestProvenanceDot:
+    def test_derivation_dag(self):
+        engine = ParulelEngine(parse_program(TC), EngineConfig(track_provenance=True))
+        for a, b in [("a", "b"), ("b", "c")]:
+            engine.make("edge", src=a, dst=b)
+        engine.run()
+        target = engine.wm.find("path", src="a", dst="c")[0]
+        dot = provenance_to_dot(engine.provenance, target)
+        assert dot.startswith("digraph provenance {")
+        assert "tc-extend" in dot
+        assert "tc-init" in dot
+        assert dot.count("->") >= 3
+
+    def test_retired_wmes_greyed(self):
+        src = """
+        (literalize count value)
+        (p bump (count ^value {<v> < 2}) --> (modify 1 ^value (compute <v> + 1)))
+        """
+        engine = ParulelEngine(parse_program(src), EngineConfig(track_provenance=True))
+        engine.make("count", value=0)
+        engine.run()
+        final = engine.wm.find("count", value=2)[0]
+        dot = provenance_to_dot(engine.provenance, final)
+        assert "lightgrey" in dot  # the displaced WMEs
+
+
+class TestDiff:
+    def test_identical(self):
+        a, b = WorkingMemory(), WorkingMemory()
+        a.make("c", x=1)
+        b.make("c", x=1)
+        diff = diff_wm(a, b)
+        assert diff.unchanged
+        assert "identical" in diff.summary()
+
+    def test_timestamps_ignored(self):
+        a, b = WorkingMemory(), WorkingMemory()
+        a.make("pad", y=0)  # shift b's timestamps
+        a.make("c", x=1)
+        b.make("c", x=1)
+        b.make("pad", y=0)
+        assert diff_wm(a, b).unchanged
+
+    def test_added_and_removed(self):
+        a, b = WorkingMemory(), WorkingMemory()
+        a.make("c", x=1)
+        b.make("c", x=2)
+        diff = diff_wm(a, b)
+        assert len(diff.added) == 1
+        assert len(diff.removed) == 1
+        assert "+ (c ^x 2)" in diff.summary()
+        assert "- (c ^x 1)" in diff.summary()
+
+    def test_multiplicity(self):
+        a, b = WorkingMemory(), WorkingMemory()
+        a.make("c", x=1)
+        b.make("c", x=1)
+        b.make("c", x=1)  # same content twice
+        diff = diff_wm(a, b)
+        assert len(diff.added) == 1
+        assert diff.added[0][0] == "c"
+
+    def test_engine_cycle_diffing(self):
+        # Snapshot before/after a run and diff: adds = derived paths.
+        prog = parse_program(TC)
+        before = WorkingMemory()
+        engine = ParulelEngine(prog)
+        for a_, b_ in [("a", "b"), ("b", "c")]:
+            before.make("edge", src=a_, dst=b_)
+            engine.make("edge", src=a_, dst=b_)
+        engine.run()
+        diff = diff_wm(before, engine.wm)
+        assert len(diff.added) == 3  # ab, bc, ac paths
+        assert diff.removed == []

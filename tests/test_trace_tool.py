@@ -1,0 +1,65 @@
+"""Tests for the structured run tracer."""
+
+import pytest
+
+from repro.core import ParulelEngine
+from repro.lang.parser import parse_program
+from repro.tools import RunTracer
+
+SRC = """
+(literalize req name)
+(literalize grant name)
+(p grant (req ^name <n>) --> (make grant ^name <n>) (write granted <n>) (remove 1))
+(mp keep-first
+    (instantiation ^rule grant ^id <i> ^n <a>)
+    (instantiation ^rule grant ^id {<j> <> <i>} ^n > <a>)
+    -->
+    (redact <j>))
+"""
+
+
+@pytest.fixture
+def traced_run():
+    tracer = RunTracer()
+    engine = ParulelEngine(parse_program(SRC), trace=tracer)
+    for i in range(3):
+        engine.make("req", name=f"r{i}")
+    result = engine.run()
+    return tracer, result
+
+
+class TestRunTracer:
+    def test_captures_every_cycle(self, traced_run):
+        tracer, result = traced_run
+        assert len(tracer) == result.cycles == 3
+
+    def test_totals(self, traced_run):
+        tracer, result = traced_run
+        assert tracer.total_fired == result.firings == 3
+        assert tracer.total_redacted == 3  # 2 + 1 + 0
+
+    def test_busiest_cycle(self, traced_run):
+        tracer, _ = traced_run
+        assert tracer.busiest_cycle().fired == 1
+
+    def test_timeline_rendering(self, traced_run):
+        tracer, _ = traced_run
+        text = tracer.timeline()
+        assert "cycle" in text and "redact" in text
+        assert "writes:1" in text
+        lines = [l for l in text.splitlines() if l.strip() and l.strip()[0].isdigit()]
+        assert len(lines) == 3
+
+    def test_to_table_csv(self, traced_run):
+        tracer, _ = traced_run
+        csv = tracer.to_table().to_csv()
+        rows = csv.strip().splitlines()
+        assert rows[0].startswith("cycle,")
+        assert len(rows) == 4  # header + 3 cycles
+
+    def test_empty_tracer(self):
+        tracer = RunTracer()
+        assert len(tracer) == 0
+        assert tracer.busiest_cycle() is None
+        assert tracer.total_fired == 0
+        assert "cycle" in tracer.timeline()
