@@ -29,10 +29,10 @@ LATENCIES = (0.0, 10.0, 50.0, 250.0, 1000.0)
 N_SITES = 4
 
 
-def run_at_latency(latency):
+def run_at_latency(latency, n_sites=N_SITES):
     wl = build_circuit(n_inputs=6, n_levels=8, gates_per_level=6)
     machine = DistributedMachine(
-        wl.program, N_SITES, network=NetworkModel(latency=latency)
+        wl.program, n_sites, network=NetworkModel(latency=latency)
     )
     wl.setup(machine)
     result = machine.run(max_cycles=5000)
@@ -45,16 +45,34 @@ def run_at_latency(latency):
 @pytest.fixture(scope="module")
 def figure5():
     data = {lat: run_at_latency(lat) for lat in LATENCIES}
+    # The serial baseline exchanges no messages, so it pays no latency at
+    # all — it is one run, not one per latency (a regression here once
+    # inflated every speedup in this figure).
+    serial = run_at_latency(0.0, n_sites=1)
     table = Table(
         f"Figure 5: distributed circuit simulation vs network latency (P={N_SITES})",
-        ["latency", "total ticks", "comm ticks", "comm fraction", "messages"],
+        [
+            "latency",
+            "total ticks",
+            "comm ticks",
+            "comm fraction",
+            "messages",
+            "speedup vs P=1",
+        ],
         precision=3,
     )
     for lat in LATENCIES:
         res = data[lat]
-        table.add(lat, res.total_ticks, res.comm_ticks, res.comm_fraction, res.messages)
+        table.add(
+            lat,
+            res.total_ticks,
+            res.comm_ticks,
+            res.comm_fraction,
+            res.messages,
+            serial.total_ticks / res.total_ticks,
+        )
     emit(table, "fig5_distributed")
-    return data
+    return {**data, "serial": serial}
 
 
 def test_fig5_latency_shape(benchmark, figure5):
@@ -80,3 +98,13 @@ def test_fig5_comm_fraction_approaches_one(benchmark, figure5):
 def test_fig5_messages_invariant_to_latency(figure5):
     messages = {figure5[lat].messages for lat in LATENCIES}
     assert len(messages) == 1
+
+
+def test_fig5_serial_baseline_pays_no_latency(figure5):
+    # Regression: P=1 used to be charged gather+scatter round latency per
+    # cycle despite sending zero messages, inflating apparent speedups.
+    serial = figure5["serial"]
+    assert serial.messages == 0
+    assert serial.comm_ticks == 0.0
+    worst_case = run_at_latency(1000.0, n_sites=1)
+    assert worst_case.total_ticks == serial.total_ticks

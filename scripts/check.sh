@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The one gate CI and humans both run: tier-1 tests + the porting lint.
+#
+#   scripts/check.sh            # fast gate (tier-1 tests, lint smoke)
+#   scripts/check.sh --bench    # additionally regenerate the experiment
+#                               # tables/figures under benchmarks/results/
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests"
+python -m pytest -x -q
+
+echo "== porting lint (bundled workloads)"
+python -m repro.tools.lint
+
+if [[ "${1:-}" == "--bench" ]]; then
+    echo "== experiment suite (regenerates benchmarks/results/)"
+    python -m pytest benchmarks/ -q --benchmark-only
+fi
+
+echo "check.sh: all gates passed"

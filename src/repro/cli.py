@@ -57,8 +57,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     analyze_program(program)
     facts = parse_facts(open(args.facts).read()) if args.facts else []
 
+    matcher = args.matcher
+    if matcher == "process" and args.workers is not None:
+        if args.workers < 1:
+            print("error: --workers must be >= 1", file=sys.stderr)
+            return 2
+        matcher = f"process:{args.workers}"
+
     if args.engine == "ops5":
-        ops5 = OPS5Engine(program, strategy=args.strategy, matcher=args.matcher)
+        ops5 = OPS5Engine(program, strategy=args.strategy, matcher=matcher)
         for cls, attrs in facts:
             ops5.make(cls, attrs)
         result = ops5.run(max_cycles=args.max_cycles)
@@ -90,7 +97,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     engine = ParulelEngine(
         program,
-        EngineConfig(matcher=args.matcher, interference=args.interference),
+        EngineConfig(matcher=matcher, interference=args.interference),
         trace=trace,
     )
     for cls, attrs in facts:
@@ -262,7 +269,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--engine", choices=("parulel", "ops5"), default="parulel"
     )
-    p_run.add_argument("--matcher", choices=("rete", "treat", "naive"), default="rete")
+    p_run.add_argument(
+        "--matcher",
+        choices=("rete", "rete-shared", "treat", "naive", "process"),
+        default="rete",
+        help="match backend; 'process' fans matching out to worker processes",
+    )
+    p_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --matcher process (default: usable cores, max 4)",
+    )
     p_run.add_argument("--strategy", choices=("lex", "mea"), default="lex")
     p_run.add_argument(
         "--interference", choices=("error", "first", "merge"), default="error"

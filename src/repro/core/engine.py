@@ -89,13 +89,20 @@ class CycleReport:
     delta_makes: int
     conflicts_resolved: int
     makes_deduped: int
+    #: Every ``(write ...)`` line the cycle emitted — meta-level writes
+    #: first (redaction phase), then the merged object-level writes.
     writes: List[str] = field(default_factory=list)
     halted: bool = False
 
 
 @dataclass
 class RunResult:
-    """Summary of a full :meth:`ParulelEngine.run`."""
+    """Summary of one :meth:`ParulelEngine.run` call.
+
+    All fields — including ``output`` — cover only this call: repeated
+    ``run()`` calls on one engine each report their own slice, while the
+    engine's ``output``/``reports`` attributes stay cumulative.
+    """
 
     cycles: int
     firings: int
@@ -197,7 +204,8 @@ class ParulelEngine:
             return None
 
         survivors, red_report = self.meta.redact(candidates)
-        self.output.extend(self.meta.writes)
+        meta_writes = list(self.meta.writes)
+        self.output.extend(meta_writes)
         t2 = time.perf_counter()
         self.phase_times["redact"] += t2 - t1
 
@@ -216,6 +224,7 @@ class ParulelEngine:
                 delta_makes=0,
                 conflicts_resolved=0,
                 makes_deduped=0,
+                writes=meta_writes,
                 halted=self.meta.halt_requested,
             )
             self.reports.append(report)
@@ -253,7 +262,7 @@ class ParulelEngine:
             delta_makes=len(merged.makes),
             conflicts_resolved=merged.conflicts_resolved,
             makes_deduped=merged.makes_deduped,
-            writes=list(merged.writes),
+            writes=meta_writes + list(merged.writes),
             halted=halted,
         )
         self.reports.append(report)
@@ -294,6 +303,7 @@ class ParulelEngine:
         limit = max_cycles if max_cycles is not None else self.config.max_cycles
         start_cycle = self._cycle
         start_report = len(self.reports)
+        start_output = len(self.output)
         wall0 = time.perf_counter()
         reason = "quiescence"
         while True:
@@ -320,7 +330,7 @@ class ParulelEngine:
             cycles=self._cycle - start_cycle,
             firings=sum(r.fired for r in run_reports),
             reason=reason,
-            output=list(self.output),
+            output=self.output[start_output:],
             reports=run_reports,
             wall_time=wall,
             phase_times=Counter(self.phase_times),

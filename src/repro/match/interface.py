@@ -84,18 +84,34 @@ class Matcher(abc.ABC):
         return [cr.name for cr in self.compiled]
 
 
-#: Registry of engine names accepted by :func:`create_matcher`.
-MATCHER_NAMES = ("rete", "rete-shared", "treat", "naive")
+#: Registry of engine names accepted by :func:`create_matcher`. ``process``
+#: also accepts an explicit worker count as ``process:N``.
+MATCHER_NAMES = ("rete", "rete-shared", "treat", "naive", "process")
 
 
 def create_matcher(
     engine: str, rules: Sequence[Rule], wm: WorkingMemory
 ) -> Matcher:
-    """Instantiate a match engine by name (``rete``, ``treat`` or ``naive``)."""
+    """Instantiate a match engine by name (``rete``, ``treat``, ``naive`` or
+    ``process``/``process:N`` for the multiprocessing fan-out)."""
     # Imported here to avoid a cycle (engines import this interface).
     from repro.match.naive import NaiveMatcher
     from repro.match.rete import ReteMatcher, SharedReteMatcher
     from repro.match.treat import TreatMatcher
+
+    if engine == "process" or engine.startswith("process:"):
+        from repro.parallel.process import ProcessMatcher
+
+        n_workers = None
+        if ":" in engine:
+            try:
+                n_workers = int(engine.split(":", 1)[1])
+            except ValueError:
+                raise ValueError(
+                    f"bad worker count in match engine spec {engine!r} "
+                    f"(expected process:<int>)"
+                ) from None
+        return ProcessMatcher(rules, wm, n_workers=n_workers)
 
     table = {
         "rete": ReteMatcher,

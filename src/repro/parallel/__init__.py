@@ -17,6 +17,9 @@ a deterministic simulation (see DESIGN.md §2):
 - :mod:`repro.parallel.threaded` — a real ``ThreadPoolExecutor`` match
   fan-out, included to exercise genuine concurrency and to document the
   GIL ceiling (Table 4);
+- :mod:`repro.parallel.process` — the escape from that ceiling: a
+  persistent ``multiprocessing`` worker pool with per-site WM replicas
+  kept current by delta shipping (Table 4's ``process`` rows);
 - :mod:`repro.parallel.stats` — speedup/efficiency series helpers.
 """
 
@@ -32,6 +35,7 @@ from repro.parallel.partition import (
     profile_rule_weights,
     round_robin_assignment,
 )
+from repro.parallel.process import ProcessMatchPool, ProcessMatcher
 from repro.parallel.simmachine import SimMachine, SimResult
 from repro.parallel.stats import SpeedupSeries
 from repro.parallel.threaded import ThreadedMatchPool
@@ -42,6 +46,8 @@ __all__ = [
     "DistResult",
     "DistributedMachine",
     "NetworkModel",
+    "ProcessMatchPool",
+    "ProcessMatcher",
     "SimMachine",
     "SimResult",
     "SpeedupSeries",

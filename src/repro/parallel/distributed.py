@@ -23,7 +23,8 @@ that execution model honestly:
 The :class:`NetworkModel` charges communication:
 
 - ``latency`` per communication round (two rounds per cycle: gather,
-  scatter),
+  scatter — charged only when remote sites exist; a 1-site machine is the
+  communication-free serial baseline),
 - ``per_message`` per candidate summary, redaction verdict, and delta
   entry shipped (delta entries go to P−1 remote sites, or only to
   interested sites with ``multicast=True``).
@@ -206,7 +207,11 @@ class DistributedMachine:
             if not candidates:
                 break
             cycles += 1
-            comm += self.network.round_cost(gather_msgs)
+            # A single-site machine exchanges no messages at all — charging
+            # round latency there would inflate the serial baseline and
+            # fake distributed speedup.
+            if self.n_sites > 1:
+                comm += self.network.round_cost(gather_msgs)
             messages += gather_msgs
 
             # ---- redact on the master -------------------------------------
@@ -265,7 +270,8 @@ class DistributedMachine:
                     else:
                         relevant = merged.size
                     scatter_msgs += relevant
-            comm += self.network.round_cost(scatter_msgs)
+            if self.n_sites > 1:
+                comm += self.network.round_cost(scatter_msgs)
             messages += scatter_msgs
             for delta in deltas:
                 self.evaluator.run_calls(delta)

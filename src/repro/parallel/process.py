@@ -1,0 +1,367 @@
+"""Process-parallel match fan-out: real data parallelism past the GIL.
+
+:mod:`repro.parallel.threaded` measures the GIL ceiling — pure-Python match
+work fanned out to threads does not scale, which Table 4 documents. This
+module is the escape hatch: :class:`ProcessMatchPool` keeps one persistent
+``multiprocessing`` worker per site, partitions the rules across sites with
+the same :class:`~repro.parallel.partition.Assignment` machinery the
+simulated machines use, and computes the conflict set with genuinely
+concurrent interpreters (one GIL each).
+
+What keeps it fast and correct:
+
+- **Delta shipping.** Each worker owns a private working-memory replica.
+  Per cycle the pool drains a :class:`~repro.wm.memory.DeltaRecorder` and
+  broadcasts only the net adds/removes since the previous cycle — never
+  the whole memory. Timestamps identify WMEs across replicas, so removes
+  are a timestamp list and adds are ``(class, attrs, timestamp)`` records.
+- **Deterministic merge.** Workers return compact match summaries
+  ``(rule name, per-CE timestamps, environment)``; the parent rebuilds
+  :class:`~repro.match.instantiation.Instantiation` objects against its own
+  WME store and concatenates per-site results in site order, rules in
+  compiled order within a site — byte-identical to the sequential matchers
+  (the differential suite asserts this).
+- **Robustness.** Every cycle applies a per-worker timeout; a crashed,
+  wedged, or killed worker is respawned and caught up by replaying the
+  cumulative delta log, then re-asked for its site's matches. A run
+  survives ``kill -9`` of any worker mid-cycle (tests inject exactly
+  that).
+- **Lifecycle.** ``close()`` is idempotent, the pool is a context manager,
+  and workers are daemonic so a leaked pool cannot wedge interpreter
+  shutdown — mirroring :class:`~repro.parallel.threaded.ThreadedMatchPool`.
+
+:class:`ProcessMatcher` adapts the pool to the standard
+:class:`~repro.match.interface.Matcher` interface so engines can select it
+with ``EngineConfig(matcher="process")`` (or ``"process:N"`` for an
+explicit worker count) like any other backend.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from multiprocessing.connection import Connection
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import MatchError
+from repro.lang.ast import Rule, Value
+from repro.match.compile import compile_rules
+from repro.match.instantiation import ConflictSet, Instantiation
+from repro.match.interface import Matcher
+from repro.match.join import enumerate_matches
+from repro.parallel.partition import Assignment, round_robin_assignment
+from repro.wm.memory import DeltaRecorder, WMDelta, WorkingMemory
+from repro.wm.wme import WME
+
+__all__ = ["ProcessMatchPool", "ProcessMatcher", "default_worker_count"]
+
+#: One match found by a worker: (rule name, per-CE timestamps (0 for a
+#: negated CE), variable environment). Small, picklable, and enough for the
+#: parent to rebuild the Instantiation against its own WME objects.
+MatchSummary = Tuple[str, Tuple[int, ...], Dict[str, Value]]
+
+#: Per-worker, per-cycle reply deadline (seconds). Generous: it exists to
+#: unwedge a hung worker, not to police slow matches.
+DEFAULT_TIMEOUT = 60.0
+
+
+def default_worker_count() -> int:
+    """Workers to use when the caller does not say: the usable cores,
+    capped at 4 (the paper-era site counts; fan-out beyond match
+    parallelism only adds IPC)."""
+    try:
+        n = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        n = os.cpu_count() or 1
+    return max(1, min(4, n))
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(conn: Connection, rules: Tuple[Rule, ...]) -> None:
+    """Worker loop: maintain a WM replica, answer match requests.
+
+    Protocol (parent → worker):
+
+    - ``("match", [wire_delta, ...])`` — apply the deltas in order, then
+      reply ``("ok", [MatchSummary, ...])`` for this site's rules;
+    - ``("stop",)`` — exit.
+
+    Any exception is reported as ``("err", message)``; the parent treats it
+    as fatal (a deterministic error would recur on respawn).
+    """
+    compiled = compile_rules(rules)
+    wm = WorkingMemory()
+    by_ts: Dict[int, WME] = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg[0] == "stop":
+            return
+        try:
+            _tag, deltas = msg
+            for wire in deltas:
+                WMDelta.apply_wire(wm, by_ts, wire)
+            out: List[MatchSummary] = []
+            for cr in compiled:
+                for inst in enumerate_matches(cr, wm):
+                    out.append(
+                        (
+                            cr.name,
+                            tuple(
+                                w.timestamp if w is not None else 0
+                                for w in inst.wmes
+                            ),
+                            inst.env,
+                        )
+                    )
+            conn.send(("ok", out))
+        except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+            try:
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            except (BrokenPipeError, OSError):
+                return
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+class ProcessMatchPool:
+    """Conflict-set computation fanned out to persistent worker processes.
+
+    Rules are partitioned across ``n_workers`` sites (round-robin unless an
+    :class:`~repro.parallel.partition.Assignment` is given); sites with no
+    rules get no process. Working memory must not be mutated while
+    :meth:`conflict_set` runs — the engines never do (match and apply are
+    separate phases of the cycle).
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        wm: WorkingMemory,
+        n_workers: int,
+        assignment: Optional[Assignment] = None,
+        timeout: float = DEFAULT_TIMEOUT,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.wm = wm
+        self.n_workers = n_workers
+        self.timeout = timeout
+        self.assignment = assignment or round_robin_assignment(rules, n_workers)
+        self._rules_by_name: Dict[str, Rule] = {r.name: r for r in rules}
+        self._site_rules: List[List[Rule]] = [[] for _ in range(n_workers)]
+        for rule in rules:
+            self._site_rules[self.assignment.site_of[rule.name]].append(rule)
+        #: Sites that actually carry rules — the only ones given a process.
+        self.active_sites: Tuple[int, ...] = tuple(
+            s for s in range(n_workers) if self._site_rules[s]
+        )
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        self._ctx = multiprocessing.get_context(start_method)
+        self._recorder = DeltaRecorder(wm)
+        #: Cumulative wire-delta log since pool creation — the catch-up
+        #: script replayed into a respawned worker.
+        self._log: List[tuple] = []
+        #: Parent-side timestamp index for rebuilding Instantiations with
+        #: the exact WME objects the sequential matchers would use.
+        self._wme_by_ts: Dict[int, WME] = {}
+        self._conns: Dict[int, Connection] = {}
+        self._procs: Dict[int, multiprocessing.process.BaseProcess] = {}
+        #: Workers respawned after a crash/timeout (tests assert on this).
+        self.respawns = 0
+        self._closed = False
+        for site in self.active_sites:
+            self._spawn(site)
+
+    # -- worker management -------------------------------------------------
+
+    def _spawn(self, site: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, tuple(self._site_rules[site])),
+            name=f"parulel-match-site{site}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._conns[site] = parent_conn
+        self._procs[site] = proc
+
+    def _kill(self, site: int) -> None:
+        proc = self._procs.get(site)
+        if proc is not None and proc.is_alive():
+            proc.kill()
+            proc.join()
+        conn = self._conns.get(site)
+        if conn is not None:
+            conn.close()
+
+    def _try_send(self, site: int, msg: tuple) -> bool:
+        try:
+            self._conns[site].send(msg)
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
+    def _recv(self, site: int) -> Optional[List[MatchSummary]]:
+        """One reply, or ``None`` when the worker is dead or wedged."""
+        conn = self._conns[site]
+        try:
+            if not conn.poll(self.timeout):
+                return None
+            tag, payload = conn.recv()
+        except (EOFError, OSError):
+            return None
+        if tag == "err":
+            raise MatchError(f"match worker for site {site} failed: {payload}")
+        return payload
+
+    def _respawn_and_match(self, site: int) -> List[MatchSummary]:
+        """Replace a dead/wedged worker, replay the delta log, re-match."""
+        self._kill(site)
+        self._spawn(site)
+        self.respawns += 1
+        if not self._try_send(site, ("match", list(self._log))):
+            raise MatchError(
+                f"match worker for site {site} died immediately after respawn"
+            )
+        results = self._recv(site)
+        if results is None:
+            raise MatchError(
+                f"match worker for site {site} unresponsive after respawn "
+                f"(timeout {self.timeout}s)"
+            )
+        return results
+
+    # -- the conflict set ---------------------------------------------------
+
+    def conflict_set(self) -> List[Instantiation]:
+        """Full conflict set, deterministic order (site 0's rules first).
+
+        Ships the WM delta since the last call to every live worker, then
+        merges per-site results in site order. Crashed or unresponsive
+        workers are respawned and caught up transparently.
+        """
+        if self._closed:
+            raise MatchError("ProcessMatchPool is closed")
+        delta = self._recorder.drain()
+        for wme in delta.adds:
+            self._wme_by_ts[wme.timestamp] = wme
+        for ts in delta.removes:
+            self._wme_by_ts.pop(ts, None)
+        payload: List[tuple] = []
+        if not delta.empty:
+            wire = delta.wire()
+            self._log.append(wire)
+            payload.append(wire)
+
+        # Fan the request out to every worker before collecting any reply,
+        # so sites match concurrently; then merge in deterministic order.
+        sent = {
+            site: self._try_send(site, ("match", payload))
+            for site in self.active_sites
+        }
+        merged: List[Instantiation] = []
+        for site in self.active_sites:
+            results = self._recv(site) if sent[site] else None
+            if results is None:
+                results = self._respawn_and_match(site)
+            for summary in results:
+                merged.append(self._rebuild(summary))
+        return merged
+
+    def _rebuild(self, summary: MatchSummary) -> Instantiation:
+        rule_name, timestamps, env = summary
+        rule = self._rules_by_name[rule_name]
+        wmes = tuple(
+            self._wme_by_ts[ts] if ts else None for ts in timestamps
+        )
+        return Instantiation(rule, wmes, env)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop all workers and detach from the working memory (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._recorder.detach()
+        for site in self.active_sites:
+            self._try_send(site, ("stop",))
+        for site in self.active_sites:
+            proc = self._procs[site]
+            proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
+            self._conns[site].close()
+
+    def __enter__(self) -> "ProcessMatchPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ProcessMatcher(Matcher):
+    """The process pool behind the standard :class:`Matcher` interface.
+
+    WM changes only mark the conflict set dirty; the pool ships the
+    accumulated delta and recomputes lazily on :meth:`instantiations` —
+    once per engine cycle, exactly when the collect phase reads it.
+    """
+
+    name = "process"
+    _dirty = True
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        wm: WorkingMemory,
+        n_workers: Optional[int] = None,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        # The pool's recorder primes itself with the pre-existing WMEs, so
+        # it must attach before Matcher.__init__ replays them through
+        # _on_add (which only marks the cache dirty here).
+        if n_workers is None:
+            n_workers = default_worker_count()
+        self.pool = ProcessMatchPool(rules, wm, n_workers, timeout=timeout)
+        super().__init__(rules, wm)
+
+    def _on_add(self, wme: WME) -> None:
+        self._dirty = True
+
+    def _on_remove(self, wme: WME) -> None:
+        self._dirty = True
+
+    def instantiations(self) -> List[Instantiation]:
+        if self._dirty:
+            fresh = ConflictSet()
+            for inst in self.pool.conflict_set():
+                fresh.add(inst)
+            self.conflict_set = fresh
+            self._dirty = False
+        return self.conflict_set.instantiations()
+
+    def detach(self) -> None:
+        super().detach()
+        self.pool.close()
+
+    close = detach

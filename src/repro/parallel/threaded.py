@@ -52,7 +52,12 @@ class ThreadedMatchPool:
         self._site_rules: List[List[CompiledRule]] = [[] for _ in range(n_threads)]
         for cr in compiled:
             self._site_rules[self.assignment.site_of[cr.name]].append(cr)
-        self._pool = ThreadPoolExecutor(max_workers=n_threads)
+        #: Sites that carry at least one rule — the only ones worth a
+        #: future (with ``n_threads > len(rules)`` the rest are no-ops).
+        self.active_sites = tuple(
+            s for s in range(n_threads) if self._site_rules[s]
+        )
+        self._pool = ThreadPoolExecutor(max_workers=max(1, len(self.active_sites)))
 
     def _match_site(self, site: int) -> List[Instantiation]:
         out: List[Instantiation] = []
@@ -64,7 +69,7 @@ class ThreadedMatchPool:
         """Full conflict set, deterministic order (site 0's rules first)."""
         futures = [
             self._pool.submit(self._match_site, site)
-            for site in range(self.n_threads)
+            for site in self.active_sites
         ]
         merged: List[Instantiation] = []
         for fut in futures:

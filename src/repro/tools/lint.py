@@ -209,3 +209,58 @@ def lint_program(program: Program) -> str:
     lines.append("")
     lines.extend(suggest_meta_rules(program))
     return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Module entry point (``python -m repro.tools.lint``).
+
+    With file arguments, lint those programs (exit 3 when candidates are
+    found, as ``parulel lint`` does). With no arguments, lint every bundled
+    benchmark program as a smoke gate: candidates are expected and merely
+    reported; only a crash or parse failure fails the gate.
+    """
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.lint",
+        description="static interference lint for set-oriented firing",
+    )
+    parser.add_argument("programs", nargs="*", help=".pl files (default: bundled workloads)")
+    args = parser.parse_args(argv)
+
+    if args.programs:
+        from repro.lang import analyze_program, parse_program
+
+        worst = 0
+        for path in args.programs:
+            program = parse_program(open(path).read())
+            analyze_program(program)
+            report = lint_program(program)
+            if report:
+                print(f"== {path}")
+                print(report)
+                worst = 3
+            else:
+                print(f"== {path}: clean")
+        return worst
+
+    from repro.programs import REGISTRY
+
+    for name in sorted(REGISTRY):
+        workload = REGISTRY[name]()
+        candidates = find_interference_candidates(workload.program)
+        note = (
+            f"{len(candidates)} candidate(s), "
+            f"{workload.n_meta_rules} meta-rule(s)"
+            if candidates
+            else "clean"
+        )
+        print(f"lint {name}: {note}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -17,14 +17,24 @@ Design notes (hpc-parallel guide: measure, index, avoid copies):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Tuple,
+)
 
 from repro.errors import WorkingMemoryError
 from repro.lang.ast import Value
 from repro.wm.template import TemplateRegistry
 from repro.wm.wme import WME
 
-__all__ = ["WorkingMemory"]
+__all__ = ["WorkingMemory", "WMDelta", "DeltaRecorder"]
 
 #: Listener signature: ``callback(wme, added)`` — ``added`` is True for an
 #: assert and False for a retract.
@@ -174,3 +184,100 @@ class WorkingMemory:
     def latest_timestamp(self) -> int:
         """The most recently allocated timestamp (0 if none yet)."""
         return self._next_timestamp - 1
+
+
+# ---------------------------------------------------------------------------
+# Delta export (serializable change logs for out-of-process replicas)
+# ---------------------------------------------------------------------------
+
+#: Wire form of one asserted WME: ``(class_name, attrs, timestamp)``.
+#: Attribute values are symbols/ints/floats, so the record is picklable
+#: without carrying :class:`WME`'s derived caches across the wire.
+WMERecord = Tuple[str, Dict[str, Value], int]
+
+
+class WMDelta(NamedTuple):
+    """Net change to a working memory over an observation window.
+
+    ``adds`` are live WMEs asserted in the window (in timestamp order);
+    ``removes`` are the timestamps of pre-window WMEs retracted in the
+    window. Timestamps are unique for the lifetime of a store, so they
+    identify WMEs across replicas. Add/remove pairs that cancel inside the
+    window (e.g. meta-level reifications) are compacted away, which makes
+    the application order "removes, then adds" always safe.
+    """
+
+    adds: Tuple[WME, ...]
+    removes: Tuple[int, ...]
+
+    @property
+    def empty(self) -> bool:
+        return not self.adds and not self.removes
+
+    def wire(self) -> Tuple[Tuple[WMERecord, ...], Tuple[int, ...]]:
+        """Picklable form: records instead of WME objects."""
+        return (
+            tuple((w.class_name, w.attributes, w.timestamp) for w in self.adds),
+            self.removes,
+        )
+
+    @staticmethod
+    def apply_wire(
+        wm: "WorkingMemory",
+        by_timestamp: Dict[int, WME],
+        wire: Tuple[Tuple[WMERecord, ...], Tuple[int, ...]],
+    ) -> None:
+        """Replay a wire delta into a replica store.
+
+        ``by_timestamp`` is the replica's timestamp index, updated in
+        place — removes resolve through it and adds register in it.
+        """
+        adds, removes = wire
+        for ts in removes:
+            wm.remove(by_timestamp.pop(ts))
+        for class_name, attrs, ts in adds:
+            wme = WME(class_name, attrs, ts)
+            wm.add(wme)
+            by_timestamp[ts] = wme
+
+
+class DeltaRecorder:
+    """Accumulates a working memory's changes as compacted deltas.
+
+    Attach once; every :meth:`drain` returns the net :class:`WMDelta` since
+    the previous drain (the first drain covers the pre-attach contents when
+    ``prime`` is true, so a replica built empty and fed every drain in
+    order converges to the live store). Used by the process-parallel match
+    backend to ship WM deltas instead of whole memories.
+    """
+
+    def __init__(self, wm: "WorkingMemory", prime: bool = True) -> None:
+        self.wm = wm
+        self._adds: Dict[int, WME] = {}
+        self._removes: List[int] = []
+        if prime:
+            for wme in wm.snapshot():
+                self._adds[wme.timestamp] = wme
+        wm.add_listener(self._on_event)
+        self._attached = True
+
+    def _on_event(self, wme: WME, added: bool) -> None:
+        if added:
+            self._adds[wme.timestamp] = wme
+        elif wme.timestamp in self._adds:
+            # Added and removed within the window: net zero, ship nothing.
+            del self._adds[wme.timestamp]
+        else:
+            self._removes.append(wme.timestamp)
+
+    def drain(self) -> WMDelta:
+        """The net delta since the last drain; resets the window."""
+        delta = WMDelta(tuple(self._adds.values()), tuple(self._removes))
+        self._adds = {}
+        self._removes = []
+        return delta
+
+    def detach(self) -> None:
+        if self._attached:
+            self.wm.remove_listener(self._on_event)
+            self._attached = False

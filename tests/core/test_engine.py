@@ -273,3 +273,76 @@ class TestRemoveSemantics:
         assert len(e.conflict_set()) == 1
         e.run()
         assert e.conflict_set() == []
+
+
+WRITER = """
+(literalize count value)
+(p bump
+    (count ^value {<v> < 2})
+    -->
+    (write bump <v>)
+    (modify 1 ^value (compute <v> + 1)))
+"""
+
+
+class TestRepeatedRunOutput:
+    def test_second_run_reports_only_its_own_output(self):
+        # Regression: RunResult.output used to be the engine's cumulative
+        # output, while reports/cycles/firings were sliced per run.
+        e = engine_for(WRITER)
+        e.make("count", value=0)
+        first = e.run()
+        assert first.output == ["bump 0", "bump 1"]
+
+        e.make("count", value=0)
+        second = e.run()
+        assert second.output == ["bump 0", "bump 1"]
+        assert second.cycles == len(second.reports) == 2
+        # The engine-level log stays cumulative.
+        assert e.output == ["bump 0", "bump 1"] * 2
+
+    def test_idle_rerun_has_empty_output(self):
+        e = engine_for(WRITER)
+        e.make("count", value=0)
+        e.run()
+        again = e.run()
+        assert again.cycles == 0
+        assert again.output == []
+
+
+class TestMetaWritesInReports:
+    def test_meta_writes_appear_in_cycle_report(self):
+        # Regression: meta-level (write ...) went straight to engine.output,
+        # bypassing CycleReport.writes, so RunTracer timelines dropped it.
+        src = """
+        (literalize item n)
+        (literalize log n)
+        (p touch (item ^n <n>) --> (make log ^n <n>))
+        (mp watch (instantiation ^rule touch ^id <i>)
+            --> (write meta-saw <i>))
+        """
+        e = engine_for(src)
+        e.make("item", n=1)
+        report = e.step()
+        assert report.fired == 1
+        assert any(w.startswith("meta-saw") for w in report.writes)
+        # Report writes and engine output agree on the meta lines.
+        for line in report.writes:
+            assert line in e.output
+
+    def test_meta_writes_reported_on_redaction_quiescence(self):
+        src = """
+        (literalize item n)
+        (p touch (item ^n <n>) --> (remove 1))
+        (mp veto (instantiation ^rule touch ^id <i>)
+            --> (write vetoed <i>) (redact <i>))
+        """
+        e = engine_for(src)
+        e.make("item", n=1)
+        result = e.run()
+        assert result.reason == "redaction-quiescence"
+        assert len(result.reports) == 1
+        report = result.reports[0]
+        assert report.fired == 0
+        assert any(w.startswith("vetoed") for w in report.writes)
+        assert report.writes == result.output

@@ -12,7 +12,8 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.lang.builder import ProgramBuilder, conj, gt, lt, ne, v
-from repro.match.interface import create_matcher
+from repro.match.interface import MATCHER_NAMES, create_matcher
+from repro.programs import REGISTRY
 from repro.wm.memory import WorkingMemory
 
 CLASSES = ["a", "b", "c"]
@@ -136,3 +137,56 @@ class TestDifferential:
             fresh_wm.add(wme)
         fresh = create_matcher("rete", program.rules, fresh_wm)
         assert conflict_image(incremental) == conflict_image(fresh)
+
+
+class TestAllBackendsOnRealPrograms:
+    """Every registered backend — including the multiprocessing one — must
+    produce the identical instantiation set on the bundled benchmark
+    programs' initial working memories."""
+
+    @pytest.mark.parametrize("name", ["monkey", "waltz", "tc"])
+    def test_backends_agree_on_workload(self, name):
+        workload = REGISTRY[name]()
+        wm = WorkingMemory()
+        matchers = [
+            create_matcher(backend, workload.program.rules, wm)
+            for backend in MATCHER_NAMES
+        ]
+        try:
+            workload.setup(wm)
+            images = [conflict_image(m) for m in matchers]
+            assert images[0], f"{name}: initial conflict set unexpectedly empty"
+            for backend, image in zip(MATCHER_NAMES, images):
+                assert image == images[0], (
+                    f"{name}: backend {backend!r} diverges from "
+                    f"{MATCHER_NAMES[0]!r}"
+                )
+        finally:
+            for matcher in matchers:
+                if hasattr(matcher, "close"):
+                    matcher.close()
+
+    @pytest.mark.parametrize("name", ["monkey", "waltz", "tc"])
+    def test_backends_agree_after_retractions(self, name):
+        """Still identical after retracting part of the initial memory —
+        exercises every backend's remove path on real rule shapes."""
+        workload = REGISTRY[name]()
+        wm = WorkingMemory()
+        matchers = [
+            create_matcher(backend, workload.program.rules, wm)
+            for backend in MATCHER_NAMES
+        ]
+        try:
+            workload.setup(wm)
+            victims = wm.snapshot()[::3]
+            for wme in victims:
+                wm.remove(wme)
+            images = [conflict_image(m) for m in matchers]
+            for backend, image in zip(MATCHER_NAMES, images):
+                assert image == images[0], (
+                    f"{name}: backend {backend!r} diverges after retractions"
+                )
+        finally:
+            for matcher in matchers:
+                if hasattr(matcher, "close"):
+                    matcher.close()

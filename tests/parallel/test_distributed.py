@@ -85,6 +85,28 @@ class TestCommunicationAccounting:
         res = dm.run()
         assert res.messages == 0
 
+    def test_single_site_pays_no_latency(self):
+        # Regression: round latency used to be charged for the gather and
+        # scatter rounds even at P=1 (zero messages, no communication),
+        # inflating the serial baseline every speedup is computed against.
+        dm = DistributedMachine(
+            parse_program(TC_SRC), 1, network=NetworkModel(latency=1000.0)
+        )
+        load_chain(dm)
+        res = dm.run()
+        assert res.comm_ticks == 0.0
+        assert res.comm_fraction == 0.0
+
+    def test_single_site_total_invariant_to_network(self):
+        totals = []
+        for latency in (0.0, 500.0):
+            dm = DistributedMachine(
+                parse_program(TC_SRC), 1, network=NetworkModel(latency=latency)
+            )
+            load_chain(dm)
+            totals.append(dm.run().total_ticks)
+        assert totals[0] == totals[1]
+
     def test_messages_grow_with_sites(self):
         results = {}
         for p in (2, 4):

@@ -62,3 +62,31 @@ class TestThreadedMatchPool:
         pool = ThreadedMatchPool(prog.rules, WorkingMemory(), 1)
         pool.close()
         pool.close()
+
+    def test_more_threads_than_rules_skips_empty_sites(self):
+        # Regression: sites with zero assigned rules used to get no-op
+        # futures submitted every cycle.
+        prog = parse_program(SRC)  # 4 rules
+        wm = WorkingMemory()
+        rete = create_matcher("rete", prog.rules, wm)
+        load(wm)
+        submitted = []
+        with ThreadedMatchPool(prog.rules, wm, 16) as pool:
+            assert pool.active_sites == tuple(range(4))
+            real_submit = pool._pool.submit
+
+            def counting_submit(fn, *args):
+                submitted.append(args)
+                return real_submit(fn, *args)
+
+            pool._pool.submit = counting_submit
+            pooled = sorted(i.key for i in pool.conflict_set())
+        assert len(submitted) == 4  # one per non-empty site, not 16
+        assert pooled == sorted(i.key for i in rete.instantiations())
+
+    def test_pool_with_no_rules(self):
+        pool = ThreadedMatchPool([], WorkingMemory(), 4)
+        assert pool.active_sites == ()
+        assert pool.conflict_set() == []
+        pool.close()
+        pool.close()

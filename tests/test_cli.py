@@ -79,6 +79,25 @@ class TestRunCommand:
                 == 0
             )
 
+    def test_process_matcher_with_workers(self, program_file, facts_file):
+        rc = main(
+            ["run", program_file, "--facts", facts_file,
+             "--matcher", "process", "--workers", "2"]
+        )
+        assert rc == 0
+
+    def test_process_matcher_rejects_zero_workers(
+        self, program_file, facts_file, capsys
+    ):
+        # Regression: --workers 0 used to fall through a falsy check and
+        # silently run with the default worker count.
+        rc = main(
+            ["run", program_file, "--facts", facts_file,
+             "--matcher", "process", "--workers", "0"]
+        )
+        assert rc == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
     def test_missing_file_errors(self, capsys):
         rc = main(["run", "/nonexistent/prog.pl"])
         assert rc == 1
