@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
 # The one gate CI and humans both run: tier-1 tests + the porting lint.
 #
-#   scripts/check.sh            # fast gate (tier-1 tests, lint smoke)
+#   scripts/check.sh            # fast gate (tier-1 tests minus slow
+#                               # process-killing tests, lint smoke)
+#   scripts/check.sh --faults   # additionally run the full fault-injection
+#                               # and recovery suite (kills/SIGSTOPs real
+#                               # workers; per-test SIGALRM timeouts keep a
+#                               # recovery bug from hanging the gate)
 #   scripts/check.sh --bench    # additionally regenerate the experiment
 #                               # tables/figures under benchmarks/results/
 set -euo pipefail
@@ -9,11 +14,16 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== tier-1 tests"
-python -m pytest -x -q
+echo "== tier-1 tests (fast gate: slow worker-kill tests excluded)"
+python -m pytest -x -q -m "not slow"
 
 echo "== porting lint (bundled workloads)"
 python -m repro.tools.lint
+
+if [[ "${1:-}" == "--faults" ]]; then
+    echo "== fault-injection/recovery suite (slow tests included)"
+    python -m pytest tests/faults tests/core/test_checkpoint.py -q
+fi
 
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== experiment suite (regenerates benchmarks/results/)"

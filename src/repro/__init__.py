@@ -32,6 +32,8 @@ Package map:
 - :mod:`repro.baseline` — the sequential OPS5 engine (LEX/MEA)
 - :mod:`repro.parallel` — simulated multiprocessor, partitioners,
   copy-and-constrain, threaded executor
+- :mod:`repro.faults` — seeded fault plans, injection, and the structured
+  fault/recovery event records
 - :mod:`repro.programs` — benchmark program generators
 - :mod:`repro.metrics` — reporting helpers for the experiment suite
 """
@@ -55,6 +57,7 @@ from repro.errors import (
     SemanticError,
     WorkingMemoryError,
 )
+from repro.faults import FaultEvent, FaultPlan
 from repro.lang import (
     Program,
     ProgramBuilder,
@@ -79,6 +82,8 @@ __all__ = [
     "CycleReport",
     "EngineConfig",
     "ExecutionError",
+    "FaultEvent",
+    "FaultPlan",
     "Instantiation",
     "InterferenceError",
     "InterferencePolicy",

@@ -37,7 +37,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.baseline import OPS5Engine
 from repro.core import EngineConfig, ParulelEngine
-from repro.errors import ReproError
+from repro.errors import CycleLimitExceeded, ReproError
 from repro.lang import analyze_program, format_program, parse_program
 from repro.lang.ast import Value
 from repro.wm.io import dumps as dump_wm_text
@@ -64,6 +64,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         matcher = f"process:{args.workers}"
 
+    if args.matcher_timeout is not None and args.matcher_timeout <= 0:
+        print("error: --matcher-timeout must be > 0 seconds", file=sys.stderr)
+        return 2
+    if args.respawn_limit is not None and args.respawn_limit < 0:
+        print("error: --respawn-limit must be >= 0", file=sys.stderr)
+        return 2
+    if (
+        args.matcher_timeout is not None or args.respawn_limit is not None
+    ) and args.matcher != "process":
+        print(
+            "error: --matcher-timeout/--respawn-limit require --matcher process",
+            file=sys.stderr,
+        )
+        return 2
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        print("error: --checkpoint-every must be >= 1", file=sys.stderr)
+        return 2
+    if args.engine == "ops5" and (
+        args.matcher_timeout is not None
+        or args.respawn_limit is not None
+        or args.checkpoint_every is not None
+        or args.resume is not None
+    ):
+        print(
+            "error: process-backend and checkpoint options apply to "
+            "--engine parulel only",
+            file=sys.stderr,
+        )
+        return 2
+
     if args.engine == "ops5":
         ops5 = OPS5Engine(program, strategy=args.strategy, matcher=matcher)
         for cls, attrs in facts:
@@ -84,10 +114,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 fh.write(dump_wm_text(ops5.wm))
         return 0
 
-    trace = None
+    user_trace = None
     if args.trace:
 
-        def trace(report):  # noqa: ANN001 - CycleReport
+        def user_trace(report):  # noqa: ANN001 - CycleReport
             print(
                 f"[cycle {report.cycle}] conflict-set={report.conflict_set_size} "
                 f"redacted={report.redaction.redacted} fired={report.fired} "
@@ -95,14 +125,49 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
 
-    engine = ParulelEngine(
-        program,
-        EngineConfig(matcher=matcher, interference=args.interference),
-        trace=trace,
+    ckpt_path = args.checkpoint or (args.program + ".ckpt")
+    trace = user_trace
+    if args.checkpoint_every is not None:
+
+        def trace(report):  # noqa: ANN001 - CycleReport
+            if user_trace is not None:
+                user_trace(report)
+            if report.cycle % args.checkpoint_every == 0:
+                engine.checkpoint(ckpt_path)
+
+    config = EngineConfig(
+        matcher=matcher,
+        interference=args.interference,
+        matcher_timeout=args.matcher_timeout,
+        respawn_limit=args.respawn_limit,
     )
-    for cls, attrs in facts:
-        engine.make(cls, attrs)
-    result = engine.run(max_cycles=args.max_cycles)
+    if args.resume:
+        if args.facts:
+            print(
+                "warning: --resume restores the checkpointed working memory; "
+                "--facts is ignored",
+                file=sys.stderr,
+            )
+        engine = ParulelEngine.restore(program, args.resume, config, trace=trace)
+    else:
+        engine = ParulelEngine(program, config, trace=trace)
+        for cls, attrs in facts:
+            engine.make(cls, attrs)
+    try:
+        result = engine.run(max_cycles=args.max_cycles)
+    except CycleLimitExceeded as exc:
+        partial = exc.partial
+        if partial is not None:
+            for line in partial.output:
+                print(line)
+        if args.checkpoint_every is not None:
+            engine.checkpoint(ckpt_path)  # salvage the partial run
+        print(
+            f"[parulel] cycle limit hit after {exc.cycles_completed} cycles "
+            f"and {exc.firings} firings: {exc}",
+            file=sys.stderr,
+        )
+        return 1
     for line in result.output:
         print(line)
     print(
@@ -111,6 +176,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{result.reason}",
         file=sys.stderr,
     )
+    if engine.fault_events:
+        from repro.faults import summarize_faults
+
+        counts = summarize_faults(engine.fault_events)
+        summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        print(f"  faults: {summary}", file=sys.stderr)
     if args.stats:
         stats = engine.matcher.stats
         print(f"  match: {stats}", file=sys.stderr)
@@ -281,6 +352,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="worker processes for --matcher process (default: usable cores, max 4)",
+    )
+    p_run.add_argument(
+        "--matcher-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-worker reply deadline for --matcher process",
+    )
+    p_run.add_argument(
+        "--respawn-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-site worker respawn budget for --matcher process; once "
+        "exhausted the site's rules are matched serially in-parent",
+    )
+    p_run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="write a resumable checkpoint every N cycles",
+    )
+    p_run.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="checkpoint file path (default: PROGRAM.ckpt)",
+    )
+    p_run.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="resume from a checkpoint written by --checkpoint-every "
+        "(--facts is ignored)",
     )
     p_run.add_argument("--strategy", choices=("lex", "mea"), default="lex")
     p_run.add_argument(

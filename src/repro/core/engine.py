@@ -29,16 +29,18 @@ published description of PARULEL's meta level.
 
 from __future__ import annotations
 
+import json
 import time
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import CycleLimitExceeded, ExecutionError
 from repro.core.actions import ActionEvaluator, HostFunction, InstantiationDelta
 from repro.core.delta import CycleDelta, InterferencePolicy, merge_deltas
 from repro.core.provenance import ProvenanceTracker
 from repro.core.redaction import MetaLevel, RedactionReport
+from repro.faults import FaultEvent, FaultPlan
 from repro.lang.analysis import analyze_program
 from repro.lang.ast import Program, Value
 from repro.match.instantiation import InstKey, Instantiation
@@ -48,6 +50,9 @@ from repro.wm.template import TemplateRegistry
 from repro.wm.wme import WME
 
 __all__ = ["ParulelEngine", "EngineConfig", "CycleReport", "RunResult"]
+
+#: Checkpoint format version (bumped on incompatible layout changes).
+CHECKPOINT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -69,11 +74,21 @@ class EngineConfig:
     #: Record a :class:`~repro.core.provenance.Derivation` for every WME,
     #: enabling ``engine.explain(wme)``. Off by default (memory cost).
     track_provenance: bool = False
+    #: Process-backend knobs (``matcher="process"`` only): per-worker reply
+    #: deadline in seconds, per-site respawn budget before graceful
+    #: degradation, and an injected :class:`~repro.faults.FaultPlan`.
+    matcher_timeout: Optional[float] = None
+    respawn_limit: Optional[int] = None
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "interference", InterferencePolicy.of(self.interference)
         )
+        if self.matcher_timeout is not None and self.matcher_timeout <= 0:
+            raise ValueError("matcher_timeout must be > 0 seconds")
+        if self.respawn_limit is not None and self.respawn_limit < 0:
+            raise ValueError("respawn_limit must be >= 0 (None for unlimited)")
 
 
 @dataclass
@@ -93,6 +108,9 @@ class CycleReport:
     #: first (redaction phase), then the merged object-level writes.
     writes: List[str] = field(default_factory=list)
     halted: bool = False
+    #: Fault/recovery events the match backend reported this cycle
+    #: (worker respawns, degradations, injected kills/wedges).
+    fault_events: List[FaultEvent] = field(default_factory=list)
 
 
 @dataclass
@@ -144,8 +162,15 @@ class ParulelEngine:
             TemplateRegistry.from_program(program)
         )
         self.evaluator = ActionEvaluator(host_functions)
+        matcher_options: Dict[str, Any] = {}
+        if self.config.matcher_timeout is not None:
+            matcher_options["timeout"] = self.config.matcher_timeout
+        if self.config.respawn_limit is not None:
+            matcher_options["respawn_limit"] = self.config.respawn_limit
+        if self.config.fault_plan is not None:
+            matcher_options["fault_plan"] = self.config.fault_plan
         self.matcher: Matcher = create_matcher(
-            self.config.matcher, program.rules, self.wm
+            self.config.matcher, program.rules, self.wm, **matcher_options
         )
         self.meta = MetaLevel(
             program.meta_rules,
@@ -162,6 +187,14 @@ class ParulelEngine:
         self.output: List[str] = []
         self.reports: List[CycleReport] = []
         self.phase_times: Counter = Counter()
+        #: All fault/recovery events surfaced by the match backend,
+        #: cumulative across the engine's life (per-cycle slices land on
+        #: each :class:`CycleReport`).
+        self.fault_events: List[FaultEvent] = []
+        #: Per-cycle applied deltas in wire form
+        #: ``(removed timestamps, ((class, attrs, timestamp), ...))`` —
+        #: the audit trail checkpoints carry and replicas replay.
+        self.delta_log: List[Tuple[Tuple[int, ...], Tuple[Tuple[str, Dict[str, Value], int], ...]]] = []
         self.halted = False
         self._cycle = 0
         self._redaction_quiescent = False
@@ -200,6 +233,10 @@ class ParulelEngine:
         candidates = [i for i in all_insts if i.key not in self.fired]
         t1 = time.perf_counter()
         self.phase_times["collect"] += t1 - t0
+        # The match phase is where backend faults surface (worker kills,
+        # respawns, degradations); drain them now so the report for this
+        # cycle carries them even if nothing fires.
+        cycle_faults = self._drain_matcher_faults()
         if not candidates:
             return None
 
@@ -226,6 +263,7 @@ class ParulelEngine:
                 makes_deduped=0,
                 writes=meta_writes,
                 halted=self.meta.halt_requested,
+                fault_events=cycle_faults,
             )
             self.reports.append(report)
             if self.meta.halt_requested:
@@ -264,6 +302,7 @@ class ParulelEngine:
             makes_deduped=merged.makes_deduped,
             writes=meta_writes + list(merged.writes),
             halted=halted,
+            fault_events=cycle_faults,
         )
         self.reports.append(report)
         self.output.extend(merged.writes)
@@ -273,15 +312,31 @@ class ParulelEngine:
             self.trace(report)
         return report
 
+    def _drain_matcher_faults(self) -> List[FaultEvent]:
+        """Collect fault/recovery events the match backend accumulated
+        since the last drain (serial matchers report none)."""
+        drain = getattr(self.matcher, "drain_fault_events", None)
+        if drain is None:
+            return []
+        events: List[FaultEvent] = list(drain())
+        self.fault_events.extend(events)
+        return events
+
     def _apply(self, merged: CycleDelta, deltas: Sequence[InstantiationDelta]) -> None:
         """Commit a cycle delta: retractions, then assertions, then host
-        calls (in firing order)."""
+        calls (in firing order). The committed delta — retracted timestamps
+        plus asserted records — is appended to :attr:`delta_log`."""
+        removed_ts = tuple(wme.timestamp for wme in merged.removes)
+        made_records: List[Tuple[str, Dict[str, Value], int]] = []
         for wme in merged.removes:
             self.wm.remove(wme)
             if self.provenance is not None:
                 self.provenance.record_retract(wme, self._cycle)
         for (class_name, attrs), origin in zip(merged.makes, merged.make_origins):
             new_wme = self.wm.make(class_name, attrs)
+            made_records.append(
+                (new_wme.class_name, new_wme.attributes, new_wme.timestamp)
+            )
             if self.provenance is not None:
                 inst, kind, replaced = origin
                 parents = tuple(w for w in inst.wmes if w is not None)
@@ -294,6 +349,7 @@ class ParulelEngine:
                     self.provenance.record_make(
                         new_wme, self._cycle, inst.rule.name, inst.key, parents
                     )
+        self.delta_log.append((removed_ts, tuple(made_records)))
         for delta in deltas:
             self.evaluator.run_calls(delta)
 
@@ -308,9 +364,22 @@ class ParulelEngine:
         reason = "quiescence"
         while True:
             if self._cycle - start_cycle >= limit:
+                run_reports = self.reports[start_report:]
                 raise CycleLimitExceeded(
                     f"exceeded {limit} cycles; the rule program likely does "
-                    f"not terminate"
+                    f"not terminate",
+                    cycles_completed=self._cycle - start_cycle,
+                    firings=sum(r.fired for r in run_reports),
+                    last_report=run_reports[-1] if run_reports else None,
+                    partial=RunResult(
+                        cycles=self._cycle - start_cycle,
+                        firings=sum(r.fired for r in run_reports),
+                        reason="cycle-limit",
+                        output=self.output[start_output:],
+                        reports=run_reports,
+                        wall_time=time.perf_counter() - wall0,
+                        phase_times=Counter(self.phase_times),
+                    ),
                 )
             report = self.step()
             if report is None:
@@ -335,6 +404,98 @@ class ParulelEngine:
             wall_time=wall,
             phase_times=Counter(self.phase_times),
         )
+
+    # -- checkpoint / resume ---------------------------------------------------
+
+    def checkpoint(self, path: Optional[str] = None) -> Dict[str, Any]:
+        """Snapshot the resumable engine state as a JSON-safe dict.
+
+        Captures working memory (records with exact timestamps plus the
+        allocation counter), the refraction set, the cycle counter, emitted
+        output, halt flags, and the delta log. Values are symbols/numbers,
+        so the dict serializes as JSON directly; when ``path`` is given the
+        checkpoint is also written there.
+
+        Matcher internals are *not* saved — :meth:`restore` rebuilds the
+        match network by replaying the restored WMEs, which yields the same
+        conflict set because matchers are deterministic in timestamp order.
+        """
+        records, next_ts = self.wm.dump_records()
+        state: Dict[str, Any] = {
+            "version": CHECKPOINT_VERSION,
+            "cycle": self._cycle,
+            "halted": self.halted,
+            "redaction_quiescent": self._redaction_quiescent,
+            "wm": {
+                "records": [list(rec) for rec in records],
+                "next_timestamp": next_ts,
+            },
+            "fired": [
+                [rule, list(timestamps)] for rule, timestamps in sorted(self.fired)
+            ],
+            "output": list(self.output),
+            "delta_log": [
+                [list(removed), [list(rec) for rec in made]]
+                for removed, made in self.delta_log
+            ],
+        }
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(state, fh)
+        return state
+
+    @classmethod
+    def restore(
+        cls,
+        program: Program,
+        state: Any,
+        config: Optional[EngineConfig] = None,
+        host_functions: Optional[Mapping[str, HostFunction]] = None,
+        trace: Optional[Callable[[CycleReport], None]] = None,
+    ) -> "ParulelEngine":
+        """Rebuild an engine from a :meth:`checkpoint` dict or file path.
+
+        The program must be the one the checkpoint was taken from (rules
+        are not serialized — only state). The restored engine continues
+        byte-identically: same timestamps, same refraction set, same cycle
+        numbering.
+        """
+        if isinstance(state, str):
+            with open(state, "r", encoding="utf-8") as fh:
+                state = json.load(fh)
+        version = state.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ExecutionError(
+                f"checkpoint version {version!r} is not supported "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        wm = WorkingMemory(TemplateRegistry.from_program(program))
+        wm.load_records(
+            [tuple(rec) for rec in state["wm"]["records"]],
+            state["wm"]["next_timestamp"],
+        )
+        engine = cls(
+            program,
+            config=config,
+            host_functions=host_functions,
+            wm=wm,
+            trace=trace,
+        )
+        engine._cycle = int(state["cycle"])
+        engine.halted = bool(state["halted"])
+        engine._redaction_quiescent = bool(state["redaction_quiescent"])
+        engine.fired = {
+            (rule, tuple(timestamps)) for rule, timestamps in state["fired"]
+        }
+        engine.output = list(state["output"])
+        engine.delta_log = [
+            (
+                tuple(removed),
+                tuple((cn, dict(attrs), ts) for cn, attrs, ts in made),
+            )
+            for removed, made in state["delta_log"]
+        ]
+        return engine
 
     # -- introspection ---------------------------------------------------------
 

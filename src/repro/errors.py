@@ -72,7 +72,30 @@ class InterferenceError(ExecutionError):
 
 class CycleLimitExceeded(ExecutionError):
     """Raised when an engine exceeds its configured maximum cycle count,
-    usually indicating a non-terminating rule program."""
+    usually indicating a non-terminating rule program.
+
+    The work done before the limit is not discarded: the exception carries
+    ``cycles_completed`` / ``firings`` counts, the ``last_report``
+    (the final :class:`~repro.core.engine.CycleReport`, when the engine
+    produces them), and optionally a substrate-specific ``partial`` result
+    (e.g. a :class:`~repro.parallel.distributed.DistResult`), so callers
+    and the CLI can report progress instead of losing the run.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cycles_completed: int = 0,
+        firings: int = 0,
+        last_report=None,
+        partial=None,
+    ) -> None:
+        super().__init__(message)
+        self.cycles_completed = cycles_completed
+        self.firings = firings
+        self.last_report = last_report
+        self.partial = partial
 
 
 class HaltSignal(Exception):

@@ -1,0 +1,40 @@
+"""Fault injection and recovery instrumentation.
+
+PARULEL's successor environment (PARADISER) targeted distributed machines
+whose sites, workers, and messages actually fail. This package provides the
+deterministic fault layer the execution substrates inject from:
+
+- :mod:`repro.faults.plan` — seeded :class:`FaultPlan` descriptions (site
+  crashes with optional rejoin, message drop/duplication/delay, straggler
+  sites, real worker kills/wedges) and the per-run :class:`FaultInjector`;
+- :mod:`repro.faults.events` — the structured :class:`FaultEvent` records
+  every injection and recovery action leaves behind, surfaced on
+  :class:`~repro.parallel.distributed.DistResult` and
+  :class:`~repro.core.engine.CycleReport`.
+
+Recovery itself lives with each substrate: the distributed master replays
+its cumulative delta log to rejoining replicas and redistributes a dead
+site's rules across survivors; the process pool respawns crashed workers
+within a budget and then degrades the site to an in-parent serial matcher.
+"""
+
+from repro.faults.events import FaultEvent, summarize_faults
+from repro.faults.plan import (
+    FaultInjector,
+    FaultPlan,
+    SiteCrash,
+    Straggler,
+    WorkerKill,
+    WorkerWedge,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "SiteCrash",
+    "Straggler",
+    "WorkerKill",
+    "WorkerWedge",
+    "summarize_faults",
+]

@@ -90,17 +90,30 @@ MATCHER_NAMES = ("rete", "rete-shared", "treat", "naive", "process")
 
 
 def create_matcher(
-    engine: str, rules: Sequence[Rule], wm: WorkingMemory
+    engine: str,
+    rules: Sequence[Rule],
+    wm: WorkingMemory,
+    *,
+    timeout: Optional[float] = None,
+    respawn_limit: Optional[int] = None,
+    fault_plan=None,
 ) -> Matcher:
     """Instantiate a match engine by name (``rete``, ``treat``, ``naive`` or
-    ``process``/``process:N`` for the multiprocessing fan-out)."""
+    ``process``/``process:N`` for the multiprocessing fan-out).
+
+    ``timeout`` (per-worker reply deadline, seconds), ``respawn_limit``
+    (per-site crash budget before graceful degradation) and ``fault_plan``
+    (a :class:`~repro.faults.FaultPlan` of injected worker faults) apply
+    only to the ``process`` backend; passing them for a serial engine is an
+    error rather than a silent no-op.
+    """
     # Imported here to avoid a cycle (engines import this interface).
     from repro.match.naive import NaiveMatcher
     from repro.match.rete import ReteMatcher, SharedReteMatcher
     from repro.match.treat import TreatMatcher
 
     if engine == "process" or engine.startswith("process:"):
-        from repro.parallel.process import ProcessMatcher
+        from repro.parallel.process import DEFAULT_TIMEOUT, ProcessMatcher
 
         n_workers = None
         if ":" in engine:
@@ -111,7 +124,20 @@ def create_matcher(
                     f"bad worker count in match engine spec {engine!r} "
                     f"(expected process:<int>)"
                 ) from None
-        return ProcessMatcher(rules, wm, n_workers=n_workers)
+        return ProcessMatcher(
+            rules,
+            wm,
+            n_workers=n_workers,
+            timeout=timeout if timeout is not None else DEFAULT_TIMEOUT,
+            respawn_limit=respawn_limit,
+            fault_plan=fault_plan,
+        )
+
+    if timeout is not None or respawn_limit is not None or fault_plan is not None:
+        raise ValueError(
+            f"timeout/respawn_limit/fault_plan only apply to the 'process' "
+            f"backend, not {engine!r}"
+        )
 
     table = {
         "rete": ReteMatcher,

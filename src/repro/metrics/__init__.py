@@ -5,7 +5,14 @@
   paper-style tables with these) and CSV emission.
 """
 
-from repro.metrics.report import Table, format_table, write_csv
+from repro.metrics.report import Table, fault_table, format_table, write_csv
 from repro.metrics.timers import PhaseTimer, summarize_cycles
 
-__all__ = ["PhaseTimer", "Table", "format_table", "summarize_cycles", "write_csv"]
+__all__ = [
+    "PhaseTimer",
+    "Table",
+    "fault_table",
+    "format_table",
+    "summarize_cycles",
+    "write_csv",
+]

@@ -12,7 +12,7 @@ import io
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Union
 
-__all__ = ["Table", "format_table", "write_csv"]
+__all__ = ["Table", "fault_table", "format_table", "write_csv"]
 
 Cell = Union[str, int, float, None]
 
@@ -103,3 +103,13 @@ def write_csv(path: str, headers: Sequence[str], rows: Iterable[Sequence[Cell]])
         writer = csv.writer(fh)
         writer.writerow(headers)
         writer.writerows(rows)
+
+
+def fault_table(events: Iterable, title: str = "fault/recovery events") -> Table:
+    """A :class:`Table` over :class:`~repro.faults.FaultEvent` records —
+    one row per event, chronological. Used by the fault benchmark and
+    handy from the REPL/tests."""
+    table = Table(title, ("cycle", "kind", "site", "detail"))
+    for ev in events:
+        table.add(ev.cycle, ev.kind, ev.site if ev.site is not None else "-", ev.detail)
+    return table

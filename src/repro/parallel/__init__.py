@@ -33,6 +33,7 @@ from repro.parallel.partition import (
     hash_partitions,
     lpt_assignment,
     profile_rule_weights,
+    rehost_assignment,
     round_robin_assignment,
 )
 from repro.parallel.process import ProcessMatchPool, ProcessMatcher
@@ -60,5 +61,6 @@ __all__ = [
     "hash_partitions",
     "lpt_assignment",
     "profile_rule_weights",
+    "rehost_assignment",
     "round_robin_assignment",
 ]

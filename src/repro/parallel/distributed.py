@@ -32,6 +32,22 @@ The :class:`NetworkModel` charges communication:
 Figure 5 sweeps ``latency`` to show where communication swamps the
 parallel match gain — the trade that separated the DADO/shared-memory
 line from distributed rule systems.
+
+**Faults and recovery.** A :class:`~repro.faults.FaultPlan` injects
+deterministic failures: a non-master site can crash at cycle *k* (the
+master detects the missed gather, charges the timeout, and re-hosts the
+dead site's rules across survivors via
+:func:`~repro.parallel.partition.rehost_assignment`); a crashed site can
+rejoin later (its replica is rebuilt by replaying the machine's cumulative
+delta log, then its rules migrate home); messages can be dropped
+(retried with backoff, charged through the :class:`NetworkModel`),
+duplicated, or delayed; straggler sites multiply their compute ticks.
+Because the master gathers candidates into a *canonical order* —
+``(rule position in the program, instantiation key)`` — results are
+byte-identical whichever site happens to host a rule, so a run that loses
+a site finishes with exactly the fault-free working memory. Every
+injection and recovery action is a :class:`~repro.faults.FaultEvent` on
+``DistResult.fault_events``.
 """
 
 from __future__ import annotations
@@ -44,17 +60,28 @@ from repro.errors import CycleLimitExceeded
 from repro.core.actions import ActionEvaluator, InstantiationDelta
 from repro.core.delta import InterferencePolicy, merge_deltas
 from repro.core.redaction import MetaLevel
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.lang.ast import Program, Value
 from repro.match.compile import compile_rules
 from repro.match.instantiation import InstKey, Instantiation
 from repro.match.interface import Matcher, create_matcher
 from repro.parallel.costmodel import CostModel
-from repro.parallel.partition import Assignment, round_robin_assignment
+from repro.parallel.partition import (
+    Assignment,
+    rehost_assignment,
+    round_robin_assignment,
+)
 from repro.wm.memory import WorkingMemory
 from repro.wm.template import TemplateRegistry
 from repro.wm.wme import WME
 
 __all__ = ["NetworkModel", "DistributedMachine", "DistResult"]
+
+#: One delta-log entry, in wire form: ``(removed timestamps, makes)`` where
+#: each make is ``(class, attrs, timestamp)``. The log is cumulative from
+#: machine construction, so replaying it into an empty store reproduces any
+#: replica exactly — that is how a rejoining site catches up.
+LogEntry = Tuple[Tuple[int, ...], Tuple[Tuple[str, Dict[str, Value], int], ...]]
 
 
 @dataclass(frozen=True)
@@ -68,6 +95,11 @@ class NetworkModel:
 
     def round_cost(self, n_messages: int) -> float:
         return self.latency + self.per_message * n_messages
+
+    def retry_cost(self, drops: int) -> float:
+        """Cost of recovering ``drops`` lost transmissions of one message:
+        each loss waits one latency (the retransmit timeout) and resends."""
+        return drops * (self.latency + self.per_message)
 
 
 @dataclass
@@ -83,6 +115,10 @@ class DistResult:
     serial_ticks: float
     messages: int
     output: List[str] = field(default_factory=list)
+    #: Every injected fault and recovery action, in occurrence order.
+    fault_events: List[FaultEvent] = field(default_factory=list)
+    #: Message retransmissions forced by injected drops.
+    retries: int = 0
 
     @property
     def total_ticks(self) -> float:
@@ -92,6 +128,13 @@ class DistResult:
     def comm_fraction(self) -> float:
         total = self.total_ticks
         return self.comm_ticks / total if total else 0.0
+
+    @property
+    def recoveries(self) -> int:
+        """Recovery actions taken (redistributions and rejoins)."""
+        return sum(
+            1 for e in self.fault_events if e.kind in ("redistribute", "rejoin")
+        )
 
 
 class DistributedMachine:
@@ -108,6 +151,7 @@ class DistributedMachine:
         interference: InterferencePolicy = InterferencePolicy.ERROR,
         dedupe_makes: bool = True,
         multicast: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if n_sites < 1:
             raise ValueError("need at least one site")
@@ -120,6 +164,20 @@ class DistributedMachine:
         self.interference = InterferencePolicy.of(interference)
         self.dedupe_makes = dedupe_makes
         self.multicast = multicast
+        self.matcher_name = matcher
+        if fault_plan is not None:
+            fault_plan.validate_sites(n_sites)
+        self._injector: Optional[FaultInjector] = (
+            fault_plan.injector() if fault_plan is not None else None
+        )
+        #: Canonical gather order: rule position in the program. Candidates
+        #: sort by (rule index, instantiation key), so the firing order —
+        #: and therefore every timestamp the run allocates — is independent
+        #: of which site happens to host a rule. Recovery that moves rules
+        #: between sites cannot perturb results.
+        self._rule_index: Dict[str, int] = {
+            r.name: i for i, r in enumerate(program.rules)
+        }
 
         #: One REAL working memory per site — nothing is shared.
         self.replicas: List[WorkingMemory] = [
@@ -127,24 +185,69 @@ class DistributedMachine:
             for _ in range(n_sites)
         ]
         self.evaluator = ActionEvaluator()
-        self.site_matchers: List[Matcher] = []
-        self._site_interests: List[frozenset] = []
+        #: Current rule hosting; starts as the configured assignment and is
+        #: recomputed by `rehost_assignment` when sites die or rejoin.
+        self.hosting: Assignment = self.assignment
+        self._dead: Set[int] = set()
+        self.site_matchers: List[Optional[Matcher]] = [None] * n_sites
+        self._hosted_names: List[frozenset] = [frozenset()] * n_sites
+        self._site_interests: List[frozenset] = [frozenset()] * n_sites
+        self._site_op_marks = [Counter() for _ in range(n_sites)]
         for site in range(n_sites):
-            rules = self.assignment.rules_of_site(site, program.rules)
-            self.site_matchers.append(
-                create_matcher(matcher, rules, self.replicas[site])
-            )
-            classes: Set[str] = set()
-            for compiled in compile_rules(rules):
-                for ce in compiled.ces:
-                    classes.add(ce.class_name)
-            self._site_interests.append(frozenset(classes))
+            self._build_site_matcher(site)
         # The master replica hosts the meta level (reifications are local
         # to the master; they are retracted before any delta ships).
         self.meta = MetaLevel(program.meta_rules, self.replicas[0], self.evaluator)
         self.fired: Set[InstKey] = set()
         self.output: List[str] = []
-        self._site_op_marks = [Counter() for _ in range(n_sites)]
+        #: Cumulative delta log since construction (initial makes included):
+        #: the catch-up script replayed into a rejoining replica.
+        self._log: List[LogEntry] = []
+        self._stragglers_noted: Set[int] = set()
+
+    # -- site (re)construction ---------------------------------------------------
+
+    def _build_site_matcher(self, site: int) -> None:
+        """(Re)build one site's matcher over the rules it currently hosts.
+
+        The fresh matcher replays the whole replica, so its match work —
+        the real cost of re-hosting rules after a failure — lands in the
+        site's next compute delta.
+        """
+        old = self.site_matchers[site]
+        if old is not None:
+            old.detach()
+        rules = self.hosting.rules_of_site(site, self.program.rules)
+        self.site_matchers[site] = create_matcher(
+            self.matcher_name, rules, self.replicas[site]
+        )
+        self._site_op_marks[site] = Counter()
+        self._hosted_names[site] = frozenset(r.name for r in rules)
+        classes: Set[str] = set()
+        for compiled in compile_rules(rules):
+            for ce in compiled.ces:
+                classes.add(ce.class_name)
+        self._site_interests[site] = frozenset(classes)
+
+    def _rehost(self) -> int:
+        """Recompute hosting for the current dead set; rebuild every site
+        whose hosted rule set changed. Returns the number of rules moved."""
+        self.hosting = rehost_assignment(
+            self.assignment, sorted(self._dead), self.program.rules
+        )
+        moved = 0
+        for site in range(self.n_sites):
+            if site in self._dead:
+                continue
+            hosted = frozenset(
+                r.name
+                for r in self.program.rules
+                if self.hosting.site_of[r.name] == site
+            )
+            if hosted != self._hosted_names[site]:
+                moved += len(hosted.symmetric_difference(self._hosted_names[site]))
+                self._build_site_matcher(site)
+        return moved
 
     # -- workload ---------------------------------------------------------------
 
@@ -153,25 +256,144 @@ class DistributedMachine:
         first = self.replicas[0].make(class_name, attrs, **kw)
         for replica in self.replicas[1:]:
             replica.add(WME(first.class_name, first.attributes, first.timestamp))
+        self._log.append(
+            ((), ((first.class_name, first.attributes, first.timestamp),))
+        )
         return first
 
     # -- consistency (tests call this) ---------------------------------------------
 
     def replicas_consistent(self) -> bool:
-        """All replicas hold exactly the same WMEs."""
+        """All live replicas hold exactly the same WMEs.
+
+        Replicas of currently-dead sites are stale by definition (they
+        receive no deltas until they rejoin and replay the log) and are
+        excluded.
+        """
         reference = {w for w in self.replicas[0] if w.class_name != "instantiation"}
         return all(
             {w for w in replica if w.class_name != "instantiation"} == reference
-            for replica in self.replicas[1:]
+            for site, replica in enumerate(self.replicas)
+            if site != 0 and site not in self._dead
         )
 
     # -- accounting -------------------------------------------------------------
 
     def _site_ops_delta(self, site: int) -> Counter:
-        now = self.site_matchers[site].stats.snapshot()
+        matcher = self.site_matchers[site]
+        if matcher is None:
+            return Counter()
+        now = matcher.stats.snapshot()
         delta = now - self._site_op_marks[site]
         self._site_op_marks[site] = now
         return delta
+
+    # -- fault handling ----------------------------------------------------------
+
+    def _crash_site(self, site: int, cycle_no: int) -> Tuple[float, int]:
+        """Kill a site: detach its matcher, detect via the missed gather,
+        and re-host its rules on the survivors. Returns (comm, messages)
+        charged for detection + redistribution."""
+        assert self._injector is not None
+        self._dead.add(site)
+        matcher = self.site_matchers[site]
+        if matcher is not None:
+            matcher.detach()
+            self.site_matchers[site] = None
+        self._injector.record(cycle_no, "crash", site=site)
+        # Detection: the master waits one full gather timeout for the dead
+        # site before declaring it lost.
+        self._injector.record(
+            cycle_no, "detect", site=site, detail="missed gather (timeout)"
+        )
+        moved = self._rehost()
+        self._injector.record(
+            cycle_no,
+            "redistribute",
+            site=site,
+            detail=f"{moved} rule slot(s) re-hosted across survivors",
+        )
+        # One timeout round, then a control round carrying the new hosting.
+        return self.network.latency + self.network.round_cost(moved), moved
+
+    def _rejoin_site(self, site: int, cycle_no: int) -> Tuple[float, int]:
+        """Resurrect a site: rebuild its replica by replaying the cumulative
+        delta log, then migrate its rules home. Returns (comm, messages)
+        charged for the replay."""
+        assert self._injector is not None
+        replica = WorkingMemory(TemplateRegistry.from_program(self.program))
+        by_ts: Dict[int, WME] = {}
+        records = 0
+        for removes, makes in self._log:
+            for ts in removes:
+                replica.remove(by_ts.pop(ts))
+                records += 1
+            for class_name, attrs, ts in makes:
+                wme = WME(class_name, dict(attrs), ts)
+                replica.add(wme)
+                by_ts[ts] = wme
+                records += 1
+        self.replicas[site] = replica
+        self._dead.discard(site)
+        self._build_site_matcher(site)
+        moved = self._rehost()
+        self._injector.record(
+            cycle_no,
+            "rejoin",
+            site=site,
+            detail=f"replayed {records} delta record(s); {moved} rule slot(s) "
+            f"migrated home",
+        )
+        return self.network.round_cost(records), records
+
+    def _apply_cycle_faults(self, cycle_no: int) -> Tuple[float, int]:
+        """Process this cycle's scheduled crashes/rejoins; returns the
+        (comm ticks, messages) the recovery traffic cost."""
+        assert self._injector is not None
+        comm = 0.0
+        messages = 0
+        for crash in self._injector.rejoins_at(cycle_no):
+            if crash.site in self._dead:
+                c, m = self._rejoin_site(crash.site, cycle_no)
+                comm += c
+                messages += m
+        for crash in self._injector.crashes_at(cycle_no):
+            if crash.site not in self._dead:
+                c, m = self._crash_site(crash.site, cycle_no)
+                comm += c
+                messages += m
+        return comm, messages
+
+    def _charge_message_faults(
+        self, n_remote: int, cycle_no: int, round_name: str
+    ) -> Tuple[float, int]:
+        """Seeded drop/duplicate/delay fates for one round's messages;
+        returns the extra (comm ticks, messages) they cost."""
+        inj = self._injector
+        assert inj is not None
+        plan = inj.plan
+        if not (plan.drop_rate or plan.dup_rate or plan.delay_rate):
+            return 0.0, 0
+        comm = 0.0
+        messages = 0
+        for _ in range(n_remote):
+            drops, duplicated, delayed = inj.message_fate()
+            if drops:
+                comm += self.network.retry_cost(drops)
+                messages += drops
+                inj.record(
+                    cycle_no,
+                    "drop",
+                    detail=f"{round_name}: {drops} retransmission(s)",
+                )
+            if duplicated:
+                comm += self.network.per_message
+                messages += 1
+                inj.record(cycle_no, "duplicate", detail=round_name)
+            if delayed:
+                comm += self.network.latency
+                inj.record(cycle_no, "delay", detail=round_name)
+        return comm, messages
 
     # -- execution ---------------------------------------------------------------
 
@@ -184,26 +406,58 @@ class DistributedMachine:
         firings = 0
         reason = "quiescence"
 
+        def result(reason: str) -> DistResult:
+            return DistResult(
+                n_sites=self.n_sites,
+                cycles=cycles,
+                firings=firings,
+                reason=reason,
+                compute_ticks=compute,
+                comm_ticks=comm,
+                serial_ticks=serial,
+                messages=messages,
+                output=list(self.output),
+                fault_events=(
+                    list(self._injector.events) if self._injector is not None else []
+                ),
+                retries=self._injector.retries if self._injector is not None else 0,
+            )
+
         # Load phase: parallel across sites.
         load = [self.cost.match_cost(self._site_ops_delta(s)) for s in range(self.n_sites)]
         compute += max(load) if load else 0.0
 
         while True:
             if cycles >= max_cycles:
-                raise CycleLimitExceeded(f"distributed run exceeded {max_cycles} cycles")
+                raise CycleLimitExceeded(
+                    f"distributed run exceeded {max_cycles} cycles",
+                    cycles_completed=cycles,
+                    firings=firings,
+                    partial=result("cycle-limit"),
+                )
+            cycle_no = cycles + 1
+            if self._injector is not None:
+                fault_comm, fault_msgs = self._apply_cycle_faults(cycle_no)
+                comm += fault_comm
+                messages += fault_msgs
 
             # ---- gather candidates (one communication round) --------------
             candidates: List[Instantiation] = []
-            inst_site: Dict[InstKey, int] = {}
-            gather_msgs = 0
-            for site, m in enumerate(self.site_matchers):
-                for inst in m.instantiations():
+            for matcher in self.site_matchers:
+                if matcher is None:
+                    continue
+                for inst in matcher.instantiations():
                     if inst.key in self.fired:
                         continue
                     candidates.append(inst)
-                    inst_site[inst.key] = site
-                    if site != 0:
-                        gather_msgs += 1
+            candidates.sort(
+                key=lambda i: (self._rule_index[i.rule.name], i.key)
+            )
+            inst_site: Dict[InstKey, int] = {
+                inst.key: self.hosting.site_of[inst.rule.name]
+                for inst in candidates
+            }
+            gather_msgs = sum(1 for site in inst_site.values() if site != 0)
             if not candidates:
                 break
             cycles += 1
@@ -212,6 +466,12 @@ class DistributedMachine:
             # fake distributed speedup.
             if self.n_sites > 1:
                 comm += self.network.round_cost(gather_msgs)
+                if self._injector is not None:
+                    extra_comm, extra_msgs = self._charge_message_faults(
+                        gather_msgs, cycle_no, "gather"
+                    )
+                    comm += extra_comm
+                    messages += extra_msgs
             messages += gather_msgs
 
             # ---- redact on the master -------------------------------------
@@ -240,13 +500,15 @@ class DistributedMachine:
             )
             serial += self.cost.wm_broadcast * 0.5 * merged.size
 
-            # ---- scatter the delta; every replica applies it ----------------
+            # ---- scatter the delta; every live replica applies it ----------
             removed_keys = [
                 (w.class_name, w.attributes, w.timestamp) for w in merged.removes
             ]
             scatter_msgs = 0
             new_timestamps: List[int] = []
             for site, replica in enumerate(self.replicas):
+                if site != 0 and site in self._dead:
+                    continue  # stale until it rejoins and replays the log
                 # Removes resolve by value+timestamp in each replica.
                 for class_name, attrs, ts in removed_keys:
                     replica.remove(WME(class_name, dict(attrs), ts))
@@ -270,8 +532,23 @@ class DistributedMachine:
                     else:
                         relevant = merged.size
                     scatter_msgs += relevant
+            self._log.append(
+                (
+                    tuple(ts for _c, _a, ts in removed_keys),
+                    tuple(
+                        (class_name, dict(attrs), new_timestamps[i])
+                        for i, (class_name, attrs) in enumerate(merged.makes)
+                    ),
+                )
+            )
             if self.n_sites > 1:
                 comm += self.network.round_cost(scatter_msgs)
+                if self._injector is not None:
+                    extra_comm, extra_msgs = self._charge_message_faults(
+                        scatter_msgs, cycle_no, "scatter"
+                    )
+                    comm += extra_comm
+                    messages += extra_msgs
             messages += scatter_msgs
             for delta in deltas:
                 self.evaluator.run_calls(delta)
@@ -280,9 +557,22 @@ class DistributedMachine:
             # ---- per-site compute time ---------------------------------------
             site_ticks = []
             for s in range(self.n_sites):
-                site_ticks.append(
-                    self.cost.match_cost(self._site_ops_delta(s)) + fire_ticks[s]
-                )
+                if s in self._dead:
+                    continue
+                ticks = self.cost.match_cost(self._site_ops_delta(s)) + fire_ticks[s]
+                if self._injector is not None:
+                    factor = self._injector.straggle_factor(s)
+                    if factor != 1.0:
+                        ticks *= factor
+                        if s not in self._stragglers_noted:
+                            self._stragglers_noted.add(s)
+                            self._injector.record(
+                                cycle_no,
+                                "straggler",
+                                site=s,
+                                detail=f"compute ×{factor:g}",
+                            )
+                site_ticks.append(ticks)
             compute += max(site_ticks)
             serial += self.cost.barrier
 
@@ -290,14 +580,4 @@ class DistributedMachine:
                 reason = "halt"
                 break
 
-        return DistResult(
-            n_sites=self.n_sites,
-            cycles=cycles,
-            firings=firings,
-            reason=reason,
-            compute_ticks=compute,
-            comm_ticks=comm,
-            serial_ticks=serial,
-            messages=messages,
-            output=list(self.output),
-        )
+        return result(reason)

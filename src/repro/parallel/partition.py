@@ -45,6 +45,7 @@ __all__ = [
     "round_robin_assignment",
     "lpt_assignment",
     "profile_rule_weights",
+    "rehost_assignment",
     "hash_partitions",
     "copy_and_constrain",
     "copy_and_constrain_program",
@@ -103,6 +104,33 @@ def lpt_assignment(
         site_of[rule.name] = site
         loads[site] += max(weights.get(rule.name, 1.0), 1.0)
     return Assignment(n_sites=n_sites, site_of=site_of)
+
+
+def rehost_assignment(
+    base: Assignment, dead_sites: Sequence[int], rules: Sequence[Rule]
+) -> Assignment:
+    """Hosting map after site failures: the base assignment with every dead
+    site's rules dealt round-robin across the surviving sites.
+
+    Deterministic (survivors in ascending site order, orphaned rules in
+    program order) so every master computes the identical re-hosting, and
+    *stable*: rules on surviving sites never move. Site 0 — the master —
+    must survive; recovery from a dead master is out of scope.
+    """
+    dead = set(dead_sites)
+    if 0 in dead:
+        raise ValueError("site 0 (the master) cannot be re-hosted away")
+    survivors = [s for s in range(base.n_sites) if s not in dead]
+    site_of: Dict[str, int] = {}
+    orphan = 0
+    for rule in rules:
+        home = base.site_of[rule.name]
+        if home in dead:
+            site_of[rule.name] = survivors[orphan % len(survivors)]
+            orphan += 1
+        else:
+            site_of[rule.name] = home
+    return Assignment(n_sites=base.n_sites, site_of=site_of)
 
 
 def profile_rule_weights(

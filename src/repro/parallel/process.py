@@ -26,9 +26,26 @@ What keeps it fast and correct:
   cumulative delta log, then re-asked for its site's matches. A run
   survives ``kill -9`` of any worker mid-cycle (tests inject exactly
   that).
-- **Lifecycle.** ``close()`` is idempotent, the pool is a context manager,
-  and workers are daemonic so a leaked pool cannot wedge interpreter
-  shutdown — mirroring :class:`~repro.parallel.threaded.ThreadedMatchPool`.
+- **Graceful degradation.** Each site has a respawn budget
+  (``respawn_limit``; ``None`` = unlimited). When a site's worker keeps
+  dying past its budget, the pool stops respawning and *degrades* the
+  site: its rules are matched in-parent by the serial join engine against
+  the parent's own working memory. The run stays alive — slower on that
+  site, never wrong — instead of raising
+  :class:`~repro.errors.MatchError`. Because the parent WM holds exactly
+  the replica contents in the same order, degraded results are
+  byte-identical to worker results. Every respawn and degradation is a
+  :class:`~repro.faults.FaultEvent`; engines drain them per cycle via
+  :meth:`ProcessMatcher.drain_fault_events` into the
+  :class:`~repro.core.engine.CycleReport`.
+- **Fault injection.** A :class:`~repro.faults.FaultPlan` can schedule
+  real ``SIGKILL`` (``kills``) and ``SIGSTOP`` (``wedges``) against
+  workers at a given conflict-set cycle, driving the recovery machinery
+  deterministically under test.
+- **Lifecycle.** ``close()`` is idempotent, bounded (a 1 s join per worker
+  before an unconditional kill — even a SIGSTOP'd worker cannot stall it),
+  the pool is a context manager, and workers are daemonic so a leaked pool
+  cannot wedge interpreter shutdown.
 
 :class:`ProcessMatcher` adapts the pool to the standard
 :class:`~repro.match.interface.Matcher` interface so engines can select it
@@ -40,12 +57,14 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 from multiprocessing.connection import Connection
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import MatchError
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.lang.ast import Rule, Value
-from repro.match.compile import compile_rules
+from repro.match.compile import CompiledRule, compile_rules
 from repro.match.instantiation import ConflictSet, Instantiation
 from repro.match.interface import Matcher
 from repro.match.join import enumerate_matches
@@ -61,7 +80,8 @@ __all__ = ["ProcessMatchPool", "ProcessMatcher", "default_worker_count"]
 MatchSummary = Tuple[str, Tuple[int, ...], Dict[str, Value]]
 
 #: Per-worker, per-cycle reply deadline (seconds). Generous: it exists to
-#: unwedge a hung worker, not to police slow matches.
+#: unwedge a hung worker, not to police slow matches. Override per run with
+#: ``ProcessMatchPool(timeout=...)`` or the CLI's ``--matcher-timeout``.
 DEFAULT_TIMEOUT = 60.0
 
 
@@ -151,12 +171,19 @@ class ProcessMatchPool:
         assignment: Optional[Assignment] = None,
         timeout: float = DEFAULT_TIMEOUT,
         start_method: Optional[str] = None,
+        respawn_limit: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
+        if timeout <= 0:
+            raise ValueError("timeout must be > 0 seconds")
+        if respawn_limit is not None and respawn_limit < 0:
+            raise ValueError("respawn_limit must be >= 0 (None for unlimited)")
         self.wm = wm
         self.n_workers = n_workers
         self.timeout = timeout
+        self.respawn_limit = respawn_limit
         self.assignment = assignment or round_robin_assignment(rules, n_workers)
         self._rules_by_name: Dict[str, Rule] = {r.name: r for r in rules}
         self._site_rules: List[List[Rule]] = [[] for _ in range(n_workers)]
@@ -184,6 +211,16 @@ class ProcessMatchPool:
         self._procs: Dict[int, multiprocessing.process.BaseProcess] = {}
         #: Workers respawned after a crash/timeout (tests assert on this).
         self.respawns = 0
+        #: Per-site respawn counts, charged against ``respawn_limit``.
+        self.site_respawns: Dict[int, int] = {}
+        #: Sites whose budget ran out, now matched in-parent.
+        self.degraded_sites: Set[int] = set()
+        self._site_compiled: Dict[int, Tuple[CompiledRule, ...]] = {}
+        self._injector: Optional[FaultInjector] = (
+            fault_plan.injector() if fault_plan is not None else None
+        )
+        self._fault_events: List[FaultEvent] = []
+        self._cycle = 0
         self._closed = False
         for site in self.active_sites:
             self._spawn(site)
@@ -212,6 +249,15 @@ class ProcessMatchPool:
         if conn is not None:
             conn.close()
 
+    def _record(self, kind: str, site: int, detail: str = "") -> None:
+        event = FaultEvent(cycle=self._cycle, kind=kind, site=site, detail=detail)
+        self._fault_events.append(event)
+
+    def drain_fault_events(self) -> List[FaultEvent]:
+        """Fault/recovery events since the last drain (engine hook)."""
+        out, self._fault_events = self._fault_events, []
+        return out
+
     def _try_send(self, site: int, msg: tuple) -> bool:
         try:
             self._conns[site].send(msg)
@@ -232,22 +278,109 @@ class ProcessMatchPool:
             raise MatchError(f"match worker for site {site} failed: {payload}")
         return payload
 
-    def _respawn_and_match(self, site: int) -> List[MatchSummary]:
-        """Replace a dead/wedged worker, replay the delta log, re-match."""
+    def _budget_left(self, site: int) -> bool:
+        if self.respawn_limit is None:
+            return True
+        return self.site_respawns.get(site, 0) < self.respawn_limit
+
+    def _degrade(self, site: int, reason: str) -> List[MatchSummary]:
+        """Fold a site into the in-parent serial matcher, permanently.
+
+        The parent working memory holds exactly what the worker's replica
+        held (the replica was built from the parent's delta log), and both
+        iterate class buckets in timestamp order, so the serial matches are
+        byte-identical to what the worker would have returned.
+        """
         self._kill(site)
-        self._spawn(site)
-        self.respawns += 1
-        if not self._try_send(site, ("match", list(self._log))):
-            raise MatchError(
-                f"match worker for site {site} died immediately after respawn"
+        self._procs.pop(site, None)
+        self._conns.pop(site, None)
+        self.degraded_sites.add(site)
+        self._record(
+            "degrade",
+            site,
+            detail=(
+                f"{reason}; {len(self._site_rules[site])} rule(s) now "
+                f"matched in-parent"
+            ),
+        )
+        return self._parent_match(site)
+
+    def _parent_match(self, site: int) -> List[MatchSummary]:
+        """Serial in-parent match of one (degraded) site's rules."""
+        compiled = self._site_compiled.get(site)
+        if compiled is None:
+            compiled = compile_rules(tuple(self._site_rules[site]))
+            self._site_compiled[site] = compiled
+        out: List[MatchSummary] = []
+        for cr in compiled:
+            for inst in enumerate_matches(cr, self.wm):
+                out.append(
+                    (
+                        cr.name,
+                        tuple(
+                            w.timestamp if w is not None else 0
+                            for w in inst.wmes
+                        ),
+                        inst.env,
+                    )
+                )
+        return out
+
+    def _respawn_and_match(self, site: int) -> List[MatchSummary]:
+        """Replace a dead/wedged worker (within budget), replay the delta
+        log, and re-match; degrade the site once the budget runs out.
+
+        A site with budget left that keeps dying *within one cycle* (a
+        worker that cannot even come up) is a deterministic failure no
+        respawn will fix — after three consecutive attempts the pool
+        degrades it too rather than spinning.
+        """
+        attempts = 0
+        while True:
+            if not self._budget_left(site):
+                return self._degrade(
+                    site, f"respawn budget ({self.respawn_limit}) exhausted"
+                )
+            if attempts >= 3:
+                return self._degrade(
+                    site, f"{attempts} consecutive respawns failed in one cycle"
+                )
+            attempts += 1
+            self._kill(site)
+            self._spawn(site)
+            self.respawns += 1
+            self.site_respawns[site] = self.site_respawns.get(site, 0) + 1
+            self._record(
+                "respawn",
+                site,
+                detail=f"attempt {self.site_respawns[site]}"
+                + (
+                    f" of {self.respawn_limit}"
+                    if self.respawn_limit is not None
+                    else ""
+                ),
             )
-        results = self._recv(site)
-        if results is None:
-            raise MatchError(
-                f"match worker for site {site} unresponsive after respawn "
-                f"(timeout {self.timeout}s)"
-            )
-        return results
+            if not self._try_send(site, ("match", list(self._log))):
+                continue
+            results = self._recv(site)
+            if results is not None:
+                return results
+
+    def _inject_faults(self) -> None:
+        """Apply this cycle's scheduled worker kills/wedges (real signals)."""
+        assert self._injector is not None
+        for kill in self._injector.kills_at(self._cycle):
+            proc = self._procs.get(kill.site)
+            if proc is not None and proc.is_alive():
+                proc.kill()
+                proc.join()
+                self._record("kill", kill.site, detail="injected SIGKILL")
+        if hasattr(signal, "SIGSTOP"):
+            for wedge in self._injector.wedges_at(self._cycle):
+                proc = self._procs.get(wedge.site)
+                if proc is not None and proc.is_alive():
+                    os.kill(proc.pid, signal.SIGSTOP)
+                    self._record("wedge", wedge.site, detail="injected SIGSTOP")
 
     # -- the conflict set ---------------------------------------------------
 
@@ -256,10 +389,14 @@ class ProcessMatchPool:
 
         Ships the WM delta since the last call to every live worker, then
         merges per-site results in site order. Crashed or unresponsive
-        workers are respawned and caught up transparently.
+        workers are respawned and caught up transparently; sites past
+        their respawn budget are matched in-parent.
         """
         if self._closed:
             raise MatchError("ProcessMatchPool is closed")
+        self._cycle += 1
+        if self._injector is not None:
+            self._inject_faults()
         delta = self._recorder.drain()
         for wme in delta.adds:
             self._wme_by_ts[wme.timestamp] = wme
@@ -271,17 +408,22 @@ class ProcessMatchPool:
             self._log.append(wire)
             payload.append(wire)
 
-        # Fan the request out to every worker before collecting any reply,
-        # so sites match concurrently; then merge in deterministic order.
+        # Fan the request out to every live worker before collecting any
+        # reply, so sites match concurrently; then merge in deterministic
+        # order (degraded sites are matched serially in-parent).
         sent = {
-            site: self._try_send(site, ("match", payload))
+            site: site not in self.degraded_sites
+            and self._try_send(site, ("match", payload))
             for site in self.active_sites
         }
         merged: List[Instantiation] = []
         for site in self.active_sites:
-            results = self._recv(site) if sent[site] else None
-            if results is None:
-                results = self._respawn_and_match(site)
+            if site in self.degraded_sites:
+                results = self._parent_match(site)
+            else:
+                results = self._recv(site) if sent[site] else None
+                if results is None:
+                    results = self._respawn_and_match(site)
             for summary in results:
                 merged.append(self._rebuild(summary))
         return merged
@@ -297,15 +439,19 @@ class ProcessMatchPool:
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        """Stop all workers and detach from the working memory (idempotent)."""
+        """Stop all workers and detach from the working memory (idempotent).
+
+        Bounded: each worker gets a 1 s grace join, then an unconditional
+        SIGKILL — SIGKILL interrupts even a SIGSTOP'd worker, so close
+        returns promptly no matter what state the workers are in.
+        """
         if self._closed:
             return
         self._closed = True
         self._recorder.detach()
-        for site in self.active_sites:
+        for site in list(self._procs):
             self._try_send(site, ("stop",))
-        for site in self.active_sites:
-            proc = self._procs[site]
+        for site, proc in list(self._procs.items()):
             proc.join(timeout=1.0)
             if proc.is_alive():
                 proc.kill()
@@ -336,13 +482,22 @@ class ProcessMatcher(Matcher):
         wm: WorkingMemory,
         n_workers: Optional[int] = None,
         timeout: float = DEFAULT_TIMEOUT,
+        respawn_limit: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         # The pool's recorder primes itself with the pre-existing WMEs, so
         # it must attach before Matcher.__init__ replays them through
         # _on_add (which only marks the cache dirty here).
         if n_workers is None:
             n_workers = default_worker_count()
-        self.pool = ProcessMatchPool(rules, wm, n_workers, timeout=timeout)
+        self.pool = ProcessMatchPool(
+            rules,
+            wm,
+            n_workers,
+            timeout=timeout,
+            respawn_limit=respawn_limit,
+            fault_plan=fault_plan,
+        )
         super().__init__(rules, wm)
 
     def _on_add(self, wme: WME) -> None:
@@ -359,6 +514,11 @@ class ProcessMatcher(Matcher):
             self.conflict_set = fresh
             self._dirty = False
         return self.conflict_set.instantiations()
+
+    def drain_fault_events(self) -> List[FaultEvent]:
+        """Respawn/degrade/injection events since the last drain — the
+        engine attaches them to the cycle's report."""
+        return self.pool.drain_fault_events()
 
     def detach(self) -> None:
         super().detach()

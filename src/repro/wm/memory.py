@@ -185,6 +185,41 @@ class WorkingMemory:
         """The most recently allocated timestamp (0 if none yet)."""
         return self._next_timestamp - 1
 
+    # -- checkpointable state ---------------------------------------------------
+
+    def dump_records(self) -> Tuple[List["WMERecord"], int]:
+        """Serializable state: ``(records, next_timestamp)``.
+
+        Unlike :mod:`repro.wm.io`'s facts text, records keep their
+        timestamps — reloading reproduces the store *byte-identically*,
+        which engine checkpoint/resume (and replica rebuilds) require.
+        ``next_timestamp`` is carried separately because retractions can
+        leave the counter past every live element.
+        """
+        records = [
+            (w.class_name, w.attributes, w.timestamp) for w in self.snapshot()
+        ]
+        return records, self._next_timestamp
+
+    def load_records(
+        self, records: Iterable["WMERecord"], next_timestamp: Optional[int] = None
+    ) -> None:
+        """Re-assert dumped records (store must be empty), restoring the
+        exact timestamps; then restore the allocation counter."""
+        if self._count:
+            raise WorkingMemoryError(
+                "load_records needs an empty working memory"
+            )
+        for class_name, attrs, ts in records:
+            self.add(WME(class_name, dict(attrs), ts))
+        if next_timestamp is not None:
+            if next_timestamp <= self.latest_timestamp:
+                raise WorkingMemoryError(
+                    f"next_timestamp {next_timestamp} is not past the latest "
+                    f"live timestamp {self.latest_timestamp}"
+                )
+            self._next_timestamp = next_timestamp
+
 
 # ---------------------------------------------------------------------------
 # Delta export (serializable change logs for out-of-process replicas)

@@ -1,0 +1,50 @@
+"""Shared test plumbing: per-test timeouts and the slow/faults markers.
+
+The container has no ``pytest-timeout`` plugin, so timeouts are enforced
+with ``SIGALRM``: ``@pytest.mark.timeout(seconds)`` arms an alarm around
+the test call and fails the test (instead of hanging the whole suite) if
+it expires. Fault-injection tests that kill or SIGSTOP real worker
+processes carry ``@pytest.mark.slow`` and a timeout, so a recovery bug
+shows up as one failed test, not a wedged CI job.
+"""
+
+import signal
+
+import pytest
+
+#: Default ceiling applied to every test marked ``faults`` that does not
+#: set an explicit ``timeout`` marker.
+DEFAULT_FAULTS_TIMEOUT = 60.0
+
+
+class _TestTimeout(Exception):
+    pass
+
+
+def _timeout_seconds(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    if item.get_closest_marker("faults") is not None:
+        return DEFAULT_FAULTS_TIMEOUT
+    return 0.0  # no alarm
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    seconds = _timeout_seconds(item)
+    if seconds <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _expire(signum, frame):
+        raise _TestTimeout(f"test exceeded its {seconds:.0f}s timeout marker")
+
+    previous = signal.signal(signal.SIGALRM, _expire)
+    # setitimer keeps sub-second precision, unlike alarm().
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import main, parse_facts
@@ -221,3 +223,104 @@ class TestLintCommand:
         out = capsys.readouterr().out
         assert "interference" in out
         assert "(mp arbitrate-claim" in out
+
+
+class TestRobustnessOptions:
+    COUNTER = """
+    (literalize count value)
+    (p bump
+        (count ^value {<v> < 8})
+        -->
+        (modify 1 ^value (compute <v> + 1)))
+    """
+
+    @pytest.fixture
+    def counter_file(self, tmp_path):
+        path = tmp_path / "counter.pl"
+        path.write_text(self.COUNTER)
+        return str(path)
+
+    @pytest.fixture
+    def counter_facts(self, tmp_path):
+        path = tmp_path / "counter-facts.pl"
+        path.write_text("(count ^value 0)\n")
+        return str(path)
+
+    def test_matcher_timeout_rejects_nonpositive(self, counter_file, capsys):
+        rc = main(["run", counter_file, "--matcher", "process",
+                   "--matcher-timeout", "0"])
+        assert rc == 2
+        assert "--matcher-timeout must be > 0" in capsys.readouterr().err
+
+    def test_respawn_limit_rejects_negative(self, counter_file, capsys):
+        rc = main(["run", counter_file, "--matcher", "process",
+                   "--respawn-limit", "-1"])
+        assert rc == 2
+        assert "--respawn-limit must be >= 0" in capsys.readouterr().err
+
+    def test_process_options_require_process_matcher(self, counter_file, capsys):
+        rc = main(["run", counter_file, "--respawn-limit", "2"])
+        assert rc == 2
+        assert "require --matcher process" in capsys.readouterr().err
+
+    def test_process_options_accepted(self, counter_file, counter_facts):
+        rc = main(["run", counter_file, "--facts", counter_facts,
+                   "--matcher", "process", "--workers", "1",
+                   "--matcher-timeout", "30", "--respawn-limit", "2"])
+        assert rc == 0
+
+    def test_checkpoint_every_rejects_nonpositive(self, counter_file, capsys):
+        rc = main(["run", counter_file, "--checkpoint-every", "0"])
+        assert rc == 2
+        assert "--checkpoint-every must be >= 1" in capsys.readouterr().err
+
+    def test_checkpoint_options_rejected_for_ops5(self, counter_file, capsys):
+        rc = main(["run", counter_file, "--engine", "ops5",
+                   "--checkpoint-every", "2"])
+        assert rc == 2
+        assert "parulel only" in capsys.readouterr().err
+
+    def test_checkpoint_written_at_default_path(
+        self, counter_file, counter_facts
+    ):
+        rc = main(["run", counter_file, "--facts", counter_facts,
+                   "--checkpoint-every", "3"])
+        assert rc == 0
+        assert os.path.exists(counter_file + ".ckpt")
+
+    def test_interrupted_run_resumes_to_same_result(
+        self, counter_file, counter_facts, tmp_path, capsys
+    ):
+        ckpt = str(tmp_path / "run.ckpt")
+        # Hit the cycle limit mid-run; the salvage checkpoint is written.
+        rc = main(["run", counter_file, "--facts", counter_facts,
+                   "--checkpoint-every", "2", "--checkpoint", ckpt,
+                   "--max-cycles", "4"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "cycle limit hit after 4 cycles and 4 firings" in err
+        assert os.path.exists(ckpt)
+        # Resuming finishes the remaining 4 cycles.
+        rc = main(["run", counter_file, "--resume", ckpt,
+                   "--dump-wm", str(tmp_path / "resumed.wm")])
+        assert rc == 0
+        assert "4 cycles, 4 firings" in capsys.readouterr().err
+        # Uninterrupted reference.
+        rc = main(["run", counter_file, "--facts", counter_facts,
+                   "--dump-wm", str(tmp_path / "straight.wm")])
+        assert rc == 0
+        resumed = (tmp_path / "resumed.wm").read_text()
+        straight = (tmp_path / "straight.wm").read_text()
+        assert resumed == straight
+
+    def test_resume_ignores_facts_with_warning(
+        self, counter_file, counter_facts, tmp_path, capsys
+    ):
+        ckpt = str(tmp_path / "warn.ckpt")
+        main(["run", counter_file, "--facts", counter_facts,
+              "--checkpoint-every", "1", "--checkpoint", ckpt])
+        capsys.readouterr()
+        rc = main(["run", counter_file, "--resume", ckpt,
+                   "--facts", counter_facts])
+        assert rc == 0
+        assert "--facts is ignored" in capsys.readouterr().err
