@@ -20,6 +20,15 @@ python -m pytest -x -q -m "not slow"
 echo "== porting lint (bundled workloads)"
 python -m repro.tools.lint
 
+echo "== static analysis (bundled workloads)"
+# 'parulel analyze' exits 1 when any error-severity PAxxx diagnostic fires;
+# on failure re-run with --json so the log shows the exact regressing code.
+python -m repro.cli analyze --no-hints || {
+    echo "static analysis found error-severity diagnostics; JSON follows:"
+    python -m repro.cli analyze --json
+    exit 1
+}
+
 if [[ "${1:-}" == "--faults" ]]; then
     echo "== fault-injection/recovery suite (slow tests included)"
     python -m pytest tests/faults tests/core/test_checkpoint.py -q

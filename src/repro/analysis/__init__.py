@@ -1,0 +1,189 @@
+"""Whole-program static analysis for PARULEL rule programs.
+
+Where :mod:`repro.lang.analysis` answers "is this program well-formed?",
+this package answers "is this program *correct and schedulable* under
+set-oriented parallel firing?" — the questions the paper's porting
+workflow and the distributed backends need decided before a run:
+
+- :mod:`repro.analysis.depgraph` — the rule dependency graph
+  (enables / inhibits / conflicts edges over read/write footprints),
+  SCCs, and stratification;
+- :mod:`repro.analysis.coverage` — do the redaction meta-rules reach
+  every interference candidate the lint reports?
+- :mod:`repro.analysis.deadcode` — rules that can never fire,
+  condition elements that can never match;
+- :mod:`repro.analysis.advisor` — an analysis-driven rule partition
+  that the distributed/process backends accept as
+  ``assignment="analysis"``;
+- :mod:`repro.analysis.diagnostics` — the shared ``PAxxx`` diagnostic
+  vocabulary with text and SARIF-shaped JSON renderers.
+
+:func:`analyze` runs every check and returns an :class:`AnalysisReport`;
+``parulel analyze`` is its CLI face and ``scripts/check.sh`` gates on
+its error-severity findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.lang.ast import Program
+
+from repro.analysis.advisor import analysis_assignment, connectivity_cost
+from repro.analysis.coverage import (
+    CoverageSummary,
+    check_meta_rules,
+    check_redaction_coverage,
+)
+from repro.analysis.deadcode import check_dead_rules, check_unsatisfiable_ces
+from repro.analysis.depgraph import DepEdge, DependencyGraph, build_dependency_graph
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    Severity,
+    diag,
+    render_sarif,
+    render_text,
+    worst_severity,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "analyze",
+    "analysis_assignment",
+    "connectivity_cost",
+    "build_dependency_graph",
+    "DependencyGraph",
+    "DepEdge",
+    "CoverageSummary",
+    "Diagnostic",
+    "Severity",
+    "CODES",
+    "diag",
+    "render_text",
+    "render_sarif",
+    "worst_severity",
+]
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one :func:`analyze` run found."""
+
+    name: str
+    graph: DependencyGraph
+    coverage: CoverageSummary
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Whether the dead-rule check ran (it needs seed classes).
+    dead_rules_checked: bool = False
+
+    @property
+    def worst(self) -> Optional[Severity]:
+        return worst_severity(self.diagnostics)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def properties(self) -> Dict[str, object]:
+        """The summary bag the SARIF run carries."""
+        props: Dict[str, object] = {"program": self.name}
+        props["graph"] = self.graph.stats()
+        props["coverage"] = self.coverage.as_properties()
+        props["deadRulesChecked"] = self.dead_rules_checked
+        props["diagnostics"] = len(self.diagnostics)
+        return props
+
+    def render_text(self, show_hints: bool = True) -> str:
+        """The human report ``parulel analyze`` prints for one program."""
+        g = self.graph.stats()
+        lines = [
+            f"== {self.name}",
+            f"dependency graph: {g['rules']} rule(s), {g['edges']} edge(s) "
+            f"({g['enables']} enables, {g['inhibits']} inhibits, "
+            f"{g['conflicts']} conflicts)",
+            f"cycles: {g['cyclicSccs']} cyclic SCC(s) "
+            f"(largest {g['largestScc']} rule(s))",
+        ]
+        strata = self.graph.strata()
+        rendered = "; ".join(
+            f"{i}: {', '.join(layer)}" for i, layer in enumerate(strata)
+        )
+        lines.append(
+            f"stratification: {len(strata)} stratum/strata"
+            + (f" [{rendered}]" if rendered else "")
+            + ("" if g["stratified"] else " — NOT stratified")
+        )
+        cov = self.coverage
+        if cov.applicable:
+            lines.append(
+                f"redaction coverage: {cov.covered}/{cov.checked} candidate(s) "
+                f"covered by {cov.meta_rules} meta-rule(s)"
+                + (
+                    f", {cov.skipped_remove_remove} benign remove/remove "
+                    f"pair(s) skipped"
+                    if cov.skipped_remove_remove
+                    else ""
+                )
+            )
+        elif cov.candidates:
+            lines.append(
+                f"redaction coverage: n/a — {cov.candidates} candidate(s) "
+                f"but no meta level (see PA001)"
+            )
+        else:
+            lines.append("redaction coverage: n/a — no interference candidates")
+        lines.append(
+            "dead rules: "
+            + ("checked against seed classes" if self.dead_rules_checked else "not checked (no facts given)")
+        )
+        if self.diagnostics:
+            lines.append(f"{len(self.diagnostics)} finding(s):")
+            lines.append(render_text(self.diagnostics, show_hints=show_hints))
+        else:
+            lines.append("no findings")
+        return "\n".join(lines)
+
+
+def analyze(
+    program: Program,
+    seed_classes: Optional[Iterable[str]] = None,
+    name: str = "<program>",
+    include_lint: bool = True,
+) -> AnalysisReport:
+    """Run every static check over ``program``.
+
+    ``seed_classes`` — classes the initial facts load; enables the
+    dead-rule check. ``include_lint=False`` drops the PA001 interference
+    candidates from the findings (``parulel lint`` already reports them;
+    the registry gate keeps them on).
+    """
+    from repro.tools.lint import lint_diagnostics
+
+    graph = build_dependency_graph(program)
+    diagnostics: List[Diagnostic] = []
+    if include_lint:
+        diagnostics.extend(lint_diagnostics(program))
+    cov_diags, coverage = check_redaction_coverage(program)
+    diagnostics.extend(cov_diags)
+    diagnostics.extend(check_unsatisfiable_ces(program))
+    diagnostics.extend(check_dead_rules(program, seed_classes))
+    diagnostics.extend(check_meta_rules(program))
+    for edge in graph.unstratified_inhibits():
+        diagnostics.append(
+            diag(
+                "PA005",
+                f"writes of {edge.src!r} can invalidate matches of "
+                f"{edge.dst!r} on class {edge.class_name!r} inside a rule "
+                f"cycle — firing order across cycles is significant",
+                rule=edge.src,
+            )
+        )
+    return AnalysisReport(
+        name=name,
+        graph=graph,
+        coverage=coverage,
+        diagnostics=diagnostics,
+        dead_rules_checked=seed_classes is not None,
+    )

@@ -1,0 +1,244 @@
+"""Redaction-coverage: do the meta-rules arbitrate what the lint flags?
+
+The porting lint (:mod:`repro.tools.lint`) finds *interference
+candidates* — rule pairs whose firings may issue conflicting writes to
+one WME. PARULEL's contract is that the programmer's meta-rules redact
+such pairs before they fire. This checker closes the loop statically: it
+reifies each candidate's two conflicting instantiations the same way
+:func:`repro.core.redaction.reify_instantiation` would at runtime —
+``rule`` / ``salience`` / ``specificity`` are known constants, ``id`` /
+``recency`` / the rule's variables are unknown values, every other
+attribute reads back as ``nil`` — and asks whether any meta-rule could
+*redact a member of the pair*.
+
+A meta-rule can redact candidate member *m* when the condition element
+that binds its redacted ``^id`` variable may match *m*'s reified image
+(:func:`~repro.analysis.footprint.may_overlap`, so unknowns are
+satisfiable and only constant contradictions disprove). A candidate none
+of the meta-rules can touch is **uncovered** — PA002, with the lint's
+meta-rule skeleton attached as the fix hint.
+
+Deliberately conservative in both directions the analysis can afford:
+
+- ``remove/remove`` candidates are skipped — the delta merge treats a
+  double remove as idempotent, so there is nothing to arbitrate;
+- programs with *no* meta-rules are skipped — the lint's PA001 already
+  says "candidates exist and no meta level is present"; coverage answers
+  the sharper question "does the meta level you wrote actually reach
+  every candidate";
+- a redact whose target cannot be traced to one condition element (a
+  computed id, a rebound variable) counts as able to reach anything.
+
+The same image machinery powers PA006: a meta-rule whose ``instantiation``
+CE names an unknown rule, or constrains attributes the named rule's
+reifications can never carry, can never fire at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lang.analysis import INSTANTIATION_CLASS
+from repro.lang.ast import MetaRule, Program, RedactAction, Rule, VariableExpr
+from repro.match.compile import CompiledCE, compile_rule
+from repro.analysis.diagnostics import Diagnostic, diag
+from repro.analysis.footprint import WriteImage, ce_constraints, may_overlap
+
+__all__ = ["CoverageSummary", "check_redaction_coverage", "check_meta_rules", "victim_image"]
+
+
+@dataclass(frozen=True)
+class CoverageSummary:
+    """Counts the text report and SARIF properties quote."""
+
+    candidates: int
+    checked: int
+    covered: int
+    uncovered: int
+    skipped_remove_remove: int
+    meta_rules: int
+
+    @property
+    def applicable(self) -> bool:
+        """False when the program has no meta level to check."""
+        return self.meta_rules > 0
+
+    def as_properties(self) -> Dict[str, object]:
+        return {
+            "candidates": self.candidates,
+            "checked": self.checked,
+            "covered": self.covered,
+            "uncovered": self.uncovered,
+            "skippedRemoveRemove": self.skipped_remove_remove,
+            "metaRules": self.meta_rules,
+        }
+
+
+def victim_image(rule: Rule) -> WriteImage:
+    """The statically-known shape of any reified instantiation of ``rule``.
+
+    A closed image: attributes beyond the builtins and the rule's bound
+    variables are provably absent (``nil``) on every reification.
+    """
+    constraints: Dict[str, tuple] = {
+        "rule": (("eq", rule.name),),
+        "salience": (("eq", rule.salience),),
+        "specificity": (("eq", rule.specificity),),
+        "id": (("unknown",),),
+        "recency": (("unknown",),),
+    }
+    for var in compile_rule(rule).variables:
+        constraints[var] = (("unknown",),)
+    return WriteImage(
+        rule=rule.name,
+        kind="make",
+        class_name=INSTANTIATION_CLASS,
+        constraints=tuple(sorted(constraints.items())),
+        closed=True,
+    )
+
+
+def _victim_ces(meta: MetaRule) -> Optional[List[CompiledCE]]:
+    """The CEs whose matched instantiation this meta-rule can redact.
+
+    ``None`` means "cannot be traced — assume it reaches everything"
+    (a computed redact id, or an id rebound on the RHS).
+    """
+    redact_vars: List[str] = []
+    for action in meta.actions:
+        if isinstance(action, RedactAction):
+            if not isinstance(action.expr, VariableExpr):
+                return None
+            redact_vars.append(action.expr.name)
+    if not redact_vars:
+        return []
+    compiled = compile_rule(meta)
+    out: List[CompiledCE] = []
+    for var in redact_vars:
+        found = None
+        for ce in compiled.ces:
+            if ce.negated or ce.class_name != INSTANTIATION_CLASS:
+                continue
+            if ("id", var) in ce.bindings:
+                found = ce
+                break
+        if found is None:
+            return None  # id comes from somewhere we cannot see statically
+        out.append(found)
+    return out
+
+
+def check_redaction_coverage(
+    program: Program,
+) -> Tuple[List[Diagnostic], CoverageSummary]:
+    """PA002 diagnostics + the coverage summary for ``program``."""
+    from repro.tools.lint import find_interference_candidates, meta_rule_skeleton
+
+    candidates = find_interference_candidates(program)
+    n_meta = len(program.meta_rules)
+    skipped = sum(1 for c in candidates if c.kind == "remove/remove")
+    if not candidates or n_meta == 0:
+        return [], CoverageSummary(
+            candidates=len(candidates),
+            checked=0,
+            covered=0,
+            uncovered=0,
+            skipped_remove_remove=skipped,
+            meta_rules=n_meta,
+        )
+
+    # Victim CEs of every meta-rule, computed once. A None entry is a
+    # wildcard: that meta-rule counts as covering every candidate.
+    wildcard = False
+    victim_ces: List[CompiledCE] = []
+    for meta in program.meta_rules:
+        ces = _victim_ces(meta)
+        if ces is None:
+            wildcard = True
+            break
+        victim_ces.extend(ces)
+
+    images = {r.name: victim_image(r) for r in program.rules}
+    diagnostics: List[Diagnostic] = []
+    checked = covered = 0
+    for cand in candidates:
+        if cand.kind == "remove/remove":
+            continue
+        checked += 1
+        if wildcard or any(
+            may_overlap(images[member], ce_constraints(ce), INSTANTIATION_CLASS)
+            for member in (cand.rule_a, cand.rule_b)
+            for ce in victim_ces
+        ):
+            covered += 1
+            continue
+        diagnostics.append(
+            diag(
+                "PA002",
+                f"no meta-rule can redact either side of: {cand.describe()}",
+                rule=cand.rule_a,
+                ce=cand.ce_a,
+                hint=meta_rule_skeleton(program, cand),
+            )
+        )
+    return diagnostics, CoverageSummary(
+        candidates=len(candidates),
+        checked=checked,
+        covered=covered,
+        uncovered=checked - covered,
+        skipped_remove_remove=skipped,
+        meta_rules=n_meta,
+    )
+
+
+def check_meta_rules(program: Program) -> List[Diagnostic]:
+    """PA006: meta-rules whose ``instantiation`` patterns can never match.
+
+    Two proofs of inapplicability, per positive ``instantiation`` CE that
+    pins ``^rule`` to a constant:
+
+    - the constant names no object rule in the program;
+    - the CE's constant tests contradict every reification the named rule
+      can produce (an attribute the rule never binds tested against a
+      non-``nil`` constant, a wrong ``^salience`` / ``^specificity``, ...).
+    """
+    diagnostics: List[Diagnostic] = []
+    rule_names = {r.name for r in program.rules}
+    images = {r.name: victim_image(r) for r in program.rules}
+    for meta in program.meta_rules:
+        compiled = compile_rule(meta)
+        for ce in compiled.ces:
+            if ce.negated or ce.class_name != INSTANTIATION_CLASS:
+                continue
+            conds = ce_constraints(ce)
+            rule_conds = conds.get("rule", ())
+            pinned = [c[1] for c in rule_conds if c[0] == "eq"]
+            if not pinned:
+                continue
+            target = pinned[0]
+            if target not in rule_names:
+                diagnostics.append(
+                    diag(
+                        "PA006",
+                        f"meta-rule {meta.name!r} matches instantiations of "
+                        f"{target!r}, but no such rule exists",
+                        rule=meta.name,
+                        ce=ce.index + 1,
+                    )
+                )
+                continue
+            if not may_overlap(images[target], conds, INSTANTIATION_CLASS):
+                tested = ", ".join(sorted(conds))
+                diagnostics.append(
+                    diag(
+                        "PA006",
+                        f"meta-rule {meta.name!r} can never match an "
+                        f"instantiation of {target!r}: its tests on "
+                        f"{tested} contradict every reification that rule "
+                        f"produces",
+                        rule=meta.name,
+                        ce=ce.index + 1,
+                    )
+                )
+    return diagnostics

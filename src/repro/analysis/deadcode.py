@@ -1,0 +1,119 @@
+"""Dead rules (PA003) and unsatisfiable condition elements (PA004).
+
+**Unsatisfiable CEs** are decided per attribute from the compiled alpha
+conditions: two constant equalities forcing different values, an equality
+outside a ``<< ... >>`` membership set, disjoint memberships, provably
+empty numeric ranges (``> 5`` with ``< 3``), and self-contradictory
+intra-CE comparisons (``^a { <x> <> <x> }``). A rule carrying such a CE
+can never fire — this is an *error*, the program text is wrong.
+
+**Dead rules** need to know where WMEs come from, so the check runs only
+when the caller supplies ``seed_classes`` (the classes the workload's
+initial facts load — ``parulel analyze --facts`` derives them from the
+facts file, registry mode derives them from each workload's setup). From
+the seeds, a least fixpoint mirrors reachability: a rule is *live* when
+every positive CE's class is available; live rules make their ``make``
+classes available (``modify``/``remove`` never bootstrap a class — the
+WME must exist for the rule to fire at all). Rules outside the fixpoint
+can never acquire a full match — a *warning*, because the program may be
+a library fragment run with richer facts elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.lang.analysis import INSTANTIATION_CLASS
+from repro.lang.ast import MakeAction, Program, Rule
+from repro.match.compile import compile_rule
+from repro.analysis.diagnostics import Diagnostic, diag
+from repro.analysis.footprint import ce_constraints, constraints_satisfiable
+
+__all__ = ["check_unsatisfiable_ces", "check_dead_rules"]
+
+
+def _unsat_attr(ce) -> Optional[str]:
+    """The first attribute whose constraints contradict, else None."""
+    for attr, conds in ce_constraints(ce).items():
+        if not constraints_satisfiable(list(conds)):
+            return attr
+    for cond in ce.alpha_conds:
+        # A variable compared against its own binding attribute with an
+        # irreflexive predicate can never hold.
+        if cond[0] == "intra" and cond[1] == cond[3] and cond[2] in ("<>", "<", ">"):
+            return cond[1]
+    return None
+
+
+def check_unsatisfiable_ces(program: Program) -> List[Diagnostic]:
+    """PA004 for every contradictory CE in rules and meta-rules."""
+    diagnostics: List[Diagnostic] = []
+    for rule in (*program.rules, *program.meta_rules):
+        compiled = compile_rule(rule)
+        for ce in compiled.ces:
+            attr = _unsat_attr(ce)
+            if attr is not None:
+                diagnostics.append(
+                    diag(
+                        "PA004",
+                        f"condition element {ce.index + 1} of {rule.name!r} "
+                        f"can never match: its tests on ^{attr} are "
+                        f"contradictory",
+                        rule=rule.name,
+                        ce=ce.index + 1,
+                    )
+                )
+    return diagnostics
+
+
+def check_dead_rules(
+    program: Program, seed_classes: Optional[Iterable[str]] = None
+) -> List[Diagnostic]:
+    """PA003 for rules that can never fire given the seed classes.
+
+    With ``seed_classes=None`` the check is skipped (an analyzed program
+    file says nothing about its initial facts).
+    """
+    if seed_classes is None:
+        return []
+    available: Set[str] = set(seed_classes) | {INSTANTIATION_CLASS}
+    rules = list(program.rules)
+    needs: Dict[str, Set[str]] = {}
+    makes: Dict[str, Set[str]] = {}
+    for rule in rules:
+        needs[rule.name] = {
+            ce.class_name for ce in rule.conditions if not ce.negated
+        }
+        makes[rule.name] = {
+            a.class_name for a in rule.actions if isinstance(a, MakeAction)
+        }
+
+    live: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for rule in rules:
+            if rule.name in live:
+                continue
+            if needs[rule.name] <= available:
+                live.add(rule.name)
+                new = makes[rule.name] - available
+                if new:
+                    available |= new
+                changed = True
+
+    diagnostics: List[Diagnostic] = []
+    for rule in rules:
+        if rule.name in live:
+            continue
+        missing = sorted(needs[rule.name] - available)
+        diagnostics.append(
+            diag(
+                "PA003",
+                f"rule {rule.name!r} can never fire: class(es) "
+                f"{', '.join(repr(m) for m in missing)} are never loaded as "
+                f"facts and never made by a reachable rule",
+                rule=rule.name,
+            )
+        )
+    return diagnostics

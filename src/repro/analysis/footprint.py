@@ -1,0 +1,289 @@
+"""Per-rule read/write footprints and a conservative overlap test.
+
+The dependency graph, the dead-code checks and the partition advisor all
+need the same two questions answered statically:
+
+1. *What does a rule read and write?* — per condition element and per
+   action, as a ``(class, per-attribute constraint set)`` **footprint**;
+2. *Could this write produce/destroy a WME that matches that read?* —
+   :func:`may_overlap`, a satisfiability check over the two constraint
+   sets that errs on the side of "yes".
+
+Constraints come from two places. Reads carry the compiled alpha
+conditions of their CE (:mod:`repro.match.compile` already classifies
+constant/equality/membership tests). Writes carry the *post-image* of the
+action:
+
+- a ``make`` knows each constant assignment exactly, and — crucially —
+  knows that every **unassigned** attribute is ``nil``
+  (:data:`repro.wm.wme.NIL`), which is what lets phase-machine programs
+  prove their makes cannot feed unrelated condition elements;
+- a ``modify`` starts from the target CE's alpha constraints and
+  overwrites the assigned attributes (constants become known, computed
+  expressions become unknown);
+- a ``remove`` destroys a WME matching the target CE's constraints.
+
+Unknown values are always satisfiable: :func:`may_overlap` only answers
+``False`` on a *proof* of disjointness, so every edge the dependency
+graph might need is present (the analyses built on top stay sound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.lang.ast import (
+    ConstantExpr,
+    MakeAction,
+    ModifyAction,
+    RemoveAction,
+    Rule,
+    Value,
+)
+from repro.match.compile import CompiledCE, CompiledRule, compile_rule, value_predicate
+from repro.wm.wme import NIL
+
+__all__ = [
+    "Constraint",
+    "WriteImage",
+    "RuleFootprint",
+    "ce_constraints",
+    "rule_footprint",
+    "constraints_satisfiable",
+    "may_overlap",
+    "footprint_classes",
+]
+
+#: One atomic per-attribute fact: ``('eq', v)``, ``('pred', op, v)`` for a
+#: non-equality comparison against a constant, ``('in', alternatives)``,
+#: ``('absent',)`` (attribute never assigned — reads back as ``nil``) or
+#: ``('unknown',)`` (value not statically known).
+Constraint = Tuple
+
+#: attr -> constraints that must all hold for that attribute.
+ConstraintMap = Dict[str, Tuple[Constraint, ...]]
+
+
+@dataclass(frozen=True)
+class WriteImage:
+    """The statically-known shape of one write's effect.
+
+    ``kind`` is ``'make'``, ``'modify'`` or ``'remove'``; for removes the
+    constraints describe the WME being *destroyed*, for makes/modifies the
+    WME being *created*. ``closed`` marks images whose unlisted attributes
+    are provably ``nil`` (makes only).
+    """
+
+    rule: str
+    kind: str
+    class_name: str
+    constraints: Tuple[Tuple[str, Tuple[Constraint, ...]], ...]
+    #: 1-based CE index of the modify/remove target (0 for makes).
+    ce_index: int = 0
+    closed: bool = False
+
+    @property
+    def constraint_map(self) -> ConstraintMap:
+        return dict(self.constraints)
+
+
+@dataclass(frozen=True)
+class RuleFootprint:
+    """Everything one rule touches, in analyzable form."""
+
+    rule: Rule
+    compiled: CompiledRule
+    #: Post-images of every make/modify, and pre-images of every remove.
+    writes: Tuple[WriteImage, ...]
+
+    @property
+    def name(self) -> str:
+        return self.rule.name
+
+    @property
+    def classes_read(self) -> FrozenSet[str]:
+        return frozenset(ce.class_name for ce in self.compiled.ces)
+
+    @property
+    def classes_written(self) -> FrozenSet[str]:
+        return frozenset(w.class_name for w in self.writes)
+
+
+def ce_constraints(ce: CompiledCE) -> ConstraintMap:
+    """Per-attribute constraints a WME must satisfy to pass the CE's alpha
+    tests (variable bindings and join tests constrain nothing statically)."""
+    out: Dict[str, List[Constraint]] = {}
+    for cond in ce.alpha_conds:
+        if cond[0] == "const":
+            _k, attr, op, value = cond
+            if op == "=":
+                out.setdefault(attr, []).append(("eq", value))
+            else:
+                out.setdefault(attr, []).append(("pred", op, value))
+        elif cond[0] == "in":
+            _k, attr, alternatives = cond
+            out.setdefault(attr, []).append(("in", tuple(alternatives)))
+        # 'intra' (attr-vs-attr) conditions constrain nothing per-attribute.
+    return {attr: tuple(conds) for attr, conds in out.items()}
+
+
+def _assignment_constraints(assignments) -> Dict[str, Tuple[Constraint, ...]]:
+    out: Dict[str, Tuple[Constraint, ...]] = {}
+    for attr, expr in assignments:
+        if isinstance(expr, ConstantExpr):
+            out[attr] = (("eq", expr.value),)
+        else:
+            out[attr] = (("unknown",),)
+    return out
+
+
+def rule_footprint(rule: Rule, compiled: Optional[CompiledRule] = None) -> RuleFootprint:
+    """Compute the footprint of one rule (compiling its LHS if needed)."""
+    compiled = compiled or compile_rule(rule)
+    writes: List[WriteImage] = []
+    for action in rule.actions:
+        if isinstance(action, MakeAction):
+            constraints = _assignment_constraints(action.assignments)
+            writes.append(
+                WriteImage(
+                    rule=rule.name,
+                    kind="make",
+                    class_name=action.class_name,
+                    constraints=tuple(sorted(constraints.items())),
+                    closed=True,
+                )
+            )
+        elif isinstance(action, ModifyAction):
+            target = compiled.ces[action.ce_index - 1]
+            merged: Dict[str, Tuple[Constraint, ...]] = dict(ce_constraints(target))
+            merged.update(_assignment_constraints(action.assignments))
+            writes.append(
+                WriteImage(
+                    rule=rule.name,
+                    kind="modify",
+                    class_name=target.class_name,
+                    constraints=tuple(sorted(merged.items())),
+                    ce_index=action.ce_index,
+                )
+            )
+        elif isinstance(action, RemoveAction):
+            for idx in action.ce_indices:
+                target = compiled.ces[idx - 1]
+                writes.append(
+                    WriteImage(
+                        rule=rule.name,
+                        kind="remove",
+                        class_name=target.class_name,
+                        constraints=tuple(sorted(ce_constraints(target).items())),
+                        ce_index=idx,
+                    )
+                )
+    return RuleFootprint(rule=rule, compiled=compiled, writes=tuple(writes))
+
+
+# ---------------------------------------------------------------------------
+# Satisfiability
+# ---------------------------------------------------------------------------
+
+
+def _value_satisfies(value: Value, constraint: Constraint) -> bool:
+    """Does a *known* value satisfy one constraint?"""
+    kind = constraint[0]
+    if kind == "eq":
+        return value == constraint[1]
+    if kind == "pred":
+        return value_predicate(constraint[1], value, constraint[2])
+    if kind == "in":
+        return value in constraint[1]
+    if kind == "absent":
+        return value == NIL
+    return True  # unknown
+
+
+def _pair_satisfiable(a: Constraint, b: Constraint) -> bool:
+    """Could one value satisfy both atomic constraints? Conservative."""
+    if a[0] == "unknown" or b[0] == "unknown":
+        return True
+    # Resolve "absent" to the value it reads back as.
+    if a[0] == "absent":
+        a = ("eq", NIL)
+    if b[0] == "absent":
+        b = ("eq", NIL)
+    if a[0] == "eq":
+        return _value_satisfies(a[1], b)
+    if b[0] == "eq":
+        return _value_satisfies(b[1], a)
+    if a[0] == "in" and b[0] == "in":
+        return bool(set(a[1]) & set(b[1]))
+    if a[0] == "in":
+        return any(_value_satisfies(v, b) for v in a[1])
+    if b[0] == "in":
+        return any(_value_satisfies(v, a) for v in b[1])
+    # pred vs pred: check for contradictory numeric ranges.
+    return _ranges_satisfiable(a, b)
+
+
+def _ranges_satisfiable(a: Constraint, b: Constraint) -> bool:
+    """Two non-equality predicates against constants: numeric range check.
+
+    Only provably-empty numeric intersections return False (``> 5`` with
+    ``< 3``); everything involving symbols or ``<>``/``<=>`` stays True.
+    """
+    ops = {a[1], b[1]}
+    if "<>" in ops or "<=>" in ops:
+        return True
+    va, vb = a[2], b[2]
+    if not isinstance(va, (int, float)) or not isinstance(vb, (int, float)):
+        return True
+    lo, hi = float("-inf"), float("inf")
+    lo_strict = hi_strict = False
+    for op, v in ((a[1], va), (b[1], vb)):
+        if op in (">", ">="):
+            if v > lo or (v == lo and op == ">"):
+                lo, lo_strict = v, op == ">"
+        elif op in ("<", "<="):
+            if v < hi or (v == hi and op == "<"):
+                hi, hi_strict = v, op == "<"
+    if lo > hi:
+        return False
+    if lo == hi and (lo_strict or hi_strict):
+        return False
+    return True
+
+
+def constraints_satisfiable(conds: Sequence[Constraint]) -> bool:
+    """Can any single value satisfy every constraint in the list?"""
+    for i, a in enumerate(conds):
+        for b in conds[i + 1 :]:
+            if not _pair_satisfiable(a, b):
+                return False
+    return True
+
+
+def may_overlap(image: WriteImage, reader: ConstraintMap, reader_class: str) -> bool:
+    """Could the written/destroyed WME satisfy the reader's constraints?
+
+    ``False`` only on proof: class mismatch, a contradictory attribute
+    pair, or (for closed make images) a reader constraint an absent
+    attribute's ``nil`` cannot satisfy.
+    """
+    if image.class_name != reader_class:
+        return False
+    writer = image.constraint_map
+    for attr, reader_conds in reader.items():
+        writer_conds = writer.get(attr)
+        if writer_conds is None:
+            writer_conds = (("absent",),) if image.closed else (("unknown",),)
+        if not constraints_satisfiable(list(writer_conds) + list(reader_conds)):
+            return False
+    return True
+
+
+def footprint_classes(rules: Sequence[Rule]) -> Dict[str, FrozenSet[str]]:
+    """rule name -> all classes it reads or writes (advisor's affinity input)."""
+    out: Dict[str, FrozenSet[str]] = {}
+    for rule in rules:
+        fp = rule_footprint(rule)
+        out[rule.name] = fp.classes_read | fp.classes_written
+    return out

@@ -19,6 +19,11 @@ Installed as ``parulel`` (see pyproject). Subcommands:
 ``parulel lint PROGRAM``
     static interference analysis for set-oriented firing, with meta-rule
     skeleton suggestions (the OPS5→PARULEL porting aid);
+``parulel analyze [PROGRAM ...] [--facts FILE] [--json]``
+    whole-program static analysis: rule dependency graph, stratification,
+    redaction coverage, dead rules, unsatisfiable CEs — ``PAxxx``
+    diagnostics as text or SARIF-shaped JSON (no arguments: analyze every
+    bundled workload);
 ``parulel repl PROGRAM [--facts FILE]``
     interactive session: assert facts, step cycles, inspect the conflict
     set, explain derivations.
@@ -78,6 +83,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.assignment is not None and args.matcher != "process":
+        print("error: --assignment requires --matcher process", file=sys.stderr)
+        return 2
     if args.checkpoint_every is not None and args.checkpoint_every < 1:
         print("error: --checkpoint-every must be >= 1", file=sys.stderr)
         return 2
@@ -86,6 +94,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         or args.respawn_limit is not None
         or args.checkpoint_every is not None
         or args.resume is not None
+        or args.assignment is not None
     ):
         print(
             "error: process-backend and checkpoint options apply to "
@@ -140,6 +149,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         interference=args.interference,
         matcher_timeout=args.matcher_timeout,
         respawn_limit=args.respawn_limit,
+        assignment=args.assignment,
     )
     if args.resume:
         if args.facts:
@@ -263,16 +273,80 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.tools.lint import lint_program
+    from repro.tools.lint import lint_paths
 
-    program = parse_program(open(args.program).read())
-    analyze_program(program)
-    report = lint_program(program)
-    if not report:
+    code = lint_paths([args.program])
+    if code == 0:
         print("clean: no parallel-firing interference candidates")
-        return 0
-    print(report)
-    return 3  # candidates found (distinct from hard errors)
+    return code
+
+
+def _registry_seed_classes(workload) -> List[str]:
+    """The WME classes a workload's initial facts load, found by running
+    its setup against a bare working memory."""
+    from repro.wm.memory import WorkingMemory
+    from repro.wm.template import TemplateRegistry
+
+    class _Collector:
+        def __init__(self, program):
+            self.wm = WorkingMemory(TemplateRegistry.from_program(program))
+
+        def make(self, cls, attrs=None, **kw):
+            self.wm.make(cls, attrs, **kw)
+
+    collector = _Collector(workload.program)
+    workload.setup(collector)
+    return sorted({wme.class_name for wme in collector.wm})
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis import analyze, render_sarif
+    from repro.errors import ReproError
+
+    # Collect (name, program, seed_classes) units to analyze.
+    units = []
+    if args.programs:
+        for path in args.programs:
+            try:
+                program = parse_program(Path(path).read_text(encoding="utf-8"))
+                analyze_program(program)
+            except (OSError, ReproError) as exc:
+                print(f"error: {path}: {exc}", file=sys.stderr)
+                return 2
+            seeds = None
+            if args.facts:
+                facts = parse_facts(
+                    Path(args.facts).read_text(encoding="utf-8")
+                )
+                seeds = sorted({cls for cls, _attrs in facts})
+            units.append((path, program, seeds))
+    else:
+        if args.facts:
+            print("error: --facts requires a PROGRAM argument", file=sys.stderr)
+            return 2
+        from repro.programs import REGISTRY
+
+        for name in sorted(REGISTRY):
+            workload = REGISTRY[name]()
+            units.append(
+                (name, workload.program, _registry_seed_classes(workload))
+            )
+
+    reports = [
+        analyze(program, seed_classes=seeds, name=name)
+        for name, program, seeds in units
+    ]
+    if args.json:
+        doc = render_sarif(
+            [(r.name, r.diagnostics, r.properties()) for r in reports]
+        )
+        print(json.dumps(doc, indent=2))
+    else:
+        print("\n\n".join(r.render_text(show_hints=not args.no_hints) for r in reports))
+    return 1 if any(r.has_errors for r in reports) else 0
 
 
 def _cmd_repl(args: argparse.Namespace) -> int:
@@ -354,6 +428,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --matcher process (default: usable cores, max 4)",
     )
     p_run.add_argument(
+        "--assignment",
+        choices=("round-robin", "analysis"),
+        default=None,
+        help="rule-to-worker partition policy for --matcher process; "
+        "'analysis' uses the static analyzer's connectivity-minimizing "
+        "partition",
+    )
+    p_run.add_argument(
         "--matcher-timeout",
         type=float,
         default=None,
@@ -431,6 +513,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument("program")
     p_lint.set_defaults(fn=_cmd_lint)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="whole-program static analysis: dependency graph, "
+        "stratification, redaction coverage, dead rules",
+    )
+    p_analyze.add_argument(
+        "programs",
+        nargs="*",
+        help=".pl files (default: every bundled workload, with seed "
+        "classes derived from its initial facts)",
+    )
+    p_analyze.add_argument(
+        "--facts",
+        help="initial-WME facts file; enables the dead-rule check "
+        "(single PROGRAM only)",
+    )
+    p_analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a SARIF-shaped JSON document instead of text",
+    )
+    p_analyze.add_argument(
+        "--no-hints",
+        action="store_true",
+        help="omit fix hints (meta-rule skeletons) from the text report",
+    )
+    p_analyze.set_defaults(fn=_cmd_analyze)
 
     p_repl = sub.add_parser("repl", help="interactive session")
     p_repl.add_argument("program")

@@ -121,6 +121,7 @@ def merge_deltas(
                         f"{rule_name!r} in the same cycle (add a meta-rule "
                         f"to redact one)",
                         wme=wme,
+                        rules=(prior_mod[0].rule.name, rule_name),
                     )
                 if policy is InterferencePolicy.FIRST:
                     out.conflicts_resolved += 1
@@ -138,6 +139,7 @@ def merge_deltas(
                         f"{removed[wme]!r} and modified by rule {rule_name!r} "
                         f"in the same cycle (add a meta-rule to redact one)",
                         wme=wme,
+                        rules=(removed[wme], rule_name),
                     )
                 out.conflicts_resolved += 1
                 continue  # remove dominates (FIRST and MERGE alike)
@@ -158,6 +160,7 @@ def merge_deltas(
                         f"{rule_name!r} both modify attribute(s) {attrs} with "
                         f"different values (add a meta-rule to redact one)",
                         wme=wme,
+                        rules=(prior_rule, rule_name),
                     )
                 out.conflicts_resolved += 1
                 if policy is InterferencePolicy.FIRST:

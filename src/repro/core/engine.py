@@ -80,6 +80,11 @@ class EngineConfig:
     matcher_timeout: Optional[float] = None
     respawn_limit: Optional[int] = None
     fault_plan: Optional[FaultPlan] = None
+    #: Rule-to-worker assignment policy for the process backend:
+    #: ``"round-robin"`` (default), ``"analysis"`` (the static analyzer's
+    #: connectivity-minimizing partition), or a concrete
+    #: :class:`~repro.parallel.partition.Assignment`.
+    assignment: Optional[object] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -169,6 +174,8 @@ class ParulelEngine:
             matcher_options["respawn_limit"] = self.config.respawn_limit
         if self.config.fault_plan is not None:
             matcher_options["fault_plan"] = self.config.fault_plan
+        if self.config.assignment is not None:
+            matcher_options["assignment"] = self.config.assignment
         self.matcher: Matcher = create_matcher(
             self.config.matcher, program.rules, self.wm, **matcher_options
         )

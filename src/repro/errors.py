@@ -64,10 +64,14 @@ class InterferenceError(ExecutionError):
     error is the engine telling the programmer a redaction rule is missing.
     """
 
-    def __init__(self, message: str, wme=None, actions=()) -> None:
+    def __init__(self, message: str, wme=None, actions=(), rules=()) -> None:
         super().__init__(message)
         self.wme = wme
         self.actions = tuple(actions)
+        #: Names of the two rules whose firings conflicted (when known) —
+        #: the porting lint's tests check each runtime pair appears among
+        #: its static candidates.
+        self.rules = tuple(rules)
 
 
 class CycleLimitExceeded(ExecutionError):

@@ -97,15 +97,19 @@ def create_matcher(
     timeout: Optional[float] = None,
     respawn_limit: Optional[int] = None,
     fault_plan=None,
+    assignment=None,
 ) -> Matcher:
     """Instantiate a match engine by name (``rete``, ``treat``, ``naive`` or
     ``process``/``process:N`` for the multiprocessing fan-out).
 
     ``timeout`` (per-worker reply deadline, seconds), ``respawn_limit``
-    (per-site crash budget before graceful degradation) and ``fault_plan``
-    (a :class:`~repro.faults.FaultPlan` of injected worker faults) apply
-    only to the ``process`` backend; passing them for a serial engine is an
-    error rather than a silent no-op.
+    (per-site crash budget before graceful degradation), ``fault_plan``
+    (a :class:`~repro.faults.FaultPlan` of injected worker faults) and
+    ``assignment`` (a rule-to-site policy name — ``"round-robin"`` or
+    ``"analysis"`` — or a concrete
+    :class:`~repro.parallel.partition.Assignment`) apply only to the
+    ``process`` backend; passing them for a serial engine is an error
+    rather than a silent no-op.
     """
     # Imported here to avoid a cycle (engines import this interface).
     from repro.match.naive import NaiveMatcher
@@ -128,15 +132,21 @@ def create_matcher(
             rules,
             wm,
             n_workers=n_workers,
+            assignment=assignment,
             timeout=timeout if timeout is not None else DEFAULT_TIMEOUT,
             respawn_limit=respawn_limit,
             fault_plan=fault_plan,
         )
 
-    if timeout is not None or respawn_limit is not None or fault_plan is not None:
+    if (
+        timeout is not None
+        or respawn_limit is not None
+        or fault_plan is not None
+        or assignment is not None
+    ):
         raise ValueError(
-            f"timeout/respawn_limit/fault_plan only apply to the 'process' "
-            f"backend, not {engine!r}"
+            f"timeout/respawn_limit/fault_plan/assignment only apply to the "
+            f"'process' backend, not {engine!r}"
         )
 
     table = {

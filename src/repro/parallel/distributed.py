@@ -69,7 +69,7 @@ from repro.parallel.costmodel import CostModel
 from repro.parallel.partition import (
     Assignment,
     rehost_assignment,
-    round_robin_assignment,
+    resolve_assignment,
 )
 from repro.wm.memory import WorkingMemory
 from repro.wm.template import TemplateRegistry
@@ -144,7 +144,7 @@ class DistributedMachine:
         self,
         program: Program,
         n_sites: int,
-        assignment: Optional[Assignment] = None,
+        assignment: "Optional[Assignment | str]" = None,
         cost_model: Optional[CostModel] = None,
         network: Optional[NetworkModel] = None,
         matcher: str = "rete",
@@ -157,7 +157,7 @@ class DistributedMachine:
             raise ValueError("need at least one site")
         self.program = program
         self.n_sites = n_sites
-        self.assignment = assignment or round_robin_assignment(program.rules, n_sites)
+        self.assignment = resolve_assignment(assignment, program.rules, n_sites)
         self.assignment.validate(program.rules)
         self.cost = cost_model or CostModel()
         self.network = network or NetworkModel()

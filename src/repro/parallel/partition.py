@@ -42,6 +42,8 @@ from repro.match.stats import COUNTER_NAMES
 
 __all__ = [
     "Assignment",
+    "ASSIGNMENT_POLICIES",
+    "resolve_assignment",
     "round_robin_assignment",
     "lpt_assignment",
     "profile_rule_weights",
@@ -72,6 +74,37 @@ class Assignment:
                     f"rule {rule.name!r} assigned to site {site}, "
                     f"but there are only {self.n_sites} sites"
                 )
+
+
+#: Assignment policy names :func:`resolve_assignment` accepts.
+ASSIGNMENT_POLICIES = ("round-robin", "analysis")
+
+
+def resolve_assignment(
+    spec: "Optional[Assignment | str]", rules: Sequence[Rule], n_sites: int
+) -> Assignment:
+    """Turn an assignment *spec* into a concrete :class:`Assignment`.
+
+    ``None``/"round-robin" → :func:`round_robin_assignment`; "analysis" →
+    the static analyzer's connectivity-minimizing partition
+    (:func:`repro.analysis.advisor.analysis_assignment`); an
+    :class:`Assignment` passes through untouched. This is the one place
+    the distributed machine, the process pool and the CLI translate
+    policy names, so they cannot disagree.
+    """
+    if isinstance(spec, Assignment):
+        return spec
+    if spec is None or spec == "round-robin":
+        return round_robin_assignment(rules, n_sites)
+    if spec == "analysis":
+        # Local import: repro.analysis builds on this module's Assignment.
+        from repro.analysis.advisor import analysis_assignment
+
+        return analysis_assignment(rules, n_sites)
+    raise ValueError(
+        f"unknown assignment policy {spec!r} "
+        f"(expected one of {', '.join(ASSIGNMENT_POLICIES)})"
+    )
 
 
 def round_robin_assignment(rules: Sequence[Rule], n_sites: int) -> Assignment:

@@ -68,7 +68,7 @@ from repro.match.compile import CompiledRule, compile_rules
 from repro.match.instantiation import ConflictSet, Instantiation
 from repro.match.interface import Matcher
 from repro.match.join import enumerate_matches
-from repro.parallel.partition import Assignment, round_robin_assignment
+from repro.parallel.partition import Assignment, resolve_assignment
 from repro.wm.memory import DeltaRecorder, WMDelta, WorkingMemory
 from repro.wm.wme import WME
 
@@ -168,7 +168,7 @@ class ProcessMatchPool:
         rules: Sequence[Rule],
         wm: WorkingMemory,
         n_workers: int,
-        assignment: Optional[Assignment] = None,
+        assignment: "Optional[Assignment | str]" = None,
         timeout: float = DEFAULT_TIMEOUT,
         start_method: Optional[str] = None,
         respawn_limit: Optional[int] = None,
@@ -184,7 +184,7 @@ class ProcessMatchPool:
         self.n_workers = n_workers
         self.timeout = timeout
         self.respawn_limit = respawn_limit
-        self.assignment = assignment or round_robin_assignment(rules, n_workers)
+        self.assignment = resolve_assignment(assignment, rules, n_workers)
         self._rules_by_name: Dict[str, Rule] = {r.name: r for r in rules}
         self._site_rules: List[List[Rule]] = [[] for _ in range(n_workers)]
         for rule in rules:
@@ -481,6 +481,7 @@ class ProcessMatcher(Matcher):
         rules: Sequence[Rule],
         wm: WorkingMemory,
         n_workers: Optional[int] = None,
+        assignment: "Optional[Assignment | str]" = None,
         timeout: float = DEFAULT_TIMEOUT,
         respawn_limit: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
@@ -494,6 +495,7 @@ class ProcessMatcher(Matcher):
             rules,
             wm,
             n_workers,
+            assignment=assignment,
             timeout=timeout,
             respawn_limit=respawn_limit,
             fault_plan=fault_plan,

@@ -30,12 +30,21 @@ on the bundled workloads).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.lang.ast import MetaRule, ModifyAction, Program, RemoveAction, Rule
 from repro.match.compile import CompiledCE, compile_rule
 
-__all__ = ["InterferenceCandidate", "find_interference_candidates", "suggest_meta_rules", "lint_program"]
+__all__ = [
+    "InterferenceCandidate",
+    "find_interference_candidates",
+    "meta_rule_skeleton",
+    "suggest_meta_rules",
+    "lint_diagnostics",
+    "lint_program",
+    "lint_paths",
+]
 
 
 @dataclass(frozen=True)
@@ -151,73 +160,152 @@ def _binding_vars(rule: Rule, ce_index: int) -> List[str]:
     return sorted(set(vars_))
 
 
-def suggest_meta_rules(program: Program) -> List[str]:
-    """Draft one ``mp`` skeleton per interference candidate.
+def meta_rule_skeleton(
+    program: Program, candidate: InterferenceCandidate, name: Optional[str] = None
+) -> str:
+    """Draft the ``mp`` skeleton arbitrating one interference candidate.
 
-    The skeletons compile and run (they arbitrate by instantiation id),
-    but the comments tell the programmer which bindings identify the
-    contended WME so the rule can be narrowed from "serialize these rules"
-    to "serialize only true collisions".
+    The skeleton compiles and runs (it arbitrates by instantiation id),
+    but the leading comments tell the programmer which bindings identify
+    the contended WME so the rule can be narrowed from "serialize these
+    rules" to "serialize only true collisions".
     """
-    skeletons = []
-    used_names: Dict[str, int] = {}
-    for cand in find_interference_candidates(program):
-        rule_a = program.rule(cand.rule_a)
-        vars_a = _binding_vars(rule_a, cand.ce_a)
-        hint = (
-            f"; NOTE: narrow by equating the bindings that identify the "
-            f"contended {cand.class_name!r} WME (rule {cand.rule_a!r} CE "
-            f"{cand.ce_a} binds: {', '.join('<' + v + '>' for v in vars_a) or 'none'})"
+    rule_a = program.rule(candidate.rule_a)
+    vars_a = _binding_vars(rule_a, candidate.ce_a)
+    note = (
+        f"; NOTE: narrow by equating the bindings that identify the "
+        f"contended {candidate.class_name!r} WME (rule {candidate.rule_a!r} CE "
+        f"{candidate.ce_a} binds: "
+        f"{', '.join('<' + v + '>' for v in vars_a) or 'none'})"
+    )
+    if name is None:
+        name = (
+            f"arbitrate-{candidate.rule_a}"
+            if candidate.rule_a == candidate.rule_b
+            else f"arbitrate-{candidate.rule_a}-{candidate.rule_b}"
         )
+    return (
+        f"; {candidate.describe()}\n"
+        f"{note}\n"
+        f"(mp {name}\n"
+        f"    (instantiation ^rule {candidate.rule_a} ^id <i>)\n"
+        f"    (instantiation ^rule {candidate.rule_b} ^id {{<j> > <i>}})\n"
+        f"    -->\n"
+        f"    (redact <j>))"
+    )
+
+
+def _skeleton_names(candidates: Sequence[InterferenceCandidate]) -> List[str]:
+    """Unique ``mp`` names, one per candidate, in candidate order."""
+    names = []
+    used: Dict[str, int] = {}
+    for cand in candidates:
         name = (
             f"arbitrate-{cand.rule_a}"
             if cand.rule_a == cand.rule_b
             else f"arbitrate-{cand.rule_a}-{cand.rule_b}"
         )
-        n = used_names.get(name, 0)
-        used_names[name] = n + 1
+        n = used.get(name, 0)
+        used[name] = n + 1
         if n:
             name = f"{name}-{n + 1}"  # rule names must be unique
-        skeletons.append(
-            f"; {cand.describe()}\n"
-            f"{hint}\n"
-            f"(mp {name}\n"
-            f"    (instantiation ^rule {cand.rule_a} ^id <i>)\n"
-            f"    (instantiation ^rule {cand.rule_b} ^id {{<j> > <i>}})\n"
-            f"    -->\n"
-            f"    (redact <j>))"
-        )
-    return skeletons
+        names.append(name)
+    return names
 
 
-def lint_program(program: Program) -> str:
-    """Human-readable lint report (empty string when clean)."""
+def suggest_meta_rules(program: Program) -> List[str]:
+    """Draft one ``mp`` skeleton per interference candidate."""
     candidates = find_interference_candidates(program)
-    if not candidates:
-        return ""
-    lines = [
-        f"{len(candidates)} potential parallel-firing interference(s):",
+    names = _skeleton_names(candidates)
+    return [
+        meta_rule_skeleton(program, cand, name)
+        for cand, name in zip(candidates, names)
     ]
-    lines.extend(f"  - {c.describe()}" for c in candidates)
+
+
+def lint_diagnostics(program: Program) -> List["Diagnostic"]:
+    """The lint's findings as ``PA001`` diagnostics (skeletons as hints)."""
+    from repro.analysis.diagnostics import diag
+
+    candidates = find_interference_candidates(program)
+    names = _skeleton_names(candidates)
+    return [
+        diag(
+            "PA001",
+            cand.describe(),
+            rule=cand.rule_a,
+            ce=cand.ce_a,
+            # The skeleton's first line repeats describe(); the message
+            # already carries it.
+            hint="\n".join(
+                meta_rule_skeleton(program, cand, name).splitlines()[1:]
+            ),
+        )
+        for cand, name in zip(candidates, names)
+    ]
+
+
+def lint_program(program: Program, show_hints: bool = True) -> str:
+    """Human-readable lint report (empty string when clean)."""
+    from repro.analysis.diagnostics import render_text
+
+    diagnostics = lint_diagnostics(program)
+    if not diagnostics:
+        return ""
     existing = len(program.meta_rules)
-    lines.append(
-        f"({existing} meta-rule(s) present — the linter cannot verify they "
-        f"cover these; suggested skeletons below)"
-        if existing
-        else "(no meta-rules present; suggested skeletons below)"
-    )
-    lines.append("")
-    lines.extend(suggest_meta_rules(program))
+    lines = [
+        f"{len(diagnostics)} potential parallel-firing interference(s):",
+        (
+            f"({existing} meta-rule(s) present — run 'parulel analyze' to "
+            f"check they cover these)"
+            if existing
+            else "(no meta-rules present; suggested skeletons below)"
+        ),
+        render_text(diagnostics, show_hints=show_hints),
+    ]
     return "\n".join(lines)
+
+
+def lint_paths(
+    paths: Sequence[str], emit: Callable[[str], None] = print
+) -> int:
+    """Lint program files; the shared engine of ``parulel lint`` and
+    ``python -m repro.tools.lint``.
+
+    Exit codes: 0 clean, 2 a file failed to parse or analyze, 3 candidates
+    were found (a lint finding, distinct from hard errors).
+    """
+    from repro.errors import ReproError
+    from repro.lang import analyze_program, parse_program
+
+    worst = 0
+    for path in paths:
+        try:
+            program = parse_program(Path(path).read_text(encoding="utf-8"))
+            analyze_program(program)
+        except (OSError, ReproError) as exc:
+            emit(f"== {path}: error: {exc}")
+            worst = 2
+            continue
+        report = lint_program(program)
+        if report:
+            emit(f"== {path}")
+            emit(report)
+            if worst != 2:
+                worst = 3
+        else:
+            emit(f"== {path}: clean")
+    return worst
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Module entry point (``python -m repro.tools.lint``).
 
     With file arguments, lint those programs (exit 3 when candidates are
-    found, as ``parulel lint`` does). With no arguments, lint every bundled
-    benchmark program as a smoke gate: candidates are expected and merely
-    reported; only a crash or parse failure fails the gate.
+    found, as ``parulel lint`` does; exit 2 on parse/semantic errors). With
+    no arguments, lint every bundled benchmark program as a smoke gate:
+    candidates are expected and merely reported; only a crash or parse
+    failure fails the gate.
     """
     import argparse
     import sys
@@ -230,20 +318,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.programs:
-        from repro.lang import analyze_program, parse_program
-
-        worst = 0
-        for path in args.programs:
-            program = parse_program(open(path).read())
-            analyze_program(program)
-            report = lint_program(program)
-            if report:
-                print(f"== {path}")
-                print(report)
-                worst = 3
-            else:
-                print(f"== {path}: clean")
-        return worst
+        return lint_paths(args.programs)
 
     from repro.programs import REGISTRY
 

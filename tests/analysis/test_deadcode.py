@@ -1,0 +1,137 @@
+"""Tests for dead-rule (PA003) and unsatisfiable-CE (PA004) detection."""
+
+from repro.analysis.deadcode import check_dead_rules, check_unsatisfiable_ces
+from repro.lang.parser import parse_program
+from repro.programs import REGISTRY
+
+
+class TestUnsatisfiableCes:
+    def test_contradictory_constants(self):
+        program = parse_program(
+            """
+            (literalize item n)
+            (p never (item ^n 1 ^n 2) --> (halt))
+            """
+        )
+        diags = check_unsatisfiable_ces(program)
+        assert [d.code for d in diags] == ["PA004"]
+        assert diags[0].rule == "never"
+        assert diags[0].ce == 1
+        assert "^n" in diags[0].message
+
+    def test_empty_numeric_range(self):
+        program = parse_program(
+            """
+            (literalize item n)
+            (p never (item ^n {<x> > 5 < 3}) --> (halt))
+            """
+        )
+        assert [d.code for d in check_unsatisfiable_ces(program)] == ["PA004"]
+
+    def test_irreflexive_self_comparison(self):
+        program = parse_program(
+            """
+            (literalize item n)
+            (p never (item ^n {<x> <> <x>}) --> (halt))
+            """
+        )
+        assert [d.code for d in check_unsatisfiable_ces(program)] == ["PA004"]
+
+    def test_meta_rules_also_checked(self):
+        program = parse_program(
+            """
+            (literalize item n)
+            (p ok (item ^n <x>) --> (modify 1 ^n 1))
+            (mp never
+                (instantiation ^rule ok ^rule other ^id <i>)
+                -->
+                (redact <i>))
+            """
+        )
+        diags = check_unsatisfiable_ces(program)
+        assert any(d.rule == "never" for d in diags)
+
+    def test_satisfiable_program_clean(self):
+        program = parse_program(
+            """
+            (literalize item n)
+            (p fine (item ^n {<x> > 3 < 10}) --> (halt))
+            """
+        )
+        assert check_unsatisfiable_ces(program) == []
+
+    def test_shipped_workloads_clean(self):
+        for name in sorted(REGISTRY):
+            assert check_unsatisfiable_ces(REGISTRY[name]().program) == [], name
+
+
+class TestDeadRules:
+    CHAIN = """
+    (literalize seed v)
+    (literalize mid v)
+    (literalize orphan v)
+    (p step (seed ^v <x>) --> (make mid ^v <x>))
+    (p use (mid ^v <x>) --> (halt))
+    (p stranded (orphan ^v <x>) --> (halt))
+    """
+
+    def test_no_seeds_skips_check(self):
+        assert check_dead_rules(parse_program(self.CHAIN), None) == []
+
+    def test_fixpoint_reaches_through_makes(self):
+        diags = check_dead_rules(parse_program(self.CHAIN), ["seed"])
+        assert [d.code for d in diags] == ["PA003"]
+        assert diags[0].rule == "stranded"
+        assert "orphan" in diags[0].message
+
+    def test_modify_does_not_bootstrap_a_class(self):
+        program = parse_program(
+            """
+            (literalize seed v)
+            (literalize ghost v)
+            (p toucher (seed ^v <x>) (ghost ^v old) --> (modify 2 ^v new))
+            (p reader (ghost ^v new) --> (halt))
+            """
+        )
+        dead = {d.rule for d in check_dead_rules(program, ["seed"])}
+        # Neither rule can fire: nothing ever *makes* a ghost.
+        assert dead == {"toucher", "reader"}
+
+    def test_negated_ces_do_not_kill(self):
+        program = parse_program(
+            """
+            (literalize seed v)
+            (literalize never v)
+            (p guarded (seed ^v <x>) - (never ^v y) --> (halt))
+            """
+        )
+        assert check_dead_rules(program, ["seed"]) == []
+
+    def test_instantiation_class_implicitly_available(self):
+        # Rules reading the reified conflict set are never dead for it.
+        program = parse_program(
+            """
+            (literalize seed v)
+            (p fine (seed ^v <x>) --> (modify 1 ^v done))
+            """
+        )
+        assert check_dead_rules(program, ["seed"]) == []
+
+    def test_shipped_workloads_have_no_dead_rules(self):
+        from repro.wm.memory import WorkingMemory
+        from repro.wm.template import TemplateRegistry
+
+        for name in sorted(REGISTRY):
+            wl = REGISTRY[name]()
+
+            class Collector:
+                def __init__(self, program):
+                    self.wm = WorkingMemory(TemplateRegistry.from_program(program))
+
+                def make(self, cls, attrs=None, **kw):
+                    self.wm.make(cls, attrs, **kw)
+
+            c = Collector(wl.program)
+            wl.setup(c)
+            seeds = {w.class_name for w in c.wm}
+            assert check_dead_rules(wl.program, seeds) == [], name

@@ -1,0 +1,113 @@
+"""Tests for the shared PAxxx diagnostics layer."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    Severity,
+    diag,
+    render_sarif,
+    render_text,
+    worst_severity,
+)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO.rank < Severity.WARNING.rank < Severity.ERROR.rank
+
+    def test_sarif_levels(self):
+        assert Severity.INFO.sarif_level == "note"
+        assert Severity.WARNING.sarif_level == "warning"
+        assert Severity.ERROR.sarif_level == "error"
+
+
+class TestDiagFactory:
+    def test_default_severity_from_code_table(self):
+        d = diag("PA004", "boom", rule="r")
+        assert d.severity is Severity.ERROR
+        assert diag("PA001", "x").severity is Severity.WARNING
+        assert diag("PA005", "x").severity is Severity.INFO
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="PA999"):
+            diag("PA999", "nope")
+
+    def test_span(self):
+        assert diag("PA001", "m").span == "<program>"
+        assert diag("PA001", "m", rule="r").span == "r"
+        assert diag("PA001", "m", rule="r", ce=2).span == "r/CE 2"
+
+    def test_every_code_has_severity_and_description(self):
+        for code, (sev, desc) in CODES.items():
+            assert isinstance(sev, Severity)
+            assert desc
+
+    def test_frozen(self):
+        d = diag("PA001", "m")
+        with pytest.raises(Exception):
+            d.message = "other"
+
+
+class TestWorstSeverity:
+    def test_empty(self):
+        assert worst_severity([]) is None
+
+    def test_picks_most_severe(self):
+        ds = [diag("PA005", "i"), diag("PA004", "e"), diag("PA001", "w")]
+        assert worst_severity(ds) is Severity.ERROR
+        assert worst_severity(ds[:1]) is Severity.INFO
+
+
+class TestRenderText:
+    def test_orders_most_severe_first_stably(self):
+        ds = [
+            diag("PA001", "w1"),
+            diag("PA004", "e1"),
+            diag("PA005", "i1"),
+            diag("PA001", "w2"),
+        ]
+        lines = render_text(ds).splitlines()
+        assert [l.split()[0] for l in lines] == ["PA004", "PA001", "PA001", "PA005"]
+        assert "w1" in lines[1] and "w2" in lines[2]  # emission order kept
+
+    def test_hints_indented_and_suppressible(self):
+        ds = [diag("PA001", "m", hint="line1\nline2")]
+        with_hints = render_text(ds)
+        assert "    line1" in with_hints and "    line2" in with_hints
+        assert "line1" not in render_text(ds, show_hints=False)
+
+
+class TestRenderSarif:
+    def test_document_shape(self):
+        ds = [diag("PA002", "uncovered", rule="r", ce=1, hint="(mp ...)")]
+        doc = render_sarif([("prog.pl", ds, {"k": 1})])
+        # Round-trips through JSON (no exotic objects).
+        doc = json.loads(json.dumps(doc))
+        assert doc["version"] == "2.1.0"
+        assert "sarif" in doc["$schema"]
+        (run,) = doc["runs"]
+        assert run["artifacts"][0]["location"]["uri"] == "prog.pl"
+        assert run["properties"] == {"k": 1}
+        rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert rules == set(CODES)
+        (res,) = run["results"]
+        assert res["ruleId"] == "PA002"
+        assert res["level"] == "warning"
+        assert res["message"]["text"] == "uncovered"
+        assert (
+            res["locations"][0]["logicalLocations"][0]["name"] == "r"
+        )
+        assert res["properties"]["conditionElement"] == 1
+        assert res["properties"]["hint"] == "(mp ...)"
+
+    def test_multiple_runs(self):
+        doc = render_sarif(
+            [("a", [diag("PA001", "x")], None), ("b", [], {"n": 0})]
+        )
+        assert len(doc["runs"]) == 2
+        assert "properties" not in doc["runs"][0]
+        assert doc["runs"][1]["results"] == []

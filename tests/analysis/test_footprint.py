@@ -1,0 +1,164 @@
+"""Tests for read/write footprints and the conservative overlap test."""
+
+from repro.analysis.footprint import (
+    WriteImage,
+    ce_constraints,
+    constraints_satisfiable,
+    footprint_classes,
+    may_overlap,
+    rule_footprint,
+)
+from repro.lang.parser import parse_program
+from repro.match.compile import compile_rule
+from repro.wm.wme import NIL
+
+
+def _rule(src: str, name: str = None):
+    program = parse_program(src)
+    return program.rules[0] if name is None else program.rule(name)
+
+
+class TestCeConstraints:
+    def test_constants_memberships_and_predicates(self):
+        rule = _rule(
+            """
+            (literalize item state n tag)
+            (p r (item ^state open ^n {<x> > 3} ^tag << a b >>) --> (halt))
+            """
+        )
+        conds = ce_constraints(compile_rule(rule).ces[0])
+        assert ("eq", "open") in conds["state"]
+        assert ("pred", ">", 3) in conds["n"]
+        assert ("in", ("a", "b")) in conds["tag"]
+
+    def test_plain_variable_unconstrained(self):
+        rule = _rule(
+            """
+            (literalize item n)
+            (p r (item ^n <x>) --> (halt))
+            """
+        )
+        assert ce_constraints(compile_rule(rule).ces[0]) == {}
+
+
+class TestRuleFootprint:
+    SRC = """
+    (literalize src a)
+    (literalize dst a b)
+    (p r
+        (src ^a <x>)
+        (dst ^a <x> ^b old)
+        -->
+        (make dst ^a 1)
+        (modify 2 ^b new)
+        (remove 1))
+    """
+
+    def test_write_kinds_and_classes(self):
+        fp = rule_footprint(_rule(self.SRC))
+        kinds = [(w.kind, w.class_name) for w in fp.writes]
+        assert kinds == [("make", "dst"), ("modify", "dst"), ("remove", "src")]
+        assert fp.classes_read == {"src", "dst"}
+        assert fp.classes_written == {"src", "dst"}
+
+    def test_make_image_closed_with_constant(self):
+        make = rule_footprint(_rule(self.SRC)).writes[0]
+        assert make.closed
+        assert make.constraint_map["a"] == (("eq", 1),)
+        assert "b" not in make.constraint_map  # absent => nil
+
+    def test_modify_overrides_target_constraints(self):
+        mod = rule_footprint(_rule(self.SRC)).writes[1]
+        assert not mod.closed
+        # ^b was 'old' in the CE but the modify sets it to 'new'.
+        assert mod.constraint_map["b"] == (("eq", "new"),)
+
+    def test_computed_assignment_is_unknown(self):
+        fp = rule_footprint(
+            _rule(
+                """
+                (literalize c v)
+                (p r (c ^v <x>) --> (modify 1 ^v (compute <x> + 1)))
+                """
+            )
+        )
+        assert fp.writes[0].constraint_map["v"] == (("unknown",),)
+
+
+class TestSatisfiability:
+    def test_eq_eq_conflict(self):
+        assert not constraints_satisfiable([("eq", 1), ("eq", 2)])
+        assert constraints_satisfiable([("eq", 1), ("eq", 1)])
+
+    def test_eq_vs_pred(self):
+        assert constraints_satisfiable([("eq", 5), ("pred", ">", 3)])
+        assert not constraints_satisfiable([("eq", 2), ("pred", ">", 3)])
+        assert constraints_satisfiable([("eq", "sym"), ("pred", "<>", "x")])
+
+    def test_eq_vs_membership(self):
+        assert constraints_satisfiable([("eq", "a"), ("in", ("a", "b"))])
+        assert not constraints_satisfiable([("eq", "c"), ("in", ("a", "b"))])
+
+    def test_disjoint_memberships(self):
+        assert not constraints_satisfiable([("in", ("a",)), ("in", ("b", "c"))])
+        assert constraints_satisfiable([("in", ("a", "b")), ("in", ("b",))])
+
+    def test_empty_numeric_range(self):
+        assert not constraints_satisfiable([("pred", ">", 5), ("pred", "<", 3)])
+        assert constraints_satisfiable([("pred", ">", 3), ("pred", "<", 5)])
+        assert not constraints_satisfiable([("pred", ">", 3), ("pred", "<", 3)])
+        assert constraints_satisfiable([("pred", ">=", 3), ("pred", "<=", 3)])
+
+    def test_not_equal_never_disproves(self):
+        assert constraints_satisfiable([("pred", "<>", 1), ("pred", "<>", 2)])
+
+    def test_unknown_always_satisfiable(self):
+        assert constraints_satisfiable([("unknown",), ("eq", 1), ("eq", 1)])
+
+    def test_absent_reads_back_as_nil(self):
+        assert constraints_satisfiable([("absent",), ("eq", NIL)])
+        assert not constraints_satisfiable([("absent",), ("eq", "x")])
+
+
+class TestMayOverlap:
+    def _image(self, cls="item", closed=False, **attrs):
+        return WriteImage(
+            rule="w",
+            kind="make",
+            class_name=cls,
+            constraints=tuple(
+                sorted((a, (("eq", v),)) for a, v in attrs.items())
+            ),
+            closed=closed,
+        )
+
+    def test_class_mismatch_disjoint(self):
+        assert not may_overlap(self._image(cls="other"), {}, "item")
+
+    def test_constant_contradiction_disjoint(self):
+        image = self._image(state="open")
+        assert not may_overlap(image, {"state": (("eq", "closed"),)}, "item")
+        assert may_overlap(image, {"state": (("eq", "open"),)}, "item")
+
+    def test_closed_image_absent_attr_vs_required_constant(self):
+        # A make that never assigns ^tag cannot feed a CE demanding ^tag x.
+        image = self._image(closed=True, state="open")
+        assert not may_overlap(image, {"tag": (("eq", "x"),)}, "item")
+        # ... but satisfies a CE demanding ^tag nil.
+        assert may_overlap(image, {"tag": (("eq", NIL),)}, "item")
+
+    def test_open_image_unlisted_attr_is_unknown(self):
+        image = self._image(closed=False, state="open")
+        assert may_overlap(image, {"tag": (("eq", "x"),)}, "item")
+
+
+class TestFootprintClasses:
+    def test_union_of_reads_and_writes(self):
+        program = parse_program(
+            """
+            (literalize a v)
+            (literalize b v)
+            (p r (a ^v <x>) --> (make b ^v <x>))
+            """
+        )
+        assert footprint_classes(program.rules) == {"r": frozenset({"a", "b"})}

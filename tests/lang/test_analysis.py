@@ -184,3 +184,68 @@ class TestRuleInfo:
     def test_unknown_rule_info_raises(self):
         with pytest.raises(KeyError):
             analyze(GOOD).info("absent")
+
+
+# Every rejection must say *which* rule broke the rules — the analyzer's
+# messages are what `parulel check`/`analyze` surface to the porter, and
+# a diagnostic that doesn't name its rule is useless in a 100-rule file.
+REJECTION_CASES = [
+    pytest.param(
+        "(literalize c a)"
+        "(p offender -(c ^a 1) (c ^a 2) --> (halt))",
+        "first condition element must be positive",
+        id="negated-first-ce",
+    ),
+    pytest.param(
+        "(literalize c a)"
+        "(p offender (c ^a <x>) --> (modify 9 ^a 1))",
+        "modify index 9 out of range",
+        id="modify-index-out-of-range",
+    ),
+    pytest.param(
+        "(literalize c a)"
+        "(p offender (c ^a <x>) --> (redact <x>))",
+        "only legal in meta-rules",
+        id="redact-in-object-rule",
+    ),
+    pytest.param(
+        "(literalize c a)"
+        "(p offender (c ^a <x> ^b 1) --> (halt))",
+        "no attribute 'b'",
+        id="undeclared-attribute-in-ce",
+    ),
+    pytest.param(
+        "(literalize c a)"
+        "(p offender (c ^a <x>) --> (modify 1 ^b 1))",
+        "assigns undeclared attribute 'b'",
+        id="undeclared-attribute-in-modify",
+    ),
+    pytest.param(
+        "(literalize c a)"
+        "(p offender (c ^a <x>) - (c ^a <y>) --> (halt))",
+        "appears only inside a negated condition element",
+        id="variable-only-in-negated-ce",
+    ),
+    pytest.param(
+        "(literalize c a)"
+        "(p offender (c ^a <x>) --> (make d ^a <x>))",
+        "make of undeclared class 'd'",
+        id="make-of-undeclared-class",
+    ),
+    pytest.param(
+        "(literalize c a)"
+        "(p offender (c ^a <x>) - (c ^a 2) --> (remove 2))",
+        "refers to a negated condition element",
+        id="remove-of-negated-ce",
+    ),
+]
+
+
+class TestRejectionMessagesNameTheRule:
+    @pytest.mark.parametrize("src,fragment", REJECTION_CASES)
+    def test_message_names_offender_and_cause(self, src, fragment):
+        with pytest.raises(SemanticError) as excinfo:
+            analyze(src)
+        message = str(excinfo.value)
+        assert "'offender'" in message
+        assert fragment in message
