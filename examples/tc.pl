@@ -1,0 +1,16 @@
+(literalize edge src dst)
+
+(literalize path src dst)
+
+(p tc-init
+    (edge ^src <a> ^dst <b>)
+    -(path ^src <a> ^dst <b>)
+    -->
+    (make path ^src <a> ^dst <b>))
+
+(p tc-extend
+    (path ^src <a> ^dst <b>)
+    (edge ^src <b> ^dst <c>)
+    -(path ^src <a> ^dst <c>)
+    -->
+    (make path ^src <a> ^dst <c>))

@@ -29,6 +29,32 @@ python -m repro.cli analyze --no-hints || {
     exit 1
 }
 
+echo "== observability gate (trace + metrics artifacts validate)"
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+python -m repro.cli run examples/tc.pl --facts examples/tc.facts \
+    --matcher process --workers 2 \
+    --trace-out "$OBS_TMP/tc.trace.json" \
+    --metrics-out "$OBS_TMP/tc.metrics.json" >/dev/null
+python - "$OBS_TMP" <<'PYEOF'
+import json, sys
+from repro.obs import validate_chrome_trace
+
+tmp = sys.argv[1]
+doc = json.load(open(f"{tmp}/tc.trace.json"))
+validate_chrome_trace(doc)
+lanes = {e["args"]["name"] for e in doc["traceEvents"] if e["name"] == "thread_name"}
+assert "engine" in lanes and any(l.startswith("worker-") for l in lanes), lanes
+metrics = json.load(open(f"{tmp}/tc.metrics.json"))
+assert metrics["counters"]["parulel_cycles_total"] > 0, metrics["counters"]
+assert metrics["counters"]["parulel_firings_total"] > 0, metrics["counters"]
+print(f"trace OK ({len(doc['traceEvents'])} events, lanes: {sorted(lanes)}); "
+      f"metrics OK ({len(metrics['counters'])} counters)")
+PYEOF
+
+echo "== observability overhead benchmark (enabled tracing within 5%)"
+python -m pytest tests/obs/test_overhead.py -q
+
 if [[ "${1:-}" == "--faults" ]]; then
     echo "== fault-injection/recovery suite (slow tests included)"
     python -m pytest tests/faults tests/core/test_checkpoint.py -q

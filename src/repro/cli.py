@@ -27,6 +27,15 @@ Installed as ``parulel`` (see pyproject). Subcommands:
 ``parulel repl PROGRAM [--facts FILE]``
     interactive session: assert facts, step cycles, inspect the conflict
     set, explain derivations.
+``parulel profile TARGET [--facts FILE] [--matcher ...] [--top N]``
+    run a program (or a bundled workload name like ``tc``) with the
+    observability layer on and print the per-phase breakdown plus the
+    hot-rule table (time, candidates, firings, redactions per rule).
+
+``parulel run``/``parulel profile`` accept ``--trace-out PATH`` (Chrome
+trace-event JSON, or JSONL when PATH ends in ``.jsonl`` — load the former
+in Perfetto) and ``--metrics-out PATH`` (metrics snapshot as JSON, or
+Prometheus text when PATH ends in ``.prom``/``.txt``).
 
 A *facts file* contains bare WME forms, one per s-expression::
 
@@ -54,6 +63,40 @@ __all__ = ["main", "parse_facts"]
 def parse_facts(source: str) -> List[Tuple[str, Dict[str, Value]]]:
     """Parse a facts file into ``(class, attrs)`` pairs (see repro.wm.io)."""
     return parse_facts_text(source)
+
+
+def _make_obs(args: argparse.Namespace):
+    """(tracer, metrics) for the run — real recorders when the matching
+    ``--*-out`` flag was given, else ``None`` (the engine's no-op default)."""
+    tracer = metrics = None
+    if getattr(args, "trace_out", None):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    if getattr(args, "metrics_out", None):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    return tracer, metrics
+
+
+def _write_obs(args: argparse.Namespace, tracer, metrics) -> None:
+    """Write whichever observability artifacts were requested. The format
+    follows the suffix: ``--trace-out`` is Chrome trace JSON unless the
+    path ends in ``.jsonl``; ``--metrics-out`` is a JSON snapshot unless
+    the path ends in ``.prom``/``.txt`` (Prometheus text exposition)."""
+    if tracer is not None:
+        if args.trace_out.endswith(".jsonl"):
+            tracer.write_jsonl(args.trace_out)
+        else:
+            tracer.write_chrome(args.trace_out)
+        print(f"[obs] trace written to {args.trace_out}", file=sys.stderr)
+    if metrics is not None:
+        if args.metrics_out.endswith((".prom", ".txt")):
+            metrics.write_prometheus(args.metrics_out)
+        else:
+            metrics.write_json(args.metrics_out)
+        print(f"[obs] metrics written to {args.metrics_out}", file=sys.stderr)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -99,6 +142,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(
             "error: process-backend and checkpoint options apply to "
             "--engine parulel only",
+            file=sys.stderr,
+        )
+        return 2
+    if args.engine == "ops5" and (args.trace_out or args.metrics_out):
+        print(
+            "error: --trace-out/--metrics-out apply to --engine parulel only",
             file=sys.stderr,
         )
         return 2
@@ -151,6 +200,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         respawn_limit=args.respawn_limit,
         assignment=args.assignment,
     )
+    obs_tracer, obs_metrics = _make_obs(args)
     if args.resume:
         if args.facts:
             print(
@@ -158,9 +208,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "--facts is ignored",
                 file=sys.stderr,
             )
-        engine = ParulelEngine.restore(program, args.resume, config, trace=trace)
+        engine = ParulelEngine.restore(
+            program, args.resume, config, trace=trace,
+            tracer=obs_tracer, metrics=obs_metrics,
+        )
     else:
-        engine = ParulelEngine(program, config, trace=trace)
+        engine = ParulelEngine(
+            program, config, trace=trace, tracer=obs_tracer, metrics=obs_metrics
+        )
         for cls, attrs in facts:
             engine.make(cls, attrs)
     try:
@@ -172,6 +227,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 print(line)
         if args.checkpoint_every is not None:
             engine.checkpoint(ckpt_path)  # salvage the partial run
+        # A truncated run is exactly when you want to see where the time
+        # went — the artifacts cover the cycles that did complete.
+        _write_obs(args, obs_tracer, obs_metrics)
         print(
             f"[parulel] cycle limit hit after {exc.cycles_completed} cycles "
             f"and {exc.firings} firings: {exc}",
@@ -200,6 +258,73 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.dump_wm:
         with open(args.dump_wm, "w") as fh:
             fh.write(dump_wm_text(engine.wm))
+    _write_obs(args, obs_tracer, obs_metrics)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs import MetricsRegistry, Tracer, hot_rule_table
+
+    matcher = args.matcher
+    if matcher == "process" and args.workers is not None:
+        if args.workers < 1:
+            print("error: --workers must be >= 1", file=sys.stderr)
+            return 2
+        matcher = f"process:{args.workers}"
+
+    metrics = MetricsRegistry()
+    tracer = Tracer() if args.trace_out else None
+
+    workload = None
+    if not os.path.exists(args.target):
+        from repro.programs import REGISTRY
+
+        builder = REGISTRY.get(args.target)
+        if builder is None:
+            print(
+                f"error: {args.target!r} is neither a file nor a bundled "
+                f"workload ({', '.join(sorted(REGISTRY))})",
+                file=sys.stderr,
+            )
+            return 2
+        if args.facts:
+            print(
+                "error: --facts applies to program files, not bundled workloads",
+                file=sys.stderr,
+            )
+            return 2
+        workload = builder()
+        program = workload.program
+    else:
+        program = parse_program(open(args.target).read())
+        analyze_program(program)
+
+    engine = ParulelEngine(
+        program, EngineConfig(matcher=matcher), tracer=tracer, metrics=metrics
+    )
+    if workload is not None:
+        workload.setup(engine)
+    elif args.facts:
+        for cls, attrs in parse_facts(open(args.facts).read()):
+            engine.make(cls, attrs)
+    result = engine.run(max_cycles=args.max_cycles)
+
+    print(
+        f"[parulel] {result.cycles} cycles, {result.firings} firings "
+        f"(mean firing set {result.mean_firing_set:.1f}), stopped by "
+        f"{result.reason}"
+    )
+    total = sum(engine.phase_times.values()) or 1.0
+    print("phases:")
+    for name, secs in sorted(
+        engine.phase_times.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {name:<10} {secs * 1000:8.1f} ms  {secs / total:6.1%}")
+    print()
+    print(hot_rule_table(metrics, top=args.top))
+    _write_obs(args, tracer, metrics if args.metrics_out else None)
     return 0
 
 
@@ -478,6 +603,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--dump-wm", metavar="PATH", help="write the final working memory as facts"
     )
+    p_run.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write a span trace: Chrome trace-event JSON (Perfetto / "
+        "chrome://tracing), or JSONL when PATH ends in .jsonl",
+    )
+    p_run.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the metrics registry: JSON snapshot, or Prometheus "
+        "text when PATH ends in .prom/.txt",
+    )
     p_run.set_defaults(fn=_cmd_run)
 
     p_check = sub.add_parser("check", help="parse and analyze a program")
@@ -546,6 +683,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_repl.add_argument("program")
     p_repl.add_argument("--facts", help="facts file asserted before the prompt")
     p_repl.set_defaults(fn=_cmd_repl)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run with the observability layer on and print the phase "
+        "breakdown and hot-rule table",
+    )
+    p_prof.add_argument(
+        "target", help=".pl program path, or a bundled workload name (e.g. tc)"
+    )
+    p_prof.add_argument("--facts", help="initial-WME facts file (program files only)")
+    p_prof.add_argument(
+        "--matcher",
+        choices=("rete", "rete-shared", "treat", "naive", "process"),
+        default="rete",
+    )
+    p_prof.add_argument("--workers", type=int, default=None, metavar="N")
+    p_prof.add_argument("--max-cycles", type=int, default=100_000)
+    p_prof.add_argument(
+        "--top", type=int, default=10, help="rows in the hot-rule table"
+    )
+    p_prof.add_argument("--trace-out", metavar="PATH")
+    p_prof.add_argument("--metrics-out", metavar="PATH")
+    p_prof.set_defaults(fn=_cmd_profile)
 
     return parser
 

@@ -45,6 +45,15 @@ from repro.lang.analysis import analyze_program
 from repro.lang.ast import Program, Value
 from repro.match.instantiation import InstKey, Instantiation
 from repro.match.interface import Matcher, create_matcher
+from repro.metrics.timers import PhaseTimer
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.profile import (
+    RULE_CANDIDATES,
+    RULE_EVAL_SECONDS,
+    RULE_FIRINGS,
+    RULE_REDACTIONS,
+)
+from repro.obs.trace import NULL_TRACER, PhaseSpan
 from repro.wm.memory import WorkingMemory
 from repro.wm.template import TemplateRegistry
 from repro.wm.wme import WME
@@ -159,10 +168,17 @@ class ParulelEngine:
         host_functions: Optional[Mapping[str, HostFunction]] = None,
         wm: Optional[WorkingMemory] = None,
         trace: Optional[Callable[[CycleReport], None]] = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         analyze_program(program)
         self.program = program
         self.config = config or EngineConfig()
+        #: Observability hooks (:mod:`repro.obs`). Both default to the
+        #: shared no-op singletons; hot paths guard on ``.enabled`` so a
+        #: disabled engine does no observability work at all.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.wm = wm if wm is not None else WorkingMemory(
             TemplateRegistry.from_program(program)
         )
@@ -176,6 +192,9 @@ class ParulelEngine:
             matcher_options["fault_plan"] = self.config.fault_plan
         if self.config.assignment is not None:
             matcher_options["assignment"] = self.config.assignment
+        if self.tracer.enabled or self.metrics.enabled:
+            matcher_options["tracer"] = self.tracer
+            matcher_options["metrics"] = self.metrics
         self.matcher: Matcher = create_matcher(
             self.config.matcher, program.rules, self.wm, **matcher_options
         )
@@ -193,7 +212,11 @@ class ParulelEngine:
         self.fired: Set[InstKey] = set()
         self.output: List[str] = []
         self.reports: List[CycleReport] = []
-        self.phase_times: Counter = Counter()
+        #: Thread-safe per-phase wall-clock accumulator; the engine's named
+        #: spans are backed by it, and ``phase_times`` is a live view of
+        #: its seconds counter (the historical public shape).
+        self.timer = PhaseTimer()
+        self.phase_times: Counter = self.timer.seconds
         #: All fault/recovery events surfaced by the match backend,
         #: cumulative across the engine's life (per-cycle slices land on
         #: each :class:`CycleReport`).
@@ -234,90 +257,147 @@ class ParulelEngine:
         """
         if self.halted or self._redaction_quiescent:
             return None
+        tracer, metrics = self.tracer, self.metrics
+        cycle_no = self._cycle + 1
 
-        t0 = time.perf_counter()
-        all_insts = self.matcher.instantiations()
-        candidates = [i for i in all_insts if i.key not in self.fired]
-        t1 = time.perf_counter()
-        self.phase_times["collect"] += t1 - t0
+        with self._phase("match", "collect", cycle=cycle_no):
+            all_insts = self.matcher.instantiations()
+            candidates = [i for i in all_insts if i.key not in self.fired]
         # The match phase is where backend faults surface (worker kills,
         # respawns, degradations); drain them now so the report for this
-        # cycle carries them even if nothing fires.
+        # cycle carries them even if nothing fires. The backends record
+        # their own trace instants/metrics at injection time.
         cycle_faults = self._drain_matcher_faults()
         if not candidates:
             return None
 
-        survivors, red_report = self.meta.redact(candidates)
+        with self._phase("redact", "redact", cycle=cycle_no, candidates=len(candidates)):
+            survivors, red_report = self.meta.redact(candidates)
         meta_writes = list(self.meta.writes)
         self.output.extend(meta_writes)
-        t2 = time.perf_counter()
-        self.phase_times["redact"] += t2 - t1
 
         self._cycle += 1
+        if metrics.enabled:
+            self._count_cycle(candidates, survivors, red_report)
         if not survivors:
             # Deterministic engine + unchanged WM ⇒ the next cycle would be
             # identical. Record the cycle and stop.
             self._redaction_quiescent = True
-            report = CycleReport(
+            return self._emit(
+                CycleReport(
+                    cycle=self._cycle,
+                    conflict_set_size=len(all_insts),
+                    candidates=len(candidates),
+                    redaction=red_report,
+                    fired=0,
+                    delta_removes=0,
+                    delta_makes=0,
+                    conflicts_resolved=0,
+                    makes_deduped=0,
+                    writes=meta_writes,
+                    halted=self.meta.halt_requested,
+                    fault_events=cycle_faults,
+                )
+            )
+
+        # Evaluate every survivor against the pre-firing snapshot.
+        deltas: List[InstantiationDelta] = []
+        with self._phase("act", "evaluate", cycle=cycle_no, firing_set=len(survivors)):
+            if metrics.enabled:
+                for inst in survivors:
+                    self.fired.add(inst.key)
+                    t0 = time.perf_counter()
+                    deltas.append(self.evaluator.evaluate(inst))
+                    metrics.observe(
+                        RULE_EVAL_SECONDS,
+                        time.perf_counter() - t0,
+                        rule=inst.rule.name,
+                    )
+            else:
+                for inst in survivors:
+                    self.fired.add(inst.key)
+                    deltas.append(self.evaluator.evaluate(inst))
+
+        with self._phase("merge", "apply", cycle=cycle_no, deltas=len(deltas)):
+            merged = merge_deltas(
+                deltas,
+                policy=self.config.interference,
+                dedupe_makes=self.config.dedupe_makes,
+            )
+            self._apply(merged, deltas)
+
+        if metrics.enabled:
+            metrics.inc("parulel_firings_total", len(survivors))
+            metrics.inc("parulel_delta_removes_total", len(merged.removes))
+            metrics.inc("parulel_delta_makes_total", len(merged.makes))
+            metrics.inc("parulel_conflicts_resolved_total", merged.conflicts_resolved)
+            metrics.set_gauge("parulel_wm_size", len(self.wm))
+
+        halted = merged.halt or self.meta.halt_requested
+        self.output.extend(merged.writes)
+        return self._emit(
+            CycleReport(
                 cycle=self._cycle,
                 conflict_set_size=len(all_insts),
                 candidates=len(candidates),
                 redaction=red_report,
-                fired=0,
-                delta_removes=0,
-                delta_makes=0,
-                conflicts_resolved=0,
-                makes_deduped=0,
-                writes=meta_writes,
-                halted=self.meta.halt_requested,
+                fired=len(survivors),
+                delta_removes=len(merged.removes),
+                delta_makes=len(merged.makes),
+                conflicts_resolved=merged.conflicts_resolved,
+                makes_deduped=merged.makes_deduped,
+                writes=meta_writes + list(merged.writes),
+                halted=halted,
                 fault_events=cycle_faults,
             )
-            self.reports.append(report)
-            if self.meta.halt_requested:
-                self.halted = True
-            if self.trace is not None:
-                self.trace(report)
-            return report
-
-        # Evaluate every survivor against the pre-firing snapshot.
-        deltas: List[InstantiationDelta] = []
-        for inst in survivors:
-            self.fired.add(inst.key)
-            deltas.append(self.evaluator.evaluate(inst))
-        t3 = time.perf_counter()
-        self.phase_times["evaluate"] += t3 - t2
-
-        merged = merge_deltas(
-            deltas,
-            policy=self.config.interference,
-            dedupe_makes=self.config.dedupe_makes,
         )
-        self._apply(merged, deltas)
-        t4 = time.perf_counter()
-        self.phase_times["apply"] += t4 - t3
 
-        halted = merged.halt or self.meta.halt_requested
-        report = CycleReport(
-            cycle=self._cycle,
-            conflict_set_size=len(all_insts),
-            candidates=len(candidates),
-            redaction=red_report,
-            fired=len(survivors),
-            delta_removes=len(merged.removes),
-            delta_makes=len(merged.makes),
-            conflicts_resolved=merged.conflicts_resolved,
-            makes_deduped=merged.makes_deduped,
-            writes=meta_writes + list(merged.writes),
-            halted=halted,
-            fault_events=cycle_faults,
+    def _phase(self, span_name: str, phase_key: str, **args: Any) -> PhaseSpan:
+        """One cycle phase: a named span (paper vocabulary — match /
+        redact / act / merge) whose single measurement also feeds
+        ``phase_times`` (historical keys — collect / redact / evaluate /
+        apply) and the phase-seconds histogram."""
+        return PhaseSpan(
+            self.timer, self.tracer, self.metrics, span_name, phase_key, **args
         )
+
+    def _emit(self, report: CycleReport) -> CycleReport:
+        """The ONLY path a :class:`CycleReport` leaves the engine by:
+        records it, applies its halt flag, and invokes the trace callback
+        exactly once — whatever branch of the cycle produced it."""
         self.reports.append(report)
-        self.output.extend(merged.writes)
-        if halted:
+        if report.halted:
             self.halted = True
         if self.trace is not None:
             self.trace(report)
         return report
+
+    def _count_cycle(
+        self,
+        candidates: Sequence[Instantiation],
+        survivors: Sequence[Instantiation],
+        red_report: RedactionReport,
+    ) -> None:
+        """Per-cycle metric counts (called only when metrics are enabled).
+
+        Per-rule redaction counts come from the candidate/survivor
+        difference — redaction is the only reducer between the two sets.
+        """
+        metrics = self.metrics
+        metrics.inc("parulel_cycles_total")
+        metrics.inc("parulel_candidates_total", len(candidates))
+        metrics.inc("parulel_redacted_total", red_report.redacted)
+        metrics.inc("parulel_meta_cycles_total", red_report.meta_cycles)
+        metrics.inc("parulel_meta_firings_total", red_report.meta_firings)
+        cand_by_rule = Counter(i.rule.name for i in candidates)
+        surv_by_rule = Counter(i.rule.name for i in survivors)
+        for rule, n in cand_by_rule.items():
+            metrics.inc(RULE_CANDIDATES, n, rule=rule)
+            fired = surv_by_rule.get(rule, 0)
+            if fired:
+                metrics.inc(RULE_FIRINGS, fired, rule=rule)
+            if n - fired:
+                metrics.inc(RULE_REDACTIONS, n - fired, rule=rule)
 
     def _drain_matcher_faults(self) -> List[FaultEvent]:
         """Collect fault/recovery events the match backend accumulated
@@ -369,6 +449,30 @@ class ParulelEngine:
         start_output = len(self.output)
         wall0 = time.perf_counter()
         reason = "quiescence"
+        with self.tracer.span("run", lane="engine", start_cycle=start_cycle):
+            reason = self._run_loop(limit, start_cycle, start_report, start_output, wall0)
+        wall = time.perf_counter() - wall0
+        run_reports = self.reports[start_report:]
+        return RunResult(
+            cycles=self._cycle - start_cycle,
+            firings=sum(r.fired for r in run_reports),
+            reason=reason,
+            output=self.output[start_output:],
+            reports=run_reports,
+            wall_time=wall,
+            phase_times=Counter(self.phase_times),
+        )
+
+    def _run_loop(
+        self,
+        limit: int,
+        start_cycle: int,
+        start_report: int,
+        start_output: int,
+        wall0: float,
+    ) -> str:
+        """The run loop body (split out so the whole run is one span even
+        when it ends by raising :class:`CycleLimitExceeded`)."""
         while True:
             if self._cycle - start_cycle >= limit:
                 run_reports = self.reports[start_report:]
@@ -390,27 +494,13 @@ class ParulelEngine:
                 )
             report = self.step()
             if report is None:
-                reason = (
+                return (
                     "redaction-quiescence" if self._redaction_quiescent else "quiescence"
                 )
-                break
             if report.halted:
-                reason = "halt"
-                break
+                return "halt"
             if report.fired == 0:
-                reason = "redaction-quiescence"
-                break
-        wall = time.perf_counter() - wall0
-        run_reports = self.reports[start_report:]
-        return RunResult(
-            cycles=self._cycle - start_cycle,
-            firings=sum(r.fired for r in run_reports),
-            reason=reason,
-            output=self.output[start_output:],
-            reports=run_reports,
-            wall_time=wall,
-            phase_times=Counter(self.phase_times),
-        )
+                return "redaction-quiescence"
 
     # -- checkpoint / resume ---------------------------------------------------
 
@@ -459,6 +549,8 @@ class ParulelEngine:
         config: Optional[EngineConfig] = None,
         host_functions: Optional[Mapping[str, HostFunction]] = None,
         trace: Optional[Callable[[CycleReport], None]] = None,
+        tracer=None,
+        metrics=None,
     ) -> "ParulelEngine":
         """Rebuild an engine from a :meth:`checkpoint` dict or file path.
 
@@ -487,6 +579,8 @@ class ParulelEngine:
             host_functions=host_functions,
             wm=wm,
             trace=trace,
+            tracer=tracer,
+            metrics=metrics,
         )
         engine._cycle = int(state["cycle"])
         engine.halted = bool(state["halted"])

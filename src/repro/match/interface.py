@@ -98,6 +98,8 @@ def create_matcher(
     respawn_limit: Optional[int] = None,
     fault_plan=None,
     assignment=None,
+    tracer=None,
+    metrics=None,
 ) -> Matcher:
     """Instantiate a match engine by name (``rete``, ``treat``, ``naive`` or
     ``process``/``process:N`` for the multiprocessing fan-out).
@@ -110,6 +112,13 @@ def create_matcher(
     :class:`~repro.parallel.partition.Assignment`) apply only to the
     ``process`` backend; passing them for a serial engine is an error
     rather than a silent no-op.
+
+    ``tracer`` / ``metrics`` (:mod:`repro.obs`) are cross-cutting and
+    accepted for every backend: the process pool uses them to record
+    worker lanes and IPC counts, while serial engines — whose work the
+    engine's own phase spans already cover — have nothing extra to record
+    and ignore them. They never change match behaviour, so unlike the
+    process-only knobs they are not an error elsewhere.
     """
     # Imported here to avoid a cycle (engines import this interface).
     from repro.match.naive import NaiveMatcher
@@ -136,6 +145,8 @@ def create_matcher(
             timeout=timeout if timeout is not None else DEFAULT_TIMEOUT,
             respawn_limit=respawn_limit,
             fault_plan=fault_plan,
+            tracer=tracer,
+            metrics=metrics,
         )
 
     if (

@@ -1,0 +1,43 @@
+"""Unified observability: tracing, metrics, and per-rule profiling.
+
+PARULEL's argument is about *where the cycle time goes* — match vs.
+redaction vs. act vs. communication. This package is the layer that makes
+every execution substrate show its work:
+
+- :mod:`repro.obs.trace` — monotonic-clock spans and instants on named
+  lanes (engine, worker processes, distributed sites, the simulated
+  network), thread/process-safe, exported as Chrome trace-event JSON
+  (open it in Perfetto or ``chrome://tracing``) or JSONL;
+- :mod:`repro.obs.metrics` — a labelled counter/gauge/histogram registry
+  with JSON snapshots and Prometheus text exposition, with exact
+  cross-process merging for worker-shipped counts;
+- :mod:`repro.obs.profile` — the per-rule hot-rule table
+  (``parulel profile``).
+
+Everything defaults to the no-op :data:`NULL_TRACER` /
+:data:`NULL_METRICS` singletons, so the disabled path costs an attribute
+load and a branch — the overhead benchmark holds the enabled path under
+5% on the ``tc`` and ``manners`` workloads.
+"""
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.profile import RuleProfile, hot_rule_table, rule_profiles
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "RuleProfile",
+    "Tracer",
+    "hot_rule_table",
+    "rule_profiles",
+    "validate_chrome_trace",
+]

@@ -57,7 +57,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import signal
+import time
 from multiprocessing.connection import Connection
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -68,6 +70,9 @@ from repro.match.compile import CompiledRule, compile_rules
 from repro.match.instantiation import ConflictSet, Instantiation
 from repro.match.interface import Matcher
 from repro.match.join import enumerate_matches
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.profile import RULE_MATCH_SECONDS
+from repro.obs.trace import NULL_TRACER, TraceEvent, Tracer
 from repro.parallel.partition import Assignment, resolve_assignment
 from repro.wm.memory import DeltaRecorder, WMDelta, WorkingMemory
 from repro.wm.wme import WME
@@ -78,6 +83,11 @@ __all__ = ["ProcessMatchPool", "ProcessMatcher", "default_worker_count"]
 #: negated CE), variable environment). Small, picklable, and enough for the
 #: parent to rebuild the Instantiation against its own WME objects.
 MatchSummary = Tuple[str, Tuple[int, ...], Dict[str, Value]]
+
+#: Per-reply observability payload: the worker's raw span buffer (shipped
+#: back alongside match results, ingested onto a ``worker-<site>`` lane)
+#: plus per-rule match seconds. ``None`` when observability is off.
+ObsPayload = Optional[Tuple[List[TraceEvent], List[Tuple[str, float]]]]
 
 #: Per-worker, per-cycle reply deadline (seconds). Generous: it exists to
 #: unwedge a hung worker, not to police slow matches. Override per run with
@@ -101,21 +111,30 @@ def default_worker_count() -> int:
 # ---------------------------------------------------------------------------
 
 
-def _worker_main(conn: Connection, rules: Tuple[Rule, ...]) -> None:
+def _worker_main(conn: Connection, rules: Tuple[Rule, ...], obs: bool = False) -> None:
     """Worker loop: maintain a WM replica, answer match requests.
 
     Protocol (parent → worker):
 
     - ``("match", [wire_delta, ...])`` — apply the deltas in order, then
-      reply ``("ok", [MatchSummary, ...])`` for this site's rules;
+      reply ``("ok", ([MatchSummary, ...], obs_payload))`` for this
+      site's rules, where ``obs_payload`` is the worker's span buffer and
+      per-rule match times when ``obs`` is on, else ``None``;
     - ``("stop",)`` — exit.
 
     Any exception is reported as ``("err", message)``; the parent treats it
     as fatal (a deterministic error would recur on respawn).
+
+    With ``obs`` on the worker runs its own :class:`~repro.obs.Tracer`
+    (spans on a local lane, rewritten to ``worker-<site>`` by the parent
+    at ingest) — ``perf_counter_ns`` stamps share the parent's monotonic
+    base, so the shipped spans land on the parent's timeline unadjusted.
     """
     compiled = compile_rules(rules)
     wm = WorkingMemory()
     by_ts: Dict[int, WME] = {}
+    tracer = Tracer() if obs else NULL_TRACER
+    cycle = 0
     while True:
         try:
             msg = conn.recv()
@@ -125,22 +144,35 @@ def _worker_main(conn: Connection, rules: Tuple[Rule, ...]) -> None:
             return
         try:
             _tag, deltas = msg
-            for wire in deltas:
-                WMDelta.apply_wire(wm, by_ts, wire)
+            cycle += 1
+            rule_times: List[Tuple[str, float]] = []
+            if deltas:
+                with tracer.span(
+                    "apply-delta", lane="worker", cycle=cycle, deltas=len(deltas)
+                ):
+                    for wire in deltas:
+                        WMDelta.apply_wire(wm, by_ts, wire)
             out: List[MatchSummary] = []
-            for cr in compiled:
-                for inst in enumerate_matches(cr, wm):
-                    out.append(
-                        (
-                            cr.name,
-                            tuple(
-                                w.timestamp if w is not None else 0
-                                for w in inst.wmes
-                            ),
-                            inst.env,
+            with tracer.span("match", lane="worker", cycle=cycle, rules=len(compiled)):
+                for cr in compiled:
+                    t0 = time.perf_counter() if obs else 0.0
+                    for inst in enumerate_matches(cr, wm):
+                        out.append(
+                            (
+                                cr.name,
+                                tuple(
+                                    w.timestamp if w is not None else 0
+                                    for w in inst.wmes
+                                ),
+                                inst.env,
+                            )
                         )
-                    )
-            conn.send(("ok", out))
+                    if obs:
+                        rule_times.append((cr.name, time.perf_counter() - t0))
+            payload: ObsPayload = (
+                (tracer.drain_events(), rule_times) if obs else None
+            )
+            conn.send(("ok", (out, payload)))
         except Exception as exc:  # noqa: BLE001 - forwarded to the parent
             try:
                 conn.send(("err", f"{type(exc).__name__}: {exc}"))
@@ -173,6 +205,8 @@ class ProcessMatchPool:
         start_method: Optional[str] = None,
         respawn_limit: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
@@ -180,6 +214,11 @@ class ProcessMatchPool:
             raise ValueError("timeout must be > 0 seconds")
         if respawn_limit is not None and respawn_limit < 0:
             raise ValueError("respawn_limit must be >= 0 (None for unlimited)")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        #: Workers only pay span-recording costs when the parent can use
+        #: them; the flag rides along on every (re)spawn.
+        self._obs = self.tracer.enabled or self.metrics.enabled
         self.wm = wm
         self.n_workers = n_workers
         self.timeout = timeout
@@ -231,7 +270,7 @@ class ProcessMatchPool:
         parent_conn, child_conn = self._ctx.Pipe()
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, tuple(self._site_rules[site])),
+            args=(child_conn, tuple(self._site_rules[site]), self._obs),
             name=f"parulel-match-site{site}",
             daemon=True,
         )
@@ -252,6 +291,17 @@ class ProcessMatchPool:
     def _record(self, kind: str, site: int, detail: str = "") -> None:
         event = FaultEvent(cycle=self._cycle, kind=kind, site=site, detail=detail)
         self._fault_events.append(event)
+        # The pool is where these events originate, so it is the one place
+        # they become trace instants and fault-metric counts (the engine
+        # only attaches the drained events to its CycleReport).
+        if self.tracer.enabled:
+            self.tracer.instant(
+                kind, lane=f"worker-{site}", cycle=self._cycle, detail=detail
+            )
+        if self.metrics.enabled:
+            self.metrics.inc("parulel_fault_events_total", kind=kind)
+            if kind == "respawn":
+                self.metrics.inc("parulel_worker_respawns_total", site=site)
 
     def drain_fault_events(self) -> List[FaultEvent]:
         """Fault/recovery events since the last drain (engine hook)."""
@@ -266,7 +316,8 @@ class ProcessMatchPool:
             return False
 
     def _recv(self, site: int) -> Optional[List[MatchSummary]]:
-        """One reply, or ``None`` when the worker is dead or wedged."""
+        """One reply's match summaries (observability payload ingested as
+        a side effect), or ``None`` when the worker is dead or wedged."""
         conn = self._conns[site]
         try:
             if not conn.poll(self.timeout):
@@ -276,7 +327,25 @@ class ProcessMatchPool:
             return None
         if tag == "err":
             raise MatchError(f"match worker for site {site} failed: {payload}")
-        return payload
+        summaries, obs_payload = payload
+        self._ingest_obs(site, obs_payload)
+        if self.metrics.enabled:
+            self.metrics.inc("parulel_ipc_messages_total", direction="reply")
+        return summaries
+
+    def _ingest_obs(self, site: int, obs_payload: ObsPayload) -> None:
+        """Fold a worker's shipped spans and per-rule match times into the
+        parent tracer/registry, on the worker's own lane."""
+        if obs_payload is None:
+            return
+        events, rule_times = obs_payload
+        if self.tracer.enabled and events:
+            self.tracer.ingest(events, lane=f"worker-{site}")
+        if self.metrics.enabled:
+            for rule, seconds in rule_times:
+                self.metrics.observe(
+                    RULE_MATCH_SECONDS, seconds, rule=rule, site=site
+                )
 
     def _budget_left(self, site: int) -> bool:
         if self.respawn_limit is None:
@@ -306,24 +375,40 @@ class ProcessMatchPool:
         return self._parent_match(site)
 
     def _parent_match(self, site: int) -> List[MatchSummary]:
-        """Serial in-parent match of one (degraded) site's rules."""
+        """Serial in-parent match of one (degraded) site's rules.
+
+        Spans stay on the site's ``worker-<site>`` lane — the lane shows
+        where the site's match work went, which after degradation is the
+        parent's clock."""
         compiled = self._site_compiled.get(site)
         if compiled is None:
             compiled = compile_rules(tuple(self._site_rules[site]))
             self._site_compiled[site] = compiled
         out: List[MatchSummary] = []
-        for cr in compiled:
-            for inst in enumerate_matches(cr, self.wm):
-                out.append(
-                    (
-                        cr.name,
-                        tuple(
-                            w.timestamp if w is not None else 0
-                            for w in inst.wmes
-                        ),
-                        inst.env,
+        obs = self.metrics.enabled
+        with self.tracer.span(
+            "match (degraded, in-parent)", lane=f"worker-{site}", cycle=self._cycle
+        ):
+            for cr in compiled:
+                t0 = time.perf_counter() if obs else 0.0
+                for inst in enumerate_matches(cr, self.wm):
+                    out.append(
+                        (
+                            cr.name,
+                            tuple(
+                                w.timestamp if w is not None else 0
+                                for w in inst.wmes
+                            ),
+                            inst.env,
+                        )
                     )
-                )
+                if obs:
+                    self.metrics.observe(
+                        RULE_MATCH_SECONDS,
+                        time.perf_counter() - t0,
+                        rule=cr.name,
+                        site=site,
+                    )
         return out
 
     def _respawn_and_match(self, site: int) -> List[MatchSummary]:
@@ -411,11 +496,20 @@ class ProcessMatchPool:
         # Fan the request out to every live worker before collecting any
         # reply, so sites match concurrently; then merge in deterministic
         # order (degraded sites are matched serially in-parent).
-        sent = {
-            site: site not in self.degraded_sites
-            and self._try_send(site, ("match", payload))
-            for site in self.active_sites
-        }
+        metrics = self.metrics
+        wire_bytes = 0
+        if metrics.enabled and payload:
+            wire_bytes = len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        sent: Dict[int, bool] = {}
+        for site in self.active_sites:
+            ok = site not in self.degraded_sites and self._try_send(
+                site, ("match", payload)
+            )
+            sent[site] = ok
+            if ok and metrics.enabled:
+                metrics.inc("parulel_ipc_messages_total", direction="request")
+                if wire_bytes:
+                    metrics.inc("parulel_ipc_bytes_total", wire_bytes, site=site)
         merged: List[Instantiation] = []
         for site in self.active_sites:
             if site in self.degraded_sites:
@@ -485,6 +579,8 @@ class ProcessMatcher(Matcher):
         timeout: float = DEFAULT_TIMEOUT,
         respawn_limit: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         # The pool's recorder primes itself with the pre-existing WMEs, so
         # it must attach before Matcher.__init__ replays them through
@@ -499,6 +595,8 @@ class ProcessMatcher(Matcher):
             timeout=timeout,
             respawn_limit=respawn_limit,
             fault_plan=fault_plan,
+            tracer=tracer,
+            metrics=metrics,
         )
         super().__init__(rules, wm)
 

@@ -15,6 +15,7 @@ it exists to exercise a genuine concurrent code path, not to win.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
@@ -22,6 +23,9 @@ from repro.lang.ast import Program, Rule
 from repro.match.compile import CompiledRule, compile_rules
 from repro.match.instantiation import Instantiation
 from repro.match.join import enumerate_matches
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.profile import RULE_MATCH_SECONDS
+from repro.obs.trace import NULL_TRACER
 from repro.parallel.partition import Assignment, round_robin_assignment
 from repro.wm.memory import WorkingMemory
 
@@ -34,6 +38,11 @@ class ThreadedMatchPool:
     Working memory is read-only during :meth:`conflict_set` — the caller
     must not mutate it concurrently (the engines never do: match and apply
     are separate phases of the cycle).
+
+    With a ``tracer``/``metrics`` attached, each site's match runs under a
+    span on its own ``thread-<site>`` lane (the tracer is thread-safe, and
+    the lanes make the GIL serialization this module measures *visible*:
+    the spans overlap in wall-clock but their work interleaves).
     """
 
     def __init__(
@@ -42,9 +51,14 @@ class ThreadedMatchPool:
         wm: WorkingMemory,
         n_threads: int,
         assignment: Optional[Assignment] = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if n_threads < 1:
             raise ValueError("need at least one thread")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._cycle = 0
         self.wm = wm
         self.n_threads = n_threads
         self.assignment = assignment or round_robin_assignment(rules, n_threads)
@@ -61,12 +75,25 @@ class ThreadedMatchPool:
 
     def _match_site(self, site: int) -> List[Instantiation]:
         out: List[Instantiation] = []
-        for compiled in self._site_rules[site]:
-            out.extend(enumerate_matches(compiled, self.wm))
+        obs = self.metrics.enabled
+        with self.tracer.span(
+            "match", lane=f"thread-{site}", cycle=self._cycle
+        ):
+            for compiled in self._site_rules[site]:
+                t0 = time.perf_counter() if obs else 0.0
+                out.extend(enumerate_matches(compiled, self.wm))
+                if obs:
+                    self.metrics.observe(
+                        RULE_MATCH_SECONDS,
+                        time.perf_counter() - t0,
+                        rule=compiled.name,
+                        site=site,
+                    )
         return out
 
     def conflict_set(self) -> List[Instantiation]:
         """Full conflict set, deterministic order (site 0's rules first)."""
+        self._cycle += 1
         futures = [
             self._pool.submit(self._match_site, site)
             for site in self.active_sites

@@ -1,0 +1,129 @@
+"""CLI observability: --trace-out/--metrics-out and `parulel profile`."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import validate_chrome_trace
+
+TC_SRC = """\
+(literalize edge src dst)
+(literalize path src dst)
+(p tc-init (edge ^src <a> ^dst <b>) -(path ^src <a> ^dst <b>)
+   --> (make path ^src <a> ^dst <b>))
+(p tc-extend (path ^src <a> ^dst <b>) (edge ^src <b> ^dst <c>)
+   -(path ^src <a> ^dst <c>)
+   --> (make path ^src <a> ^dst <c>))
+"""
+
+FACTS = "".join(f"(edge ^src n{i} ^dst n{i + 1})\n" for i in range(5))
+
+
+@pytest.fixture()
+def program_files(tmp_path):
+    program = tmp_path / "tc.pl"
+    facts = tmp_path / "tc.facts"
+    program.write_text(TC_SRC)
+    facts.write_text(FACTS)
+    return str(program), str(facts)
+
+
+class TestRunArtifacts:
+    def test_trace_and_metrics_out(self, program_files, tmp_path, capsys):
+        program, facts = program_files
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "run", program, "--facts", facts,
+                "--trace-out", str(trace_path),
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(trace_path.read_text())
+        validate_chrome_trace(doc)
+        lanes = [
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["name"] == "thread_name"
+        ]
+        assert "engine" in lanes
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["parulel_firings_total"] == 15
+
+    def test_jsonl_and_prometheus_suffixes(self, program_files, tmp_path):
+        program, facts = program_files
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "run", program, "--facts", facts,
+                "--trace-out", str(trace_path),
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        lines = [json.loads(l) for l in trace_path.read_text().splitlines()]
+        assert all({"ph", "name", "lane", "ts_us"} <= set(l) for l in lines)
+        prom = metrics_path.read_text()
+        assert "# TYPE parulel_firings_total counter" in prom
+        assert "parulel_firings_total 15" in prom
+
+    def test_rejected_for_ops5(self, program_files, tmp_path, capsys):
+        program, facts = program_files
+        code = main(
+            [
+                "run", program, "--facts", facts, "--engine", "ops5",
+                "--trace-out", str(tmp_path / "t.json"),
+            ]
+        )
+        assert code == 2
+        assert "parulel only" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_profile_program_file(self, program_files, capsys):
+        program, facts = program_files
+        code = main(["profile", program, "--facts", facts])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hot rules" in out
+        assert "tc-extend" in out
+        assert "phases:" in out
+
+    def test_profile_registry_workload(self, capsys):
+        code = main(["profile", "tc", "--max-cycles", "1000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tc-extend" in out
+        assert "stopped by quiescence" in out
+
+    def test_profile_writes_artifacts(self, program_files, tmp_path, capsys):
+        program, facts = program_files
+        trace_path = tmp_path / "p.json"
+        metrics_path = tmp_path / "p.prom"
+        code = main(
+            [
+                "profile", program, "--facts", facts,
+                "--trace-out", str(trace_path),
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        validate_chrome_trace(json.loads(trace_path.read_text()))
+        assert "parulel_rule_eval_seconds" in metrics_path.read_text()
+
+    def test_profile_unknown_target(self, capsys):
+        code = main(["profile", "no-such-workload"])
+        assert code == 2
+        assert "neither a file nor a bundled workload" in capsys.readouterr().err
+
+    def test_profile_top_limits_table(self, program_files, capsys):
+        program, facts = program_files
+        code = main(["profile", program, "--facts", facts, "--top", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # Only the hottest rule row remains.
+        assert out.count("tc-") == 1
