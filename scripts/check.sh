@@ -55,6 +55,13 @@ PYEOF
 echo "== observability overhead benchmark (enabled tracing within 5%)"
 python -m pytest tests/obs/test_overhead.py -q
 
+echo "== match-kernel perf gate (deterministic join counters vs baseline)"
+# Gates on the byte-stable join_probes/join_checks counters recorded in
+# benchmarks/results/BENCH_match.json; wall-clock is advisory. After an
+# intentional match-kernel change, refresh with:
+#   python -m benchmarks.match_microbench --write
+python -m benchmarks.match_microbench --check
+
 if [[ "${1:-}" == "--faults" ]]; then
     echo "== fault-injection/recovery suite (slow tests included)"
     python -m pytest tests/faults tests/core/test_checkpoint.py -q

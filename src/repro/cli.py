@@ -153,7 +153,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
 
     if args.engine == "ops5":
-        ops5 = OPS5Engine(program, strategy=args.strategy, matcher=matcher)
+        ops5 = OPS5Engine(
+            program,
+            strategy=args.strategy,
+            matcher=matcher,
+            indexed=not args.no_index,
+        )
         for cls, attrs in facts:
             ops5.make(cls, attrs)
         result = ops5.run(max_cycles=args.max_cycles)
@@ -195,6 +200,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     config = EngineConfig(
         matcher=matcher,
+        indexed_match=not args.no_index,
         interference=args.interference,
         matcher_timeout=args.matcher_timeout,
         respawn_limit=args.respawn_limit,
@@ -302,7 +308,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         analyze_program(program)
 
     engine = ParulelEngine(
-        program, EngineConfig(matcher=matcher), tracer=tracer, metrics=metrics
+        program,
+        EngineConfig(matcher=matcher, indexed_match=not args.no_index),
+        tracer=tracer,
+        metrics=metrics,
     )
     if workload is not None:
         workload.setup(engine)
@@ -593,6 +602,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume from a checkpoint written by --checkpoint-every "
         "(--facts is ignored)",
     )
+    p_run.add_argument(
+        "--no-index",
+        action="store_true",
+        help="disable the hash-indexed join kernel (nested-loop matching; "
+        "identical results, ablation escape hatch)",
+    )
     p_run.add_argument("--strategy", choices=("lex", "mea"), default="lex")
     p_run.add_argument(
         "--interference", choices=("error", "first", "merge"), default="error"
@@ -700,6 +715,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_prof.add_argument("--workers", type=int, default=None, metavar="N")
     p_prof.add_argument("--max-cycles", type=int, default=100_000)
+    p_prof.add_argument(
+        "--no-index",
+        action="store_true",
+        help="disable the hash-indexed join kernel (nested-loop matching)",
+    )
     p_prof.add_argument(
         "--top", type=int, default=10, help="rows in the hot-rule table"
     )

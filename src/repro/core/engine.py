@@ -48,6 +48,7 @@ from repro.match.interface import Matcher, create_matcher
 from repro.metrics.timers import PhaseTimer
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.profile import (
+    MATCH_OPS,
     RULE_CANDIDATES,
     RULE_EVAL_SECONDS,
     RULE_FIRINGS,
@@ -76,6 +77,10 @@ class EngineConfig:
 
     matcher: str = "rete"
     meta_matcher: str = "rete"
+    #: Hash-indexed join kernel (indexed alpha memories + join planning)
+    #: for the enumerator-based matchers; ``False`` is the ``--no-index``
+    #: nested-loop escape hatch. Semantics are identical either way.
+    indexed_match: bool = True
     interference: InterferencePolicy = InterferencePolicy.ERROR
     dedupe_makes: bool = True
     max_cycles: int = 100_000
@@ -196,7 +201,11 @@ class ParulelEngine:
             matcher_options["tracer"] = self.tracer
             matcher_options["metrics"] = self.metrics
         self.matcher: Matcher = create_matcher(
-            self.config.matcher, program.rules, self.wm, **matcher_options
+            self.config.matcher,
+            program.rules,
+            self.wm,
+            indexed=self.config.indexed_match,
+            **matcher_options,
         )
         self.meta = MetaLevel(
             program.meta_rules,
@@ -204,11 +213,14 @@ class ParulelEngine:
             self.evaluator,
             matcher_name=self.config.meta_matcher,
             max_meta_cycles=self.config.max_meta_cycles,
+            indexed=self.config.indexed_match,
         )
         self.trace = trace
         self.provenance: Optional[ProvenanceTracker] = (
             ProvenanceTracker() if self.config.track_provenance else None
         )
+        #: Last-seen matcher op totals, for per-cycle MATCH_OPS deltas.
+        self._last_match_ops: Counter = Counter()
         self.fired: Set[InstKey] = set()
         self.output: List[str] = []
         self.reports: List[CycleReport] = []
@@ -398,6 +410,14 @@ class ParulelEngine:
                 metrics.inc(RULE_FIRINGS, fired, rule=rule)
             if n - fired:
                 metrics.inc(RULE_REDACTIONS, n - fired, rule=rule)
+        stats = getattr(self.matcher, "stats", None)
+        if stats is not None:
+            snap = stats.snapshot()
+            for op, total in snap.items():
+                delta = total - self._last_match_ops.get(op, 0)
+                if delta:
+                    metrics.inc(MATCH_OPS, delta, op=op)
+            self._last_match_ops = snap
 
     def _drain_matcher_faults(self) -> List[FaultEvent]:
         """Collect fault/recovery events the match backend accumulated

@@ -111,6 +111,7 @@ class MetaLevel:
         evaluator: ActionEvaluator,
         matcher_name: str = "rete",
         max_meta_cycles: int = 1000,
+        indexed: bool = True,
     ) -> None:
         self.meta_rules = tuple(meta_rules)
         self.wm = wm
@@ -119,7 +120,9 @@ class MetaLevel:
         self.halt_requested = False
         self.writes: List[str] = []
         self.matcher: Optional[Matcher] = (
-            create_matcher(matcher_name, self.meta_rules, wm) if self.meta_rules else None
+            create_matcher(matcher_name, self.meta_rules, wm, indexed=indexed)
+            if self.meta_rules
+            else None
         )
 
     @property

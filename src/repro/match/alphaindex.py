@@ -1,0 +1,198 @@
+"""Hash-indexed alpha memories shared by the enumerating matchers.
+
+An :class:`IndexedMemory` is an insertion-ordered set of WMEs that lazily
+builds hash indexes keyed by attribute tuples — the attributes that appear
+in downstream equality join tests. ``probe(attrs, values)`` then returns
+the bucket of WMEs whose attributes equal ``values`` instead of the whole
+memory, and the enumerator only filters that bucket with the remaining
+(non-equality) tests.
+
+Order is the load-bearing invariant: memories are fed in timestamp order
+(working-memory replay and listener order), buckets preserve insertion
+order, so probing yields exactly the subsequence a full scan would. That is
+what keeps the indexed enumeration byte-identical to the nested-loop path —
+the differential tests enforce it.
+
+Two front-ends feed the enumerator:
+
+:class:`AlphaCache`
+    shared, lazily-primed memories over a :class:`~repro.wm.memory.WorkingMemory`
+    — used by :class:`~repro.match.naive.NaiveMatcher` (replacing the
+    re-filter-per-request ``default_alpha_source``) and, held persistently,
+    by the threaded/process match pools (worker side rebuilt from shipped
+    deltas via the replica WM's listener);
+:class:`MemoryTable`
+    a thin adapter over an existing ``AlphaKey -> IndexedMemory`` dict —
+    TREAT's retained alpha memories.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.match.compile import AlphaKey, CompiledCE, alpha_test_passes
+from repro.match.stats import MatchStats
+from repro.wm.memory import WorkingMemory
+from repro.wm.wme import WME
+
+__all__ = ["IndexedMemory", "AlphaCache", "MemoryTable"]
+
+#: An index key: the probed attribute names, in probe order.
+IndexAttrs = Tuple[str, ...]
+
+
+class IndexedMemory:
+    """Insertion-ordered WME set with lazily-built hash indexes.
+
+    Each index maps an attribute tuple to ``values-tuple -> ordered bucket``.
+    Indexes are built on first probe of that attribute tuple and maintained
+    incrementally afterwards. Buckets are insertion-ordered dicts, so a
+    probe returns the same subsequence a scan of :attr:`wmes` would.
+
+    Thread note: concurrent lazy builds (threaded pool) each construct a
+    complete local index before installing it, so readers only ever see a
+    finished index; duplicate builds produce identical contents and the
+    last install wins.
+    """
+
+    __slots__ = ("wmes", "_indexes")
+
+    def __init__(self) -> None:
+        #: Ordered set of member WMEs (values unused — membership + order).
+        self.wmes: Dict[WME, None] = {}
+        self._indexes: Dict[IndexAttrs, Dict[Tuple, Dict[WME, None]]] = {}
+
+    def add(self, wme: WME) -> None:
+        self.wmes[wme] = None
+        for attrs, index in self._indexes.items():
+            key = tuple(wme.get(a) for a in attrs)
+            bucket = index.get(key)
+            if bucket is None:
+                bucket = index[key] = {}
+            bucket[wme] = None
+
+    def remove(self, wme: WME) -> bool:
+        """Drop ``wme``; returns whether it was a member."""
+        if wme not in self.wmes:
+            return False
+        del self.wmes[wme]
+        for attrs, index in self._indexes.items():
+            key = tuple(wme.get(a) for a in attrs)
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.pop(wme, None)
+                if not bucket:
+                    del index[key]
+        return True
+
+    def probe(self, attrs: IndexAttrs, values: Tuple) -> Sequence[WME]:
+        """WMEs whose ``attrs`` equal ``values``, in insertion order."""
+        index = self._indexes.get(attrs)
+        if index is None:
+            index = {}
+            for wme in self.wmes:
+                key = tuple(wme.get(a) for a in attrs)
+                bucket = index.get(key)
+                if bucket is None:
+                    bucket = index[key] = {}
+                bucket[wme] = None
+            self._indexes[attrs] = index
+        bucket = index.get(values)
+        return tuple(bucket) if bucket else ()
+
+    @property
+    def index_count(self) -> int:
+        return len(self._indexes)
+
+    def __contains__(self, wme: WME) -> bool:
+        return wme in self.wmes
+
+    def __len__(self) -> int:
+        return len(self.wmes)
+
+    def __iter__(self) -> Iterator[WME]:
+        return iter(self.wmes)
+
+
+class MemoryTable:
+    """Adapter exposing an ``AlphaKey -> IndexedMemory`` dict (TREAT's
+    retained memories) as an enumerator alpha source."""
+
+    __slots__ = ("_mems",)
+
+    def __init__(self, mems: Dict[AlphaKey, IndexedMemory]) -> None:
+        self._mems = mems
+
+    def memory(self, ce: CompiledCE) -> IndexedMemory:
+        return self._mems[ce.alpha_key]
+
+
+class AlphaCache:
+    """Shared alpha memories over a working memory, lazily primed.
+
+    ``memory(ce)`` returns the :class:`IndexedMemory` for the CE's alpha
+    key, building it from the current WM contents on first request (in
+    timestamp order). Afterwards the cache must be kept current — either
+    by calling :meth:`apply` from the owner's own WM listener (the naive
+    matcher does this so replay and live updates share one path) or by
+    :meth:`attach`-ing the cache's own listener (the match pools do).
+
+    ``alpha_tests`` are bumped once per WME per alpha pattern at prime time
+    and on each relevant add — not per enumeration request — and carry no
+    per-rule attribution: the memories are shared across rules, so there is
+    no single rule to charge (see :mod:`repro.match.stats`).
+    """
+
+    def __init__(self, wm: WorkingMemory, stats: Optional[MatchStats] = None) -> None:
+        self.wm = wm
+        self.stats = stats
+        self._mems: Dict[AlphaKey, IndexedMemory] = {}
+        self._keys_by_class: Dict[str, List[AlphaKey]] = {}
+        self._attached = False
+
+    # -- enumerator protocol -------------------------------------------------
+
+    def memory(self, ce: CompiledCE) -> IndexedMemory:
+        key = ce.alpha_key
+        mem = self._mems.get(key)
+        if mem is None:
+            mem = IndexedMemory()
+            for wme in self.wm.by_class(ce.class_name):
+                if self.stats is not None:
+                    self.stats.bump("alpha_tests")
+                if alpha_test_passes(ce.alpha_conds, wme):
+                    mem.add(wme)
+            self._mems[key] = mem
+            self._keys_by_class.setdefault(ce.class_name, []).append(key)
+        return mem
+
+    # -- maintenance ---------------------------------------------------------
+
+    def apply(self, wme: WME, added: bool) -> None:
+        """Incorporate one WM event into every already-primed memory.
+
+        Memories not yet primed pick the WME up at prime time instead.
+        """
+        for key in self._keys_by_class.get(wme.class_name, ()):
+            mem = self._mems[key]
+            if added:
+                if self.stats is not None:
+                    self.stats.bump("alpha_tests")
+                if alpha_test_passes(key[1], wme):
+                    mem.add(wme)
+            else:
+                mem.remove(wme)
+
+    def _listener(self, wme: WME, added: bool) -> None:
+        self.apply(wme, added)
+
+    def attach(self) -> None:
+        """Subscribe to the working memory's add/remove events."""
+        if not self._attached:
+            self.wm.add_listener(self._listener)
+            self._attached = True
+
+    def detach(self) -> None:
+        if self._attached:
+            self.wm.remove_listener(self._listener)
+            self._attached = False

@@ -28,7 +28,7 @@ by an earlier (or textually earlier within the same) positive CE, otherwise
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import MatchError
@@ -48,6 +48,7 @@ __all__ = [
     "AlphaKey",
     "CompiledCE",
     "CompiledRule",
+    "JoinPlan",
     "compile_rule",
     "compile_rules",
     "alpha_test_passes",
@@ -121,6 +122,12 @@ class CompiledCE:
     join_tests: Tuple[Tuple[str, str, str], ...]
     #: Position of this CE in the rule (0-based, counting negated CEs).
     index: int
+    #: Extra WME-local conditions produced when the CE was re-classified for
+    #: a :class:`JoinPlan` visit order (e.g. a join test that became an
+    #: intra-CE comparison because its binder moved later). They are *not*
+    #: part of :attr:`alpha_key` — the alpha memory is shared with the
+    #: identity classification — and are applied as post-probe filters.
+    local_conds: Tuple[AlphaCond, ...] = ()
 
     @property
     def alpha_key(self) -> AlphaKey:
@@ -157,15 +164,60 @@ def alpha_test_passes(conds: Sequence[AlphaCond], wme: WME) -> bool:
 
 
 @dataclass(frozen=True)
+class JoinPlan:
+    """A deterministic CE visit order for the join enumerator.
+
+    ``order[p]`` is the *original* index of the CE visited at position ``p``;
+    ``ces[p]`` is that CE re-classified for this visit order (bindings and
+    join tests flip to match what is bound when it is reached). The alpha
+    conds of each re-classified CE are pinned to the identity classification
+    so alpha memories stay shared; order-induced extras live in
+    :attr:`CompiledCE.local_conds`.
+
+    Plans never change semantics: the enumerator restores the original CE
+    positions in each instantiation and sorts results into the order the
+    identity (left-to-right) enumeration would have produced.
+    """
+
+    #: Original CE indexes in visit order (a permutation of ``range(n)``).
+    order: Tuple[int, ...]
+    #: The re-classified CEs, one per visit position.
+    ces: Tuple[CompiledCE, ...]
+
+
+@dataclass(frozen=True)
 class CompiledRule:
-    """A rule plus its compiled condition elements."""
+    """A rule plus its compiled condition elements.
+
+    :attr:`ces` is always the identity (left-to-right) classification —
+    matchers that key alpha memories or beta networks off it see exactly
+    what they always did. :attr:`plan` and :attr:`seeded_plans` are
+    optional join-order improvements the enumerator may use; they are
+    derived data and excluded from equality.
+    """
 
     rule: Rule
     ces: Tuple[CompiledCE, ...]
+    #: Most-bound-first visit order for full enumeration (``None`` when the
+    #: identity order is already the planned order).
+    plan: Optional[JoinPlan] = field(default=None, compare=False, repr=False)
+    #: Per-positive-CE plans that visit that CE first (or as early as its
+    #: bindings allow) — used when the enumerator pins a CE to one WME
+    #: (TREAT's delta seeding). Indexed by original CE index; ``None`` for
+    #: negated CEs and where identity is already optimal.
+    seeded_plans: Tuple[Optional[JoinPlan], ...] = field(
+        default=(), compare=False, repr=False
+    )
 
     @property
     def name(self) -> str:
         return self.rule.name
+
+    def seeded_plan(self, index: int) -> Optional[JoinPlan]:
+        """Plan for enumeration pinned at original CE ``index`` (or None)."""
+        if 0 <= index < len(self.seeded_plans):
+            return self.seeded_plans[index]
+        return None
 
     @property
     def positive_ces(self) -> Tuple[CompiledCE, ...]:
@@ -197,70 +249,204 @@ def _flatten_test(test) -> List:
     return [test]
 
 
-def compile_rule(rule: Rule) -> CompiledRule:
+def _classify_ce(
+    rule: Rule,
+    idx: int,
+    bound: Dict[str, Tuple[int, str]],
+    pinned_alpha: Optional[Tuple[AlphaCond, ...]] = None,
+) -> CompiledCE:
+    """Classify condition element ``idx`` given the variables already bound.
+
+    Mutates ``bound`` with this CE's new bindings (only on success — a
+    :class:`~repro.errors.MatchError` leaves it untouched, so planners can
+    probe eligibility with a throwaway copy).
+
+    With ``pinned_alpha`` (the identity classification's alpha conds for
+    this CE), the produced :attr:`~CompiledCE.alpha_conds` are pinned to it
+    — keeping the alpha key, and thus the shared alpha memory, stable under
+    re-ordering — and any order-induced extra conds are routed to
+    :attr:`~CompiledCE.local_conds`. Identity conds the re-classification
+    did not reproduce are implied by alpha-memory membership, so nothing is
+    lost.
+    """
+    ce = rule.conditions[idx]
+    alpha: List[AlphaCond] = []
+    bindings: List[Tuple[str, str]] = []
+    join_tests: List[Tuple[str, str, str]] = []
+    bound_here: Dict[str, str] = {}  # var -> attr bound within this CE
+
+    def resolve_var_test(attr: str, op: str, var: str) -> None:
+        """Classify a variable occurrence with predicate ``op``."""
+        if var in bound_here:
+            if op == "=" and bound_here[var] == attr:
+                return  # redundant self-comparison
+            alpha.append(("intra", attr, op, bound_here[var]))
+        elif var in bound:
+            join_tests.append((attr, op, var))
+        elif op == "=" and not ce.negated:
+            bindings.append((attr, var))
+            bound_here[var] = attr
+        else:
+            where = "negated condition" if ce.negated else "predicate"
+            raise MatchError(
+                f"rule {rule.name!r}, condition {idx + 1}: variable <{var}> "
+                f"used in a {where} before being bound by an earlier "
+                f"positive condition"
+            )
+
+    for attr, test in ce.tests:
+        for atom in _flatten_test(test):
+            if isinstance(atom, ConstantTest):
+                alpha.append(("const", attr, "=", atom.value))
+            elif isinstance(atom, DisjunctionTest):
+                alpha.append(("in", attr, atom.alternatives))
+            elif isinstance(atom, VariableTest):
+                resolve_var_test(attr, "=", atom.name)
+            elif isinstance(atom, PredicateTest):
+                if isinstance(atom.operand, ConstantTest):
+                    alpha.append(("const", attr, atom.predicate, atom.operand.value))
+                else:
+                    resolve_var_test(attr, atom.predicate, atom.operand.name)
+            else:  # pragma: no cover - parser prevents this
+                raise MatchError(f"unsupported test {atom!r}")
+
+    for var, attr in bound_here.items():
+        bound[var] = (idx, attr)
+
+    if pinned_alpha is None:
+        alpha_conds = tuple(sorted(alpha, key=repr))
+        local_conds: Tuple[AlphaCond, ...] = ()
+    else:
+        alpha_conds = pinned_alpha
+        known = set(pinned_alpha)
+        local_conds = tuple(sorted((c for c in alpha if c not in known), key=repr))
+
+    return CompiledCE(
+        class_name=ce.class_name,
+        negated=ce.negated,
+        alpha_conds=alpha_conds,
+        bindings=tuple(bindings),
+        join_tests=tuple(join_tests),
+        index=idx,
+        local_conds=local_conds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Join planning
+# ---------------------------------------------------------------------------
+
+
+def _tightness(identity_ce: CompiledCE, bound: Dict[str, Tuple[int, str]]) -> int:
+    """How many of this CE's variable occurrences reference already-planned
+    bindings — the 'most-bound-first' half of the planner's score."""
+    t = sum(1 for _attr, var in identity_ce.bindings if var in bound)
+    t += sum(1 for _attr, _op, var in identity_ce.join_tests if var in bound)
+    return t
+
+
+def _plan_rule(
+    rule: Rule,
+    identity: Tuple[CompiledCE, ...],
+    pinned: Optional[int],
+) -> Optional[JoinPlan]:
+    """Greedy join plan: positive CEs most-bound-first (ties: more alpha
+    conds as a selectivity proxy, then lowest original index), negated CEs
+    floated to the earliest point all their variables are bound. With
+    ``pinned``, that CE is visited first (or as early as its own variable
+    uses allow) — the shape delta-seeded enumeration wants.
+
+    Returns ``None`` when the chosen order is the identity order (no plan
+    needed). Deterministic: a pure function of the rule.
+    """
+    n = len(identity)
+    if n <= 1:
+        return None
+    by_idx = {ce.index: ce for ce in identity}
+    remaining_pos = [ce.index for ce in identity if not ce.negated]
+    remaining_neg = [ce.index for ce in identity if ce.negated]
+    bound: Dict[str, Tuple[int, str]] = {}
+    order: List[int] = []
+    ces: List[CompiledCE] = []
+
+    def try_place(idx: int) -> bool:
+        trial = dict(bound)
+        try:
+            cce = _classify_ce(rule, idx, trial, pinned_alpha=by_idx[idx].alpha_conds)
+        except MatchError:
+            return False  # references a variable not yet bound in this order
+        bound.clear()
+        bound.update(trial)
+        order.append(idx)
+        ces.append(cce)
+        return True
+
+    def flush_negatives() -> None:
+        progress = True
+        while progress:
+            progress = False
+            for idx in list(remaining_neg):
+                if try_place(idx):
+                    remaining_neg.remove(idx)
+                    progress = True
+
+    if pinned is not None and try_place(pinned):
+        remaining_pos.remove(pinned)
+    flush_negatives()
+    while remaining_pos:
+        scored = sorted(
+            remaining_pos,
+            key=lambda idx: (
+                _tightness(by_idx[idx], bound),
+                len(by_idx[idx].alpha_conds),
+                -idx,
+            ),
+            reverse=True,
+        )
+        if pinned is not None and pinned in remaining_pos:
+            # Keep trying to front-load the pinned CE until it fits.
+            scored.remove(pinned)
+            scored.insert(0, pinned)
+        for idx in scored:
+            if try_place(idx):
+                remaining_pos.remove(idx)
+                break
+        else:  # pragma: no cover - the lowest unplaced index always fits
+            return None
+        flush_negatives()
+
+    if len(order) != n:  # pragma: no cover - negated CEs always place last
+        return None
+    if order == sorted(order):
+        return None  # identity order: the plain classification suffices
+    return JoinPlan(order=tuple(order), ces=tuple(ces))
+
+
+def compile_rule(rule: Rule, plan: bool = True) -> CompiledRule:
     """Compile one rule's LHS; raises :class:`~repro.errors.MatchError` on
-    binding-order violations (forward references, binding inside negation)."""
+    binding-order violations (forward references, binding inside negation).
+
+    With ``plan`` (the default), also derives the join plans the indexed
+    enumerator uses; ``plan=False`` skips them (identity classification
+    only, byte-identical to the historical compiler output).
+    """
     bound: Dict[str, Tuple[int, str]] = {}  # var -> (ce index, attr) of binder
     compiled: List[CompiledCE] = []
-
-    for idx, ce in enumerate(rule.conditions):
-        alpha: List[AlphaCond] = []
-        bindings: List[Tuple[str, str]] = []
-        join_tests: List[Tuple[str, str, str]] = []
-        bound_here: Dict[str, str] = {}  # var -> attr bound within this CE
-
-        def resolve_var_test(attr: str, op: str, var: str) -> None:
-            """Classify a variable occurrence with predicate ``op``."""
-            if var in bound_here:
-                if op == "=" and bound_here[var] == attr:
-                    return  # redundant self-comparison
-                alpha.append(("intra", attr, op, bound_here[var]))
-            elif var in bound:
-                join_tests.append((attr, op, var))
-            elif op == "=" and not ce.negated:
-                bindings.append((attr, var))
-                bound_here[var] = attr
-            else:
-                where = "negated condition" if ce.negated else "predicate"
-                raise MatchError(
-                    f"rule {rule.name!r}, condition {idx + 1}: variable <{var}> "
-                    f"used in a {where} before being bound by an earlier "
-                    f"positive condition"
-                )
-
-        for attr, test in ce.tests:
-            for atom in _flatten_test(test):
-                if isinstance(atom, ConstantTest):
-                    alpha.append(("const", attr, "=", atom.value))
-                elif isinstance(atom, DisjunctionTest):
-                    alpha.append(("in", attr, atom.alternatives))
-                elif isinstance(atom, VariableTest):
-                    resolve_var_test(attr, "=", atom.name)
-                elif isinstance(atom, PredicateTest):
-                    if isinstance(atom.operand, ConstantTest):
-                        alpha.append(("const", attr, atom.predicate, atom.operand.value))
-                    else:
-                        resolve_var_test(attr, atom.predicate, atom.operand.name)
-                else:  # pragma: no cover - parser prevents this
-                    raise MatchError(f"unsupported test {atom!r}")
-
-        for var, attr in bound_here.items():
-            bound[var] = (idx, attr)
-
-        compiled.append(
-            CompiledCE(
-                class_name=ce.class_name,
-                negated=ce.negated,
-                alpha_conds=tuple(sorted(alpha, key=repr)),
-                bindings=tuple(bindings),
-                join_tests=tuple(join_tests),
-                index=idx,
-            )
-        )
+    for idx in range(len(rule.conditions)):
+        compiled.append(_classify_ce(rule, idx, bound))
 
     if compiled and compiled[0].negated:
         raise MatchError(f"rule {rule.name!r}: first condition element is negated")
-    return CompiledRule(rule=rule, ces=tuple(compiled))
+    ces = tuple(compiled)
+    join_plan: Optional[JoinPlan] = None
+    seeded: Tuple[Optional[JoinPlan], ...] = ()
+    if plan:
+        join_plan = _plan_rule(rule, ces, None)
+        seeded = tuple(
+            _plan_rule(rule, ces, ce.index) if not ce.negated else None
+            for ce in ces
+        )
+    return CompiledRule(rule=rule, ces=ces, plan=join_plan, seeded_plans=seeded)
 
 
 def compile_rules(rules: Sequence[Rule]) -> Tuple[CompiledRule, ...]:

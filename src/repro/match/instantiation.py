@@ -107,23 +107,61 @@ class Instantiation:
 
 
 class ConflictSet:
-    """Insertion-ordered set of instantiations keyed by identity."""
+    """Insertion-ordered set of instantiations keyed by identity.
+
+    Secondary indexes by participating WME and by rule name make
+    :meth:`remove_with_wme` and :meth:`of_rule` proportional to the
+    returned instantiations rather than the retained set — the hot paths
+    of TREAT's churn handling. Both preserve conflict-set insertion order
+    (index buckets are insertion-ordered dicts).
+    """
 
     def __init__(self) -> None:
         self._by_key: Dict[InstKey, Instantiation] = {}
+        self._by_rule: Dict[str, Dict[InstKey, Instantiation]] = {}
+        self._by_wme: Dict[WME, Dict[InstKey, Instantiation]] = {}
 
     def add(self, inst: Instantiation) -> bool:
         """Insert; returns False if an equal instantiation is present."""
         if inst.key in self._by_key:
             return False
         self._by_key[inst.key] = inst
+        rule_bucket = self._by_rule.get(inst.rule.name)
+        if rule_bucket is None:
+            rule_bucket = self._by_rule[inst.rule.name] = {}
+        rule_bucket[inst.key] = inst
+        for wme in inst.wmes:
+            if wme is not None:
+                wme_bucket = self._by_wme.get(wme)
+                if wme_bucket is None:
+                    wme_bucket = self._by_wme[wme] = {}
+                wme_bucket[inst.key] = inst
         return True
+
+    def _unlink(self, inst: Instantiation) -> None:
+        """Drop ``inst`` from the secondary indexes."""
+        rule_bucket = self._by_rule.get(inst.rule.name)
+        if rule_bucket is not None:
+            rule_bucket.pop(inst.key, None)
+            if not rule_bucket:
+                del self._by_rule[inst.rule.name]
+        for wme in inst.wmes:
+            if wme is not None:
+                wme_bucket = self._by_wme.get(wme)
+                if wme_bucket is not None:
+                    wme_bucket.pop(inst.key, None)
+                    if not wme_bucket:
+                        del self._by_wme[wme]
 
     def remove(self, inst: Instantiation) -> None:
         del self._by_key[inst.key]
+        self._unlink(inst)
 
     def discard_key(self, key: InstKey) -> Optional[Instantiation]:
-        return self._by_key.pop(key, None)
+        inst = self._by_key.pop(key, None)
+        if inst is not None:
+            self._unlink(inst)
+        return inst
 
     def get(self, key: InstKey) -> Optional[Instantiation]:
         return self._by_key.get(key)
@@ -139,17 +177,26 @@ class ConflictSet:
 
     def clear(self) -> None:
         self._by_key.clear()
+        self._by_rule.clear()
+        self._by_wme.clear()
 
     def instantiations(self) -> List[Instantiation]:
         """Stable snapshot, in insertion order."""
         return list(self._by_key.values())
 
     def remove_with_wme(self, wme: WME) -> List[Instantiation]:
-        """Drop every instantiation that matched ``wme``; return them."""
-        victims = [inst for inst in self._by_key.values() if inst.uses(wme)]
+        """Drop every instantiation that matched ``wme``; return them
+        (in conflict-set insertion order)."""
+        bucket = self._by_wme.pop(wme, None)
+        if not bucket:
+            return []
+        victims = list(bucket.values())
         for inst in victims:
             del self._by_key[inst.key]
+            self._unlink(inst)
         return victims
 
     def of_rule(self, rule_name: str) -> List[Instantiation]:
-        return [i for i in self._by_key.values() if i.rule.name == rule_name]
+        """Retained instantiations of one rule, in insertion order."""
+        bucket = self._by_rule.get(rule_name)
+        return list(bucket.values()) if bucket else []

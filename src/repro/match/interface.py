@@ -33,7 +33,13 @@ class Matcher(abc.ABC):
     #: Human-readable engine name (used in reports and ``create_matcher``).
     name: str = "abstract"
 
-    def __init__(self, rules: Sequence[Rule], wm: WorkingMemory) -> None:
+    def __init__(
+        self, rules: Sequence[Rule], wm: WorkingMemory, indexed: bool = True
+    ) -> None:
+        #: Hash-indexed alpha memories + join planning on (default) or the
+        #: historical nested-loop path (``--no-index``). Same conflict sets
+        #: either way; RETE — always hash-joined — ignores it.
+        self.indexed = indexed
         self.compiled: tuple[CompiledRule, ...] = compile_rules(rules)
         self.wm = wm
         self.stats = MatchStats()
@@ -100,6 +106,7 @@ def create_matcher(
     assignment=None,
     tracer=None,
     metrics=None,
+    indexed: bool = True,
 ) -> Matcher:
     """Instantiate a match engine by name (``rete``, ``treat``, ``naive`` or
     ``process``/``process:N`` for the multiprocessing fan-out).
@@ -112,6 +119,11 @@ def create_matcher(
     :class:`~repro.parallel.partition.Assignment`) apply only to the
     ``process`` backend; passing them for a serial engine is an error
     rather than a silent no-op.
+
+    ``indexed`` is likewise cross-cutting: it selects the hash-indexed
+    join kernel (default) or the nested-loop escape hatch (``--no-index``)
+    for the enumerator-based engines, and is accepted — and ignored — by
+    RETE, whose beta network is always hash-joined.
 
     ``tracer`` / ``metrics`` (:mod:`repro.obs`) are cross-cutting and
     accepted for every backend: the process pool uses them to record
@@ -147,6 +159,7 @@ def create_matcher(
             fault_plan=fault_plan,
             tracer=tracer,
             metrics=metrics,
+            indexed=indexed,
         )
 
     if (
@@ -172,4 +185,4 @@ def create_matcher(
         raise ValueError(
             f"unknown match engine {engine!r} (choose from {MATCHER_NAMES})"
         ) from None
-    return cls(rules, wm)
+    return cls(rules, wm, indexed=indexed)

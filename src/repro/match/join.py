@@ -2,8 +2,8 @@
 
 This is the semantic core shared by :class:`~repro.match.naive.NaiveMatcher`
 (full enumeration) and :class:`~repro.match.treat.TreatMatcher` (delta-seeded
-enumeration): walk the condition elements left to right, extending a set of
-partial environments, checking negated CEs by absence.
+enumeration): walk the condition elements, extending a set of partial
+environments, checking negated CEs by absence.
 
 Two seeding mechanisms make it reusable:
 
@@ -14,9 +14,23 @@ Two seeding mechanisms make it reusable:
     pre-bind variables — used when a WME matching a *negated* CE is
     retracted and we must discover the instantiations it was blocking.
 
-``alpha_source`` abstracts where candidate WMEs come from, so TREAT can
-supply its retained alpha memories while the naive matcher filters the
-working memory on the fly.
+``alpha_source`` abstracts where candidate WMEs come from. An *indexed*
+source (anything with a ``memory(ce)`` method returning an
+:class:`~repro.match.alphaindex.IndexedMemory` — TREAT's retained memories
+via :class:`~repro.match.alphaindex.MemoryTable`, or a shared
+:class:`~repro.match.alphaindex.AlphaCache`) unlocks the hash-join path:
+equality join tests whose variables are already bound become bucket probes
+instead of memory scans, and the CE visit order follows the rule's
+:class:`~repro.match.compile.JoinPlan`. A plain callable source (legacy
+protocol) or ``indexed=False`` runs the historical nested-loop enumeration,
+byte for byte.
+
+Determinism: indexed memories preserve timestamp (insertion) order in every
+bucket, and planned enumerations are sorted back into the order the
+identity left-to-right enumeration yields (ascending lexicographic per-CE
+timestamp tuples) — so conflict-set insertion order, and therefore firing
+order and final WM, are identical with indexing on or off. Differential
+tests enforce this.
 """
 
 from __future__ import annotations
@@ -24,6 +38,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.lang.ast import Value
+from repro.match.alphaindex import AlphaCache
 from repro.match.compile import (
     CompiledCE,
     CompiledRule,
@@ -42,12 +57,17 @@ AlphaSource = Callable[[CompiledCE], Iterable[WME]]
 
 
 def default_alpha_source(wm: WorkingMemory, stats: Optional[MatchStats] = None, rule: str = "") -> AlphaSource:
-    """Alpha source that filters the working memory on every request."""
+    """Alpha source that filters the working memory on every request.
+
+    ``alpha_tests`` are bumped globally, never per rule — consistent with
+    every other alpha layer (shared memories have no single rule to charge).
+    The ``rule`` parameter is retained for signature compatibility.
+    """
 
     def source(ce: CompiledCE) -> Iterator[WME]:
         for wme in wm.by_class(ce.class_name):
             if stats is not None:
-                stats.bump("alpha_tests", rule)
+                stats.bump("alpha_tests")
             if alpha_test_passes(ce.alpha_conds, wme):
                 yield wme
 
@@ -59,6 +79,21 @@ def join_tests_pass(ce: CompiledCE, wme: WME, env: Env) -> bool:
     for attr, op, var in ce.join_tests:
         if not value_predicate(op, wme.get(attr), env[var]):
             return False
+    return True
+
+
+def _residual_pass(
+    ce: CompiledCE,
+    wme: WME,
+    env: Env,
+    residual: Tuple[Tuple[str, str, str], ...],
+) -> bool:
+    """Tests left after a hash probe: non-probed join tests + local conds."""
+    for attr, op, var in residual:
+        if not value_predicate(op, wme.get(attr), env[var]):
+            return False
+    if ce.local_conds and not alpha_test_passes(ce.local_conds, wme):
+        return False
     return True
 
 
@@ -83,6 +118,10 @@ def _extend_env(ce: CompiledCE, wme: WME, env: Env) -> Optional[Env]:
     return new_env if new_env is not None else env
 
 
+def _ts(wme: Optional[WME]) -> int:
+    return (wme.timestamp or 0) if wme is not None else 0
+
+
 def enumerate_matches(
     compiled: CompiledRule,
     wm: WorkingMemory,
@@ -90,63 +129,203 @@ def enumerate_matches(
     fixed: Optional[Tuple[int, WME]] = None,
     seed_env: Optional[Env] = None,
     alpha_source: Optional[AlphaSource] = None,
+    indexed: bool = True,
 ) -> Iterator[Instantiation]:
     """Yield every instantiation of ``compiled`` consistent with the seeds.
 
     ``fixed=(i, wme)`` pins 0-based CE index ``i`` (which must be positive)
     to ``wme``; the WME is still alpha- and join-tested, so passing a WME
     that does not actually match yields nothing rather than nonsense.
+
+    With ``indexed`` (the default) and no legacy-callable ``alpha_source``,
+    enumeration follows the rule's join plan and probes hash buckets;
+    ``indexed=False`` reproduces the nested-loop scan exactly (the
+    ``--no-index`` ablation path).
     """
     rule_name = compiled.name
-    source = alpha_source or default_alpha_source(wm, stats, rule_name)
+    src = None  # indexed source: has .memory(ce) -> IndexedMemory
+    legacy: Optional[AlphaSource] = None
+    if alpha_source is None:
+        if indexed:
+            src = AlphaCache(wm, stats)  # transient, lazily primed
+        else:
+            legacy = default_alpha_source(wm, stats, rule_name)
+    elif hasattr(alpha_source, "memory"):
+        src = alpha_source
+    else:
+        legacy = alpha_source
 
-    # Each partial: (env, wmes) where wmes has one entry per CE so far.
+    use_index = indexed and src is not None
+    plan = None
+    if use_index:
+        if fixed is not None:
+            plan = compiled.seeded_plan(fixed[0])
+        if plan is None:
+            plan = compiled.plan
+    ces = plan.ces if plan is not None else compiled.ces
+
+    # Each partial: (env, wmes) where wmes has one entry per CE visited so
+    # far (in visit order; restored to rule order at the end under a plan).
     partials: List[Tuple[Env, Tuple[Optional[WME], ...]]] = [
         (dict(seed_env) if seed_env else {}, ())
     ]
 
-    for ce in compiled.ces:
+    for ce in ces:
         if not partials:
             return
+        mem = src.memory(ce) if src is not None else None
+        # All partials at one visit position share the same bound-variable
+        # set, so the probe key shape is computed once from the first.
+        env0 = partials[0][0]
+        probe_pairs: Tuple[Tuple[str, str], ...] = ()
+        if use_index:
+            probe_pairs = tuple(
+                (attr, var)
+                for attr, op, var in ce.join_tests
+                if op == "=" and var in env0
+            )
+            if not ce.negated and not (fixed is not None and fixed[0] == ce.index):
+                # Pre-seeded bindings act as equality constraints too.
+                probe_pairs += tuple(
+                    (attr, var) for attr, var in ce.bindings if var in env0
+                )
+        if probe_pairs:
+            probe_attrs = tuple(attr for attr, _var in probe_pairs)
+            probe_vars = tuple(var for _attr, var in probe_pairs)
+            probed = set(probe_pairs)
+            residual = tuple(
+                t for t in ce.join_tests
+                if not (t[1] == "=" and (t[0], t[2]) in probed)
+            )
+
         next_partials: List[Tuple[Env, Tuple[Optional[WME], ...]]] = []
         if ce.negated:
-            candidates = list(source(ce))
-            for env, wmes in partials:
-                blocked = False
-                for wme in candidates:
+            if probe_pairs:
+                for env, wmes in partials:
                     if stats is not None:
-                        stats.bump("join_checks", rule_name)
-                    if join_tests_pass(ce, wme, env):
+                        stats.bump("hash_probes", rule_name)
+                    bucket = mem.probe(
+                        probe_attrs, tuple(env[v] for v in probe_vars)
+                    )
+                    if stats is not None and bucket:
+                        stats.bump("bucket_hits", rule_name, n=len(bucket))
+                    blocked = False
+                    for wme in bucket:
+                        if stats is not None:
+                            stats.bump("join_checks", rule_name)
+                        if _residual_pass(ce, wme, env, residual):
+                            blocked = True
+                            break
+                    if not blocked:
+                        next_partials.append((env, wmes + (None,)))
+            else:
+                # Candidates materialized lazily: if every partial died
+                # upstream (or none survive to need them) the listing is
+                # skipped entirely.
+                candidates: Optional[Tuple[WME, ...]] = None
+                for env, wmes in partials:
+                    if candidates is None:
+                        candidates = (
+                            tuple(mem) if mem is not None else tuple(legacy(ce))
+                        )
+                    blocked = False
+                    for wme in candidates:
+                        if stats is not None:
+                            stats.bump("join_checks", rule_name)
+                        if not join_tests_pass(ce, wme, env):
+                            continue
+                        if ce.local_conds and not alpha_test_passes(
+                            ce.local_conds, wme
+                        ):
+                            continue
                         blocked = True
                         break
-                if not blocked:
-                    next_partials.append((env, wmes + (None,)))
+                    if not blocked:
+                        next_partials.append((env, wmes + (None,)))
         else:
             if fixed is not None and fixed[0] == ce.index:
                 pinned = fixed[1]
-                if pinned.class_name == ce.class_name and alpha_test_passes(
-                    ce.alpha_conds, pinned
+                if (
+                    pinned.class_name == ce.class_name
+                    and alpha_test_passes(ce.alpha_conds, pinned)
+                    and (
+                        not ce.local_conds
+                        or alpha_test_passes(ce.local_conds, pinned)
+                    )
                 ):
-                    candidates = [pinned]
+                    pinned_candidates: Tuple[WME, ...] = (pinned,)
                 else:
-                    candidates = []
+                    pinned_candidates = ()
+                for env, wmes in partials:
+                    for wme in pinned_candidates:
+                        if stats is not None:
+                            stats.bump("join_probes", rule_name)
+                        if not join_tests_pass(ce, wme, env):
+                            continue
+                        new_env = _extend_env(ce, wme, env)
+                        if new_env is None:
+                            continue
+                        if stats is not None:
+                            stats.bump("tokens", rule_name)
+                        next_partials.append((new_env, wmes + (wme,)))
+            elif probe_pairs:
+                for env, wmes in partials:
+                    if stats is not None:
+                        stats.bump("hash_probes", rule_name)
+                    bucket = mem.probe(
+                        probe_attrs, tuple(env[v] for v in probe_vars)
+                    )
+                    if stats is not None and bucket:
+                        stats.bump("bucket_hits", rule_name, n=len(bucket))
+                    for wme in bucket:
+                        if stats is not None:
+                            stats.bump("join_probes", rule_name)
+                        if not _residual_pass(ce, wme, env, residual):
+                            continue
+                        new_env = _extend_env(ce, wme, env)
+                        if new_env is None:
+                            continue
+                        if stats is not None:
+                            stats.bump("tokens", rule_name)
+                        next_partials.append((new_env, wmes + (wme,)))
             else:
-                candidates = list(source(ce))
-            for env, wmes in partials:
-                for wme in candidates:
-                    if stats is not None:
-                        stats.bump("join_probes", rule_name)
-                    if not join_tests_pass(ce, wme, env):
-                        continue
-                    new_env = _extend_env(ce, wme, env)
-                    if new_env is None:
-                        continue
-                    if stats is not None:
-                        stats.bump("tokens", rule_name)
-                    next_partials.append((new_env, wmes + (wme,)))
+                scan = tuple(mem) if mem is not None else tuple(legacy(ce))
+                for env, wmes in partials:
+                    for wme in scan:
+                        if stats is not None:
+                            stats.bump("join_probes", rule_name)
+                        if not join_tests_pass(ce, wme, env):
+                            continue
+                        if ce.local_conds and not alpha_test_passes(
+                            ce.local_conds, wme
+                        ):
+                            continue
+                        new_env = _extend_env(ce, wme, env)
+                        if new_env is None:
+                            continue
+                        if stats is not None:
+                            stats.bump("tokens", rule_name)
+                        next_partials.append((new_env, wmes + (wme,)))
         partials = next_partials
 
+    if plan is None:
+        for env, wmes in partials:
+            if stats is not None:
+                stats.bump("instantiations", rule_name)
+            yield Instantiation(compiled.rule, wmes, env)
+        return
+
+    # Restore original CE positions, then sort into the order the identity
+    # enumeration yields: ascending lexicographic per-CE timestamp tuples.
+    n = len(compiled.ces)
+    restored: List[Tuple[Env, Tuple[Optional[WME], ...]]] = []
     for env, wmes in partials:
+        slots: List[Optional[WME]] = [None] * n
+        for pos, orig_idx in enumerate(plan.order):
+            slots[orig_idx] = wmes[pos]
+        restored.append((env, tuple(slots)))
+    restored.sort(key=lambda item: tuple(_ts(w) for w in item[1]))
+    for env, wmes in restored:
         if stats is not None:
             stats.bump("instantiations", rule_name)
         yield Instantiation(compiled.rule, wmes, env)

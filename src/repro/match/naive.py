@@ -4,12 +4,20 @@ Recomputes every rule's join from scratch whenever the conflict set is
 requested after a working-memory change. O(product of class-bucket sizes)
 per rule — unusable for big programs, invaluable as the semantic oracle:
 property-based tests assert RETE and TREAT always agree with it.
+
+By default recomputation runs over a persistent shared
+:class:`~repro.match.alphaindex.AlphaCache` — alpha memories are filtered
+once and maintained incrementally (``alpha_tests`` drop from
+per-recompute-scan to per-delta), and joins probe hash buckets following
+each rule's join plan. ``indexed=False`` restores the historical
+filter-per-request nested-loop path exactly.
 """
 
 from __future__ import annotations
 
 from typing import List
 
+from repro.match.alphaindex import AlphaCache
 from repro.match.instantiation import Instantiation
 from repro.match.interface import Matcher
 from repro.match.join import enumerate_matches
@@ -25,17 +33,30 @@ class NaiveMatcher(Matcher):
 
     def _build(self) -> None:
         self._dirty = True
+        # Maintained from our own _on_add/_on_remove (the base class replays
+        # pre-existing WMEs through the same path), not a second listener.
+        self._alpha = AlphaCache(self.wm, self.stats) if self.indexed else None
 
     def _on_add(self, wme: WME) -> None:
         self._dirty = True
+        if self._alpha is not None:
+            self._alpha.apply(wme, True)
 
     def _on_remove(self, wme: WME) -> None:
         self._dirty = True
+        if self._alpha is not None:
+            self._alpha.apply(wme, False)
 
     def _recompute(self) -> None:
         self.conflict_set.clear()
         for compiled in self.compiled:
-            for inst in enumerate_matches(compiled, self.wm, self.stats):
+            for inst in enumerate_matches(
+                compiled,
+                self.wm,
+                self.stats,
+                alpha_source=self._alpha,
+                indexed=self.indexed,
+            ):
                 self.conflict_set.add(inst)
         self._dirty = False
 

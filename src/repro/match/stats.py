@@ -15,9 +15,14 @@ Counter semantics (shared vocabulary across engines):
 ``alpha_tests``
     WME-local test evaluations,
 ``join_probes``
-    hash-index probes or nested-loop candidate visits during joins,
+    candidate WME visits at positive CEs during joins (with hash indexing
+    only the probed bucket is visited, so this is the headline win),
 ``join_checks``
-    full join-test evaluations on candidate pairs,
+    candidate WME visits at negated CEs (blocking checks),
+``hash_probes``
+    bucket lookups in the hash-indexed alpha memories,
+``bucket_hits``
+    total candidates returned by those lookups,
 ``tokens``
     partial matches created (RETE beta insertions / TREAT seed extensions),
 ``instantiations``
@@ -26,7 +31,10 @@ Counter semantics (shared vocabulary across engines):
     tokens or instantiations removed due to WME retraction.
 
 Per-rule attribution lives in :attr:`MatchStats.per_rule` under the same
-keys.
+keys — except ``alpha_tests``, which is *never* rule-attributed: alpha
+memories are shared across rules (and, through the alpha cache, across
+matcher requests), so there is no single rule to charge. Every matcher
+bumps it globally only; a stats test asserts this stays consistent.
 """
 
 from __future__ import annotations
@@ -41,6 +49,8 @@ COUNTER_NAMES: Tuple[str, ...] = (
     "alpha_tests",
     "join_probes",
     "join_checks",
+    "hash_probes",
+    "bucket_hits",
     "tokens",
     "instantiations",
     "retractions",

@@ -22,9 +22,10 @@ to maintain beta state when WMEs churn — the regime Ablation A2 measures.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.lang.ast import Value
+from repro.match.alphaindex import IndexedMemory, MemoryTable
 from repro.match.compile import AlphaKey, CompiledCE, CompiledRule, alpha_test_passes
 from repro.match.interface import Matcher
 from repro.match.join import enumerate_matches, join_tests_pass
@@ -34,13 +35,19 @@ __all__ = ["TreatMatcher"]
 
 
 class TreatMatcher(Matcher):
-    """Conflict-set-retaining matcher with alpha memories only."""
+    """Conflict-set-retaining matcher with alpha memories only.
+
+    The retained memories are :class:`~repro.match.alphaindex.IndexedMemory`
+    instances, so the seeded joins probe hash buckets keyed by the delta
+    WME's join values instead of scanning whole memories (``indexed=False``
+    keeps the memories but enumerates with the nested-loop path).
+    """
 
     name = "treat"
 
     def _build(self) -> None:
-        #: alpha pattern -> ordered set of WMEs.
-        self._mems: Dict[AlphaKey, Dict[WME, None]] = {}
+        #: alpha pattern -> indexed, insertion-ordered memory.
+        self._mems: Dict[AlphaKey, IndexedMemory] = {}
         #: class name -> alpha keys to test on each add/remove.
         self._keys_by_class: Dict[str, List[AlphaKey]] = {}
         #: alpha pattern -> (rule, ce) pairs fed by it.
@@ -49,13 +56,11 @@ class TreatMatcher(Matcher):
             for ce in compiled.ces:
                 key = ce.alpha_key
                 if key not in self._mems:
-                    self._mems[key] = {}
+                    self._mems[key] = IndexedMemory()
                     self._keys_by_class.setdefault(ce.class_name, []).append(key)
                     self._subscribers[key] = []
                 self._subscribers[key].append((compiled, ce))
-
-    def _alpha_source(self, ce: CompiledCE) -> Iterable[WME]:
-        return tuple(self._mems[ce.alpha_key])
+        self._alpha = MemoryTable(self._mems)
 
     # -- add -----------------------------------------------------------------
 
@@ -64,9 +69,11 @@ class TreatMatcher(Matcher):
         # matching several CEs is visible to all of them at once.
         hits: List[AlphaKey] = []
         for key in self._keys_by_class.get(wme.class_name, ()):
+            # Global only — alpha memories are shared across rules, so
+            # there is no single rule to attribute the test to.
             self.stats.bump("alpha_tests")
             if alpha_test_passes(key[1], wme):
-                self._mems[key][wme] = None
+                self._mems[key].add(wme)
                 hits.append(key)
         # Phase 2: seeded joins / negation invalidation.
         for key in hits:
@@ -79,13 +86,17 @@ class TreatMatcher(Matcher):
                         self.wm,
                         self.stats,
                         fixed=(ce.index, wme),
-                        alpha_source=self._alpha_source,
+                        alpha_source=self._alpha,
+                        indexed=self.indexed,
                     ):
                         self.conflict_set.add(inst)
 
     def _invalidate_blocked(self, compiled: CompiledRule, ce: CompiledCE, wme: WME) -> None:
         """A WME newly matching a negated CE retracts the instantiations it
-        blocks (those whose environment satisfies the CE's join tests)."""
+        blocks (those whose environment satisfies the CE's join tests).
+
+        ``of_rule`` is index-backed, so this scans only the rule's own
+        retained entries, not the whole conflict set."""
         for inst in self.conflict_set.of_rule(compiled.name):
             self.stats.bump("join_checks", compiled.name)
             if join_tests_pass(ce, wme, inst.env):
@@ -97,9 +108,7 @@ class TreatMatcher(Matcher):
     def _on_remove(self, wme: WME) -> None:
         hits: List[AlphaKey] = []
         for key in self._keys_by_class.get(wme.class_name, ()):
-            mem = self._mems[key]
-            if wme in mem:  # values are None: membership, not pop-default
-                del mem[wme]
+            if self._mems[key].remove(wme):
                 hits.append(key)
         if not hits:
             return
@@ -130,6 +139,7 @@ class TreatMatcher(Matcher):
             self.wm,
             self.stats,
             seed_env=seed,
-            alpha_source=self._alpha_source,
+            alpha_source=self._alpha,
+            indexed=self.indexed,
         ):
             self.conflict_set.add(inst)

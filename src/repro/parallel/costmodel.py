@@ -16,6 +16,9 @@ counter/phase    ticks  charged per
 alpha_tests        1    WME-local test evaluated
 join_probes        2    hash probe / candidate visited
 join_checks        1    non-equality join test evaluated
+hash_probes        1    indexed alpha-memory bucket lookup
+bucket_hits        0    candidate returned by a bucket lookup (free:
+                        already charged as a join probe/check)
 tokens             2    partial match created
 instantiations     3    conflict-set insertion
 retractions        2    token/instantiation removed
@@ -42,6 +45,8 @@ class CostModel:
     alpha_tests: float = 1.0
     join_probes: float = 2.0
     join_checks: float = 1.0
+    hash_probes: float = 1.0
+    bucket_hits: float = 0.0
     tokens: float = 2.0
     instantiations: float = 3.0
     retractions: float = 2.0
@@ -56,6 +61,8 @@ class CostModel:
             self.alpha_tests * counters.get("alpha_tests", 0)
             + self.join_probes * counters.get("join_probes", 0)
             + self.join_checks * counters.get("join_checks", 0)
+            + self.hash_probes * counters.get("hash_probes", 0)
+            + self.bucket_hits * counters.get("bucket_hits", 0)
             + self.tokens * counters.get("tokens", 0)
             + self.instantiations * counters.get("instantiations", 0)
             + self.retractions * counters.get("retractions", 0)

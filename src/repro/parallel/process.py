@@ -66,6 +66,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.errors import MatchError
 from repro.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.lang.ast import Rule, Value
+from repro.match.alphaindex import AlphaCache
 from repro.match.compile import CompiledRule, compile_rules
 from repro.match.instantiation import ConflictSet, Instantiation
 from repro.match.interface import Matcher
@@ -111,7 +112,12 @@ def default_worker_count() -> int:
 # ---------------------------------------------------------------------------
 
 
-def _worker_main(conn: Connection, rules: Tuple[Rule, ...], obs: bool = False) -> None:
+def _worker_main(
+    conn: Connection,
+    rules: Tuple[Rule, ...],
+    obs: bool = False,
+    indexed: bool = True,
+) -> None:
     """Worker loop: maintain a WM replica, answer match requests.
 
     Protocol (parent → worker):
@@ -133,6 +139,13 @@ def _worker_main(conn: Connection, rules: Tuple[Rule, ...], obs: bool = False) -
     compiled = compile_rules(rules)
     wm = WorkingMemory()
     by_ts: Dict[int, WME] = {}
+    # Worker-side indexed alpha memories, rebuilt incrementally from the
+    # shipped deltas: apply_wire goes through wm.add/remove, which notify
+    # the attached cache's listener.
+    alpha: Optional[AlphaCache] = None
+    if indexed:
+        alpha = AlphaCache(wm)
+        alpha.attach()
     tracer = Tracer() if obs else NULL_TRACER
     cycle = 0
     while True:
@@ -156,7 +169,9 @@ def _worker_main(conn: Connection, rules: Tuple[Rule, ...], obs: bool = False) -
             with tracer.span("match", lane="worker", cycle=cycle, rules=len(compiled)):
                 for cr in compiled:
                     t0 = time.perf_counter() if obs else 0.0
-                    for inst in enumerate_matches(cr, wm):
+                    for inst in enumerate_matches(
+                        cr, wm, alpha_source=alpha, indexed=indexed
+                    ):
                         out.append(
                             (
                                 cr.name,
@@ -207,6 +222,7 @@ class ProcessMatchPool:
         fault_plan: Optional[FaultPlan] = None,
         tracer=None,
         metrics=None,
+        indexed: bool = True,
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
@@ -220,6 +236,10 @@ class ProcessMatchPool:
         #: them; the flag rides along on every (re)spawn.
         self._obs = self.tracer.enabled or self.metrics.enabled
         self.wm = wm
+        self.indexed = indexed
+        #: Parent-side alpha cache for degraded sites, created on first
+        #: degradation (no listener overhead while every worker is healthy).
+        self._parent_alpha: Optional[AlphaCache] = None
         self.n_workers = n_workers
         self.timeout = timeout
         self.respawn_limit = respawn_limit
@@ -270,7 +290,12 @@ class ProcessMatchPool:
         parent_conn, child_conn = self._ctx.Pipe()
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, tuple(self._site_rules[site]), self._obs),
+            args=(
+                child_conn,
+                tuple(self._site_rules[site]),
+                self._obs,
+                self.indexed,
+            ),
             name=f"parulel-match-site{site}",
             daemon=True,
         )
@@ -384,6 +409,9 @@ class ProcessMatchPool:
         if compiled is None:
             compiled = compile_rules(tuple(self._site_rules[site]))
             self._site_compiled[site] = compiled
+        if self.indexed and self._parent_alpha is None:
+            self._parent_alpha = AlphaCache(self.wm)
+            self._parent_alpha.attach()
         out: List[MatchSummary] = []
         obs = self.metrics.enabled
         with self.tracer.span(
@@ -391,7 +419,12 @@ class ProcessMatchPool:
         ):
             for cr in compiled:
                 t0 = time.perf_counter() if obs else 0.0
-                for inst in enumerate_matches(cr, self.wm):
+                for inst in enumerate_matches(
+                    cr,
+                    self.wm,
+                    alpha_source=self._parent_alpha,
+                    indexed=self.indexed,
+                ):
                     out.append(
                         (
                             cr.name,
@@ -543,6 +576,8 @@ class ProcessMatchPool:
             return
         self._closed = True
         self._recorder.detach()
+        if self._parent_alpha is not None:
+            self._parent_alpha.detach()
         for site in list(self._procs):
             self._try_send(site, ("stop",))
         for site, proc in list(self._procs.items()):
@@ -581,6 +616,7 @@ class ProcessMatcher(Matcher):
         fault_plan: Optional[FaultPlan] = None,
         tracer=None,
         metrics=None,
+        indexed: bool = True,
     ) -> None:
         # The pool's recorder primes itself with the pre-existing WMEs, so
         # it must attach before Matcher.__init__ replays them through
@@ -597,8 +633,9 @@ class ProcessMatcher(Matcher):
             fault_plan=fault_plan,
             tracer=tracer,
             metrics=metrics,
+            indexed=indexed,
         )
-        super().__init__(rules, wm)
+        super().__init__(rules, wm, indexed=indexed)
 
     def _on_add(self, wme: WME) -> None:
         self._dirty = True

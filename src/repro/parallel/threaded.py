@@ -20,6 +20,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
 from repro.lang.ast import Program, Rule
+from repro.match.alphaindex import AlphaCache
 from repro.match.compile import CompiledRule, compile_rules
 from repro.match.instantiation import Instantiation
 from repro.match.join import enumerate_matches
@@ -53,6 +54,7 @@ class ThreadedMatchPool:
         assignment: Optional[Assignment] = None,
         tracer=None,
         metrics=None,
+        indexed: bool = True,
     ) -> None:
         if n_threads < 1:
             raise ValueError("need at least one thread")
@@ -60,6 +62,14 @@ class ThreadedMatchPool:
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self._cycle = 0
         self.wm = wm
+        self.indexed = indexed
+        # One shared alpha cache across all sites, kept current via WM
+        # listener. Read-mostly: concurrent lazy priming from worker
+        # threads is benign (identical contents, GIL-atomic installs).
+        self._alpha: Optional[AlphaCache] = None
+        if indexed:
+            self._alpha = AlphaCache(wm)
+            self._alpha.attach()
         self.n_threads = n_threads
         self.assignment = assignment or round_robin_assignment(rules, n_threads)
         compiled = compile_rules(rules)
@@ -81,7 +91,14 @@ class ThreadedMatchPool:
         ):
             for compiled in self._site_rules[site]:
                 t0 = time.perf_counter() if obs else 0.0
-                out.extend(enumerate_matches(compiled, self.wm))
+                out.extend(
+                    enumerate_matches(
+                        compiled,
+                        self.wm,
+                        alpha_source=self._alpha,
+                        indexed=self.indexed,
+                    )
+                )
                 if obs:
                     self.metrics.observe(
                         RULE_MATCH_SECONDS,
@@ -104,6 +121,8 @@ class ThreadedMatchPool:
         return merged
 
     def close(self) -> None:
+        if self._alpha is not None:
+            self._alpha.detach()
         self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "ThreadedMatchPool":

@@ -1,0 +1,125 @@
+"""ConflictSet secondary indexes: remove_with_wme / of_rule stay exactly
+equivalent to brute-force scans of the retained set, in insertion order."""
+
+import random
+
+from repro.lang.builder import ProgramBuilder, v
+from repro.match.instantiation import ConflictSet, Instantiation
+from repro.wm.wme import WME
+
+
+def _rules(n):
+    pb = ProgramBuilder()
+    for i in range(n):
+        pb.rule(f"r{i}").ce("a", k=v("x")).ce("b", k=v("x")).halt()
+    return pb.build(analyze=False).rules
+
+
+def _inst(rule, wme_a, wme_b):
+    return Instantiation(rule, (wme_a, wme_b), {"x": wme_a.get("k")})
+
+
+class TestConflictSetIndexes:
+    def _populate(self, rng, n_rules=3, n_wmes=8, n_insts=40):
+        rules = _rules(n_rules)
+        wmes_a = [WME("a", {"k": i % 3}, i + 1) for i in range(n_wmes)]
+        wmes_b = [WME("b", {"k": i % 3}, n_wmes + i + 1) for i in range(n_wmes)]
+        cs = ConflictSet()
+        for _ in range(n_insts):
+            cs.add(_inst(rng.choice(rules), rng.choice(wmes_a), rng.choice(wmes_b)))
+        return cs, rules, wmes_a + wmes_b
+
+    def test_remove_with_wme_matches_brute_force(self):
+        rng = random.Random(7)
+        for trial in range(20):
+            cs, _rules_, wmes = self._populate(rng)
+            victim = rng.choice(wmes)
+            expected = [i for i in cs.instantiations() if i.uses(victim)]
+            survivors = [i for i in cs.instantiations() if not i.uses(victim)]
+            removed = cs.remove_with_wme(victim)
+            assert [i.key for i in removed] == [i.key for i in expected]
+            assert [i.key for i in cs.instantiations()] == [
+                i.key for i in survivors
+            ]
+
+    def test_of_rule_matches_brute_force(self):
+        rng = random.Random(11)
+        cs, rules, _wmes = self._populate(rng)
+        for rule in rules:
+            expected = [i for i in cs.instantiations() if i.rule.name == rule.name]
+            assert [i.key for i in cs.of_rule(rule.name)] == [
+                i.key for i in expected
+            ]
+        assert cs.of_rule("no-such-rule") == []
+
+    def test_indexes_survive_churn(self):
+        """Random add/remove/discard interleaving: indexed queries always
+        agree with scans of the live set."""
+        rng = random.Random(23)
+        rules = _rules(2)
+        wmes = [WME("a", {"k": i % 2}, i + 1) for i in range(6)] + [
+            WME("b", {"k": i % 2}, i + 7) for i in range(6)
+        ]
+        cs = ConflictSet()
+        live = []
+        for step in range(200):
+            op = rng.random()
+            if op < 0.5 or not live:
+                inst = _inst(
+                    rng.choice(rules),
+                    rng.choice(wmes[:6]),
+                    rng.choice(wmes[6:]),
+                )
+                if cs.add(inst):
+                    live.append(inst)
+            elif op < 0.7:
+                inst = live.pop(rng.randrange(len(live)))
+                cs.remove(inst)
+            elif op < 0.85:
+                inst = rng.choice(live)
+                cs.discard_key(inst.key)
+                live.remove(inst)
+            else:
+                victim = rng.choice(wmes)
+                removed = cs.remove_with_wme(victim)
+                expected = [i for i in live if i.uses(victim)]
+                assert [i.key for i in removed] == [i.key for i in expected]
+                live = [i for i in live if not i.uses(victim)]
+            # Invariants after every step.
+            assert [i.key for i in cs.instantiations()] == [i.key for i in live]
+            for rule in rules:
+                assert [i.key for i in cs.of_rule(rule.name)] == [
+                    i.key for i in live if i.rule.name == rule.name
+                ]
+
+    def test_discard_key_unknown_returns_none(self):
+        cs = ConflictSet()
+        assert cs.discard_key(("r0", (1, 2))) is None
+
+    def test_clear_resets_indexes(self):
+        rng = random.Random(3)
+        cs, rules, wmes = self._populate(rng)
+        assert len(cs) > 0
+        cs.clear()
+        assert len(cs) == 0
+        assert cs.of_rule(rules[0].name) == []
+        assert cs.remove_with_wme(wmes[0]) == []
+
+    def test_duplicate_add_rejected_and_unindexed_once(self):
+        rules = _rules(1)
+        a = WME("a", {"k": 1}, 1)
+        b = WME("b", {"k": 1}, 2)
+        cs = ConflictSet()
+        assert cs.add(_inst(rules[0], a, b))
+        assert not cs.add(_inst(rules[0], a, b))
+        assert len(cs.remove_with_wme(a)) == 1
+        assert len(cs) == 0
+
+    def test_negated_none_slots_are_skipped(self):
+        pb = ProgramBuilder()
+        pb.rule("rn").ce("a", k=v("x")).neg("b", k=v("x")).halt()
+        rule = pb.build(analyze=False).rules[0]
+        a = WME("a", {"k": 1}, 1)
+        cs = ConflictSet()
+        cs.add(Instantiation(rule, (a, None), {"x": 1}))
+        assert len(cs.remove_with_wme(a)) == 1
