@@ -1,0 +1,371 @@
+"""Working-memory-store microbenchmark and CI gate: columnar vs dict.
+
+Measures what the columnar shared-memory store is for — the process
+backend's IPC traffic and replica (re)build cost — on the
+:func:`~repro.programs.synthetic.build_scale_workload` bulk-plus-churn
+workload, at two tiers:
+
+- ``gate`` (20k WMEs): run by ``--check``/``--write`` every time; fast.
+- ``million`` (1M WMEs): run only with ``--full`` and recorded into the
+  baseline; ``--check`` re-validates the recorded numbers without
+  re-running it.
+
+Per tier and store backend it records:
+
+- **pool**: bytes shipped to match workers (exact — the scatter path
+  serializes once and counts the blob), split into the priming request
+  (delta mode re-pickles the whole memory; columnar mode ships an attach
+  spec of a few hundred bytes and workers scan shared segments) and
+  steady-state churn cycles; plus wall times for attach-vs-rebuild and
+  per-cycle match.
+- **threaded**: in-process pool cycle time over both stores (the columnar
+  store must not tax the non-IPC backend).
+- **engine**: an end-to-end ``matcher="process:2"`` run; cycles, firings
+  and the final working-memory digest must be byte-identical across
+  stores.
+
+Usage (from the repo root, ``PYTHONPATH=src``)::
+
+    python -m benchmarks.wm_microbench --write          # refresh gate tier
+    python -m benchmarks.wm_microbench --write --full   # + the million tier
+    python -m benchmarks.wm_microbench --check          # CI gate (default)
+
+``--check`` fails (exit 1) when:
+
+- within the run, the two stores diverge anywhere (conflict images per
+  cycle, engine cycles/firings, final WM digests);
+- the columnar store's bytes-per-cycle advantage drops below the
+  ``RATIO_FLOOR`` (10x) on the gate tier, or the recorded million-tier
+  numbers in the baseline fall below the floor / lost their identity bits;
+- columnar bytes-per-cycle regress > 5% against the baseline, or the
+  engine's cycles/firings changed.
+
+Wall-clock numbers are printed and recorded but never gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import hashlib
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+from repro.core import EngineConfig, ParulelEngine
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.process import ProcessMatchPool
+from repro.parallel.threaded import ThreadedMatchPool
+from repro.programs.synthetic import build_scale_workload
+from repro.wm.columnar import ColumnarWorkingMemory
+from repro.wm.memory import WorkingMemory
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "BENCH_wm.json"
+)
+
+#: The columnar store must ship at least this many times fewer bytes per
+#: conflict-set cycle than delta pickling (the tentpole's acceptance bar).
+RATIO_FLOOR = 10.0
+
+#: Tolerated growth in columnar bytes-per-cycle vs the baseline before the
+#: gate fails (byte counts are deterministic; the slack only absorbs
+#: intentional protocol tweaks smaller than a real regression).
+BYTES_SLACK = 1.05
+
+TIERS = {
+    "gate": dict(n_facts=20_000, n_keys=100, churn_block=50, churn_steps=5),
+    "million": dict(
+        n_facts=1_000_000, n_keys=1000, churn_block=200, churn_steps=5
+    ),
+}
+
+
+def _wm_digest(wm: WorkingMemory) -> str:
+    records, next_ts = wm.dump_records()
+    return hashlib.sha256(repr((records, next_ts)).encode()).hexdigest()[:16]
+
+
+def _conflict_image(insts) -> str:
+    return hashlib.sha256(
+        repr(sorted(i.key for i in insts)).encode()
+    ).hexdigest()[:16]
+
+
+def _build_stores(tier_cfg: Dict):
+    wl = build_scale_workload(
+        n_facts=tier_cfg["n_facts"],
+        n_keys=tier_cfg["n_keys"],
+        churn_block=tier_cfg["churn_block"],
+    )
+    return wl
+
+
+def _run_pool(wl, tier_cfg: Dict, backend: str) -> Dict:
+    """Pool-level measurement: prime (attach vs rebuild) + churn cycles."""
+    wm = (
+        ColumnarWorkingMemory(wl.fresh_wm().templates)
+        if backend == "columnar"
+        else wl.fresh_wm()
+    )
+    t0 = time.perf_counter()
+    block = wl.load(wm)
+    load_s = time.perf_counter() - t0
+    metrics = MetricsRegistry()
+    pool = ProcessMatchPool(
+        wl.program.rules, wm, 2, metrics=metrics, timeout=300.0
+    )
+    images: List[str] = []
+    try:
+        t0 = time.perf_counter()
+        images.append(_conflict_image(pool.conflict_set()))
+        prime_s = time.perf_counter() - t0
+        prime_bytes = int(sum(metrics.series("parulel_ipc_bytes_total").values()))
+        t0 = time.perf_counter()
+        for step in range(tier_cfg["churn_steps"]):
+            block = wl.churn(wm, block, step + 1)
+            images.append(_conflict_image(pool.conflict_set()))
+        steady_s = time.perf_counter() - t0
+        total_bytes = int(sum(metrics.series("parulel_ipc_bytes_total").values()))
+    finally:
+        pool.close()
+        if backend == "columnar":
+            wm.close()
+    cycles = 1 + tier_cfg["churn_steps"]
+    return {
+        "load_s": round(load_s, 3),
+        "prime_s": round(prime_s, 3),
+        "prime_bytes": prime_bytes,
+        "steady_bytes": total_bytes - prime_bytes,
+        "bytes_per_cycle": round(total_bytes / cycles, 1),
+        "steady_s_per_cycle": round(steady_s / tier_cfg["churn_steps"], 4),
+        "images": images,
+        "wm_digest": _wm_digest(wm),
+    }
+
+
+def _run_threaded(wl, tier_cfg: Dict, backend: str) -> Dict:
+    """In-process pool throughput over the same store (no IPC at all)."""
+    wm = (
+        ColumnarWorkingMemory(wl.fresh_wm().templates)
+        if backend == "columnar"
+        else wl.fresh_wm()
+    )
+    block = wl.load(wm)
+    pool = ThreadedMatchPool(wl.program.rules, wm, 2)
+    try:
+        image = _conflict_image(pool.conflict_set())
+        t0 = time.perf_counter()
+        for step in range(tier_cfg["churn_steps"]):
+            block = wl.churn(wm, block, step + 1)
+            pool.conflict_set()
+        cycle_s = (time.perf_counter() - t0) / tier_cfg["churn_steps"]
+    finally:
+        pool.close()
+        if backend == "columnar":
+            wm.close()
+    return {"cycle_s": round(cycle_s, 4), "image": image}
+
+
+def _run_engine(wl, backend: str) -> Dict:
+    """End-to-end process-backend run: fire every hit, to quiescence."""
+    engine = ParulelEngine(
+        wl.program,
+        EngineConfig(
+            matcher="process:2", wm_backend=backend, matcher_timeout=300.0
+        ),
+    )
+    try:
+        wl.load(engine.wm)
+        t0 = time.perf_counter()
+        result = engine.run()
+        wall = time.perf_counter() - t0
+        return {
+            "cycles": result.cycles,
+            "firings": result.firings,
+            "wall_s": round(wall, 3),
+            "wm_digest": _wm_digest(engine.wm),
+        }
+    finally:
+        engine.close()
+
+
+def measure_tier(tier: str) -> Dict:
+    tier_cfg = TIERS[tier]
+    wl = _build_stores(tier_cfg)
+    out: Dict = {"n_facts": tier_cfg["n_facts"]}
+
+    pool_rows = {b: _run_pool(wl, tier_cfg, b) for b in ("dict", "columnar")}
+    if pool_rows["dict"]["images"] != pool_rows["columnar"]["images"]:
+        raise AssertionError(
+            f"{tier}: conflict sets diverge between stores"
+        )
+    if pool_rows["dict"]["wm_digest"] != pool_rows["columnar"]["wm_digest"]:
+        raise AssertionError(f"{tier}: final WM diverges between stores")
+    for row in pool_rows.values():
+        del row["images"]
+    ratio = pool_rows["dict"]["bytes_per_cycle"] / max(
+        pool_rows["columnar"]["bytes_per_cycle"], 1
+    )
+    out["pool"] = {
+        "dict": pool_rows["dict"],
+        "columnar": pool_rows["columnar"],
+        "bytes_ratio": round(ratio, 1),
+        "stores_identical": True,
+    }
+
+    threaded = {b: _run_threaded(wl, tier_cfg, b) for b in ("dict", "columnar")}
+    if threaded["dict"]["image"] != threaded["columnar"]["image"]:
+        raise AssertionError(f"{tier}: threaded conflict sets diverge")
+    out["threaded"] = {
+        b: {"cycle_s": r["cycle_s"]} for b, r in threaded.items()
+    }
+
+    engine = {b: _run_engine(wl, b) for b in ("dict", "columnar")}
+    if (
+        engine["dict"]["cycles"],
+        engine["dict"]["firings"],
+        engine["dict"]["wm_digest"],
+    ) != (
+        engine["columnar"]["cycles"],
+        engine["columnar"]["firings"],
+        engine["columnar"]["wm_digest"],
+    ):
+        raise AssertionError(
+            f"{tier}: engine runs diverge between stores: {engine}"
+        )
+    out["engine"] = engine
+
+    leaked = glob.glob("/dev/shm/pwm*")
+    if leaked:
+        raise AssertionError(f"{tier}: leaked shared-memory segments {leaked}")
+    return out
+
+
+def report(tiers: Dict[str, Dict]) -> None:
+    header = (
+        f"{'tier':<10} {'store':<9} {'prime s':>8} {'prime B':>12} "
+        f"{'B/cycle':>10} {'cycle s':>8} {'ratio':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for tier, data in tiers.items():
+        pool = data["pool"]
+        for backend in ("dict", "columnar"):
+            row = pool[backend]
+            ratio = f"{pool['bytes_ratio']:>7.1f}x" if backend == "columnar" else ""
+            print(
+                f"{tier:<10} {backend:<9} {row['prime_s']:>8.3f} "
+                f"{row['prime_bytes']:>12} {row['bytes_per_cycle']:>10.1f} "
+                f"{row['steady_s_per_cycle']:>8.4f} {ratio:>8}"
+            )
+        eng = data["engine"]["columnar"]
+        print(
+            f"{tier:<10} engine: {eng['cycles']} cycles, {eng['firings']} "
+            f"firings, {eng['wall_s']}s (stores byte-identical)"
+        )
+
+
+def check(current: Dict[str, Dict], baseline: Dict) -> int:
+    failures = []
+    base_tiers = baseline.get("tiers", {})
+    for tier, data in current.items():
+        base = base_tiers.get(tier)
+        if base is None:
+            failures.append(f"{tier}: missing from baseline (re-run --write)")
+            continue
+        ratio = data["pool"]["bytes_ratio"]
+        if ratio < RATIO_FLOOR:
+            failures.append(
+                f"{tier}: columnar bytes advantage {ratio:.1f}x below the "
+                f"{RATIO_FLOOR:.0f}x floor"
+            )
+        cur_bpc = data["pool"]["columnar"]["bytes_per_cycle"]
+        base_bpc = base["pool"]["columnar"]["bytes_per_cycle"]
+        if cur_bpc > base_bpc * BYTES_SLACK:
+            failures.append(
+                f"{tier}: columnar bytes/cycle regressed "
+                f"{base_bpc} -> {cur_bpc}"
+            )
+        for field in ("cycles", "firings"):
+            cur_v = data["engine"]["columnar"][field]
+            base_v = base["engine"]["columnar"][field]
+            if cur_v != base_v:
+                failures.append(
+                    f"{tier}: engine {field} changed {base_v} -> {cur_v}"
+                )
+        cur_wall = data["engine"]["columnar"]["wall_s"]
+        base_wall = base["engine"]["columnar"]["wall_s"]
+        if cur_wall > base_wall * 3:
+            print(
+                f"note: {tier} engine wall {base_wall}s -> {cur_wall}s "
+                f"(advisory, not gating)"
+            )
+    # Tiers recorded in the baseline but not re-run (the million tier under
+    # --check) must still carry a passing ratio and the identity bits.
+    for tier, base in base_tiers.items():
+        if tier in current:
+            continue
+        if base["pool"]["bytes_ratio"] < RATIO_FLOOR:
+            failures.append(
+                f"{tier} (recorded): bytes ratio "
+                f"{base['pool']['bytes_ratio']:.1f}x below the floor"
+            )
+        if not base["pool"].get("stores_identical"):
+            failures.append(f"{tier} (recorded): stores_identical is not set")
+    if failures:
+        print("\nWM GATE FAILED:")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print("\nwm gate OK: stores identical, byte advantage holds")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--write", action="store_true", help="refresh the baseline JSON"
+    )
+    mode.add_argument(
+        "--check",
+        action="store_true",
+        help="gate against the baseline (default)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="also run the million-WME tier (minutes; --write records it)",
+    )
+    args = parser.parse_args(argv)
+
+    tiers = ["gate"] + (["million"] if args.full else [])
+    current = {tier: measure_tier(tier) for tier in tiers}
+    report(current)
+
+    if args.write:
+        merged = {}
+        if os.path.exists(BASELINE_PATH):
+            with open(BASELINE_PATH) as fh:
+                merged = json.load(fh).get("tiers", {})
+        merged.update(current)
+        os.makedirs(os.path.dirname(BASELINE_PATH), exist_ok=True)
+        with open(BASELINE_PATH, "w") as fh:
+            json.dump({"tiers": merged}, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {BASELINE_PATH}")
+        return 0
+
+    if not os.path.exists(BASELINE_PATH):
+        print(f"no baseline at {BASELINE_PATH}; run with --write first")
+        return 1
+    with open(BASELINE_PATH) as fh:
+        baseline = json.load(fh)
+    return check(current, baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

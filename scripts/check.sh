@@ -62,6 +62,27 @@ echo "== match-kernel perf gate (deterministic join counters vs baseline)"
 #   python -m benchmarks.match_microbench --write
 python -m benchmarks.match_microbench --check
 
+echo "== working-memory store gate (columnar vs dict: bytes + identity)"
+# Gates on the columnar store's IPC byte advantage and dict/columnar
+# byte-identity recorded in benchmarks/results/BENCH_wm.json; wall-clock
+# is advisory. After an intentional WM/IPC protocol change, refresh with:
+#   python -m benchmarks.wm_microbench --write           (gate tier)
+#   python -m benchmarks.wm_microbench --write --full    (+ million tier)
+python -m benchmarks.wm_microbench --check
+# Shared-memory segments are unlinked by ColumnarWorkingMemory.close(),
+# a pid-guarded finalizer, and the stdlib resource tracker — but a
+# SIGKILLed *parent* can still strand named segments. Sweep any left by
+# this gate's own runs so repeated CI runs cannot fill /dev/shm.
+# (Other live processes may legitimately own pwm* segments; only remove
+# ones whose owner is gone, which `fuser` reports as unused.)
+for seg in /dev/shm/pwm*; do
+    [[ -e "$seg" ]] || continue
+    if ! fuser -s "$seg" 2>/dev/null; then
+        rm -f "$seg"
+        echo "swept leaked shared-memory segment: $seg"
+    fi
+done
+
 if [[ "${1:-}" == "--faults" ]]; then
     echo "== fault-injection/recovery suite (slow tests included)"
     python -m pytest tests/faults tests/core/test_checkpoint.py -q

@@ -138,10 +138,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         or args.checkpoint_every is not None
         or args.resume is not None
         or args.assignment is not None
+        or args.wm_backend != "dict"
     ):
         print(
-            "error: process-backend and checkpoint options apply to "
-            "--engine parulel only",
+            "error: process-backend, checkpoint and --wm-backend options "
+            "apply to --engine parulel only",
             file=sys.stderr,
         )
         return 2
@@ -205,6 +206,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         matcher_timeout=args.matcher_timeout,
         respawn_limit=args.respawn_limit,
         assignment=args.assignment,
+        wm_backend=args.wm_backend,
     )
     obs_tracer, obs_metrics = _make_obs(args)
     if args.resume:
@@ -241,6 +243,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"and {exc.firings} firings: {exc}",
             file=sys.stderr,
         )
+        engine.close()
         return 1
     for line in result.output:
         print(line)
@@ -265,6 +268,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with open(args.dump_wm, "w") as fh:
             fh.write(dump_wm_text(engine.wm))
     _write_obs(args, obs_tracer, obs_metrics)
+    engine.close()
     return 0
 
 
@@ -309,7 +313,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     engine = ParulelEngine(
         program,
-        EngineConfig(matcher=matcher, indexed_match=not args.no_index),
+        EngineConfig(
+            matcher=matcher,
+            indexed_match=not args.no_index,
+            wm_backend=args.wm_backend,
+        ),
         tracer=tracer,
         metrics=metrics,
     )
@@ -318,7 +326,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     elif args.facts:
         for cls, attrs in parse_facts(open(args.facts).read()):
             engine.make(cls, attrs)
-    result = engine.run(max_cycles=args.max_cycles)
+    try:
+        result = engine.run(max_cycles=args.max_cycles)
+    finally:
+        engine.close()
 
     print(
         f"[parulel] {result.cycles} cycles, {result.firings} firings "
@@ -585,6 +596,14 @@ def build_parser() -> argparse.ArgumentParser:
         "exhausted the site's rules are matched serially in-parent",
     )
     p_run.add_argument(
+        "--wm-backend",
+        choices=("dict", "columnar"),
+        default="dict",
+        help="working-memory store; 'columnar' keeps WMEs in shared-memory "
+        "columns that --matcher process workers attach instead of "
+        "receiving pickled deltas",
+    )
+    p_run.add_argument(
         "--checkpoint-every",
         type=int,
         default=None,
@@ -714,6 +733,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="rete",
     )
     p_prof.add_argument("--workers", type=int, default=None, metavar="N")
+    p_prof.add_argument(
+        "--wm-backend",
+        choices=("dict", "columnar"),
+        default="dict",
+        help="working-memory store (see `run --wm-backend`)",
+    )
     p_prof.add_argument("--max-cycles", type=int, default=100_000)
     p_prof.add_argument(
         "--no-index",

@@ -99,6 +99,11 @@ class EngineConfig:
     #: connectivity-minimizing partition), or a concrete
     #: :class:`~repro.parallel.partition.Assignment`.
     assignment: Optional[object] = None
+    #: Working-memory store: ``"dict"`` (the default in-process store) or
+    #: ``"columnar"`` (:class:`~repro.wm.columnar.ColumnarWorkingMemory`,
+    #: shared-memory columns the process backend attaches instead of
+    #: receiving pickled deltas). Semantics are identical either way.
+    wm_backend: str = "dict"
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -108,6 +113,22 @@ class EngineConfig:
             raise ValueError("matcher_timeout must be > 0 seconds")
         if self.respawn_limit is not None and self.respawn_limit < 0:
             raise ValueError("respawn_limit must be >= 0 (None for unlimited)")
+        if self.wm_backend not in ("dict", "columnar"):
+            raise ValueError(
+                f"unknown wm_backend {self.wm_backend!r} "
+                f"(expected 'dict' or 'columnar')"
+            )
+
+
+def _build_wm(config: "EngineConfig", program: Program) -> WorkingMemory:
+    """The working-memory store the config asks for. Imported lazily so the
+    default dict path never touches :mod:`multiprocessing.shared_memory`."""
+    templates = TemplateRegistry.from_program(program)
+    if config.wm_backend == "columnar":
+        from repro.wm.columnar import ColumnarWorkingMemory
+
+        return ColumnarWorkingMemory(templates)
+    return WorkingMemory(templates)
 
 
 @dataclass
@@ -184,9 +205,7 @@ class ParulelEngine:
         #: disabled engine does no observability work at all.
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
-        self.wm = wm if wm is not None else WorkingMemory(
-            TemplateRegistry.from_program(program)
-        )
+        self.wm = wm if wm is not None else _build_wm(self.config, program)
         self.evaluator = ActionEvaluator(host_functions)
         matcher_options: Dict[str, Any] = {}
         if self.config.matcher_timeout is not None:
@@ -522,6 +541,28 @@ class ParulelEngine:
             if report.fired == 0:
                 return "redaction-quiescence"
 
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (idempotent): worker processes held by
+        a process matcher, shared-memory segments held by a columnar store.
+        Engines over the default dict store and in-process matchers have
+        nothing to release, so most callers never need this — but the CLI
+        and benchmarks call it so ``--wm-backend columnar`` runs cannot
+        leak ``/dev/shm`` segments on the happy path."""
+        closer = getattr(self.matcher, "close", None)
+        if closer is not None:
+            closer()
+        wm_close = getattr(self.wm, "close", None)
+        if wm_close is not None:
+            wm_close()
+
+    def __enter__(self) -> "ParulelEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
     # -- checkpoint / resume ---------------------------------------------------
 
     def checkpoint(self, path: Optional[str] = None) -> Dict[str, Any]:
@@ -588,7 +629,7 @@ class ParulelEngine:
                 f"checkpoint version {version!r} is not supported "
                 f"(expected {CHECKPOINT_VERSION})"
             )
-        wm = WorkingMemory(TemplateRegistry.from_program(program))
+        wm = _build_wm(config or EngineConfig(), program)
         wm.load_records(
             [tuple(rec) for rec in state["wm"]["records"]],
             state["wm"]["next_timestamp"],

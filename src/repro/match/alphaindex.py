@@ -71,6 +71,21 @@ class IndexedMemory:
                 bucket = index[key] = {}
             bucket[wme] = None
 
+    def bulk_add(self, wmes: Sequence[WME]) -> None:
+        """Add many WMEs at once, preserving their order.
+
+        The hot case is priming a fresh memory (no indexes built yet) over
+        a large class bucket — one C-level dict update instead of a Python
+        call per WME, which is what makes attaching a million-WME store
+        tolerable. With indexes already built it falls back to per-WME
+        maintenance.
+        """
+        if not self._indexes:
+            self.wmes.update(dict.fromkeys(wmes))
+            return
+        for wme in wmes:
+            self.add(wme)
+
     def remove(self, wme: WME) -> bool:
         """Drop ``wme``; returns whether it was a member."""
         if wme not in self.wmes:
@@ -157,11 +172,20 @@ class AlphaCache:
         mem = self._mems.get(key)
         if mem is None:
             mem = IndexedMemory()
-            for wme in self.wm.by_class(ce.class_name):
+            bucket = self.wm.by_class(ce.class_name)
+            if not ce.alpha_conds:
+                # Unconditional alpha pattern (the common case for scale
+                # workloads): the memory is the class bucket verbatim, so
+                # prime it in bulk instead of testing WMEs one at a time.
                 if self.stats is not None:
-                    self.stats.bump("alpha_tests")
-                if alpha_test_passes(ce.alpha_conds, wme):
-                    mem.add(wme)
+                    self.stats.bump("alpha_tests", n=len(bucket))
+                mem.bulk_add(bucket)
+            else:
+                for wme in bucket:
+                    if self.stats is not None:
+                        self.stats.bump("alpha_tests")
+                    if alpha_test_passes(ce.alpha_conds, wme):
+                        mem.add(wme)
             self._mems[key] = mem
             self._keys_by_class.setdefault(ce.class_name, []).append(key)
         return mem

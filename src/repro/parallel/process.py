@@ -75,6 +75,7 @@ from repro.obs.metrics import NULL_METRICS
 from repro.obs.profile import RULE_MATCH_SECONDS
 from repro.obs.trace import NULL_TRACER, TraceEvent, Tracer
 from repro.parallel.partition import Assignment, resolve_assignment
+from repro.wm.columnar import ColumnarReader, ColumnarWorkingMemory
 from repro.wm.memory import DeltaRecorder, WMDelta, WorkingMemory
 from repro.wm.wme import WME
 
@@ -122,10 +123,16 @@ def _worker_main(
 
     Protocol (parent → worker):
 
-    - ``("match", [wire_delta, ...])`` — apply the deltas in order, then
-      reply ``("ok", ([MatchSummary, ...], obs_payload))`` for this
-      site's rules, where ``obs_payload`` is the worker's span buffer and
-      per-rule match times when ``obs`` is on, else ``None``;
+    - ``("match", [wire_delta, ...])`` — apply the pickled deltas in
+      order, then reply ``("ok", ([MatchSummary, ...], obs_payload))``
+      for this site's rules, where ``obs_payload`` is the worker's span
+      buffer and per-rule match times when ``obs`` is on, else ``None``;
+    - ``("attach", spec)`` — columnar mode: attach the parent's
+      shared-memory columns (:class:`~repro.wm.columnar.ColumnarReader`)
+      and build the replica from the liveness snapshot; no reply;
+    - ``("match-shm", info)`` — columnar mode: refresh the replica from
+      the shared delta journal up to the message's cursors, then match
+      and reply exactly as ``"match"`` does;
     - ``("stop",)`` — exit.
 
     Any exception is reported as ``("err", message)``; the parent treats it
@@ -140,31 +147,57 @@ def _worker_main(
     wm = WorkingMemory()
     by_ts: Dict[int, WME] = {}
     # Worker-side indexed alpha memories, rebuilt incrementally from the
-    # shipped deltas: apply_wire goes through wm.add/remove, which notify
-    # the attached cache's listener.
+    # shipped deltas (or the shared journal): both paths go through
+    # wm.add/remove, which notify the attached cache's listener.
     alpha: Optional[AlphaCache] = None
     if indexed:
         alpha = AlphaCache(wm)
         alpha.attach()
     tracer = Tracer() if obs else NULL_TRACER
+    reader: Optional[ColumnarReader] = None
     cycle = 0
+
+    def replica_add(wme: WME) -> None:
+        wm.add(wme)
+        by_ts[wme.timestamp] = wme
+
+    def replica_remove(wme: WME) -> None:
+        del by_ts[wme.timestamp]
+        wm.remove(wme)
+
     while True:
         try:
             msg = conn.recv()
         except (EOFError, OSError):
+            if reader is not None:
+                reader.close()
             return
         if msg[0] == "stop":
+            if reader is not None:
+                reader.close()
             return
         try:
-            _tag, deltas = msg
+            tag = msg[0]
+            if tag == "attach":
+                if reader is not None:
+                    reader.close()
+                reader = ColumnarReader(msg[1])
+                with tracer.span("attach", lane="worker"):
+                    reader.attach(replica_add)
+                continue
             cycle += 1
             rule_times: List[Tuple[str, float]] = []
-            if deltas:
-                with tracer.span(
-                    "apply-delta", lane="worker", cycle=cycle, deltas=len(deltas)
-                ):
-                    for wire in deltas:
-                        WMDelta.apply_wire(wm, by_ts, wire)
+            if tag == "match-shm":
+                with tracer.span("refresh-journal", lane="worker", cycle=cycle):
+                    reader.refresh(msg[1], replica_add, replica_remove)
+            else:
+                deltas = msg[1]
+                if deltas:
+                    with tracer.span(
+                        "apply-delta", lane="worker", cycle=cycle, deltas=len(deltas)
+                    ):
+                        for wire in deltas:
+                            WMDelta.apply_wire(wm, by_ts, wire)
             out: List[MatchSummary] = []
             with tracer.span("match", lane="worker", cycle=cycle, rules=len(compiled)):
                 for cr in compiled:
@@ -216,7 +249,7 @@ class ProcessMatchPool:
         wm: WorkingMemory,
         n_workers: int,
         assignment: "Optional[Assignment | str]" = None,
-        timeout: float = DEFAULT_TIMEOUT,
+        timeout: Optional[float] = DEFAULT_TIMEOUT,
         start_method: Optional[str] = None,
         respawn_limit: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
@@ -226,6 +259,10 @@ class ProcessMatchPool:
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
+        # An unconfigured timeout must never mean "wait forever": a worker
+        # that dies between request and reply would hang the parent.
+        if timeout is None:
+            timeout = DEFAULT_TIMEOUT
         if timeout <= 0:
             raise ValueError("timeout must be > 0 seconds")
         if respawn_limit is not None and respawn_limit < 0:
@@ -259,13 +296,26 @@ class ProcessMatchPool:
                 else "spawn"
             )
         self._ctx = multiprocessing.get_context(start_method)
-        self._recorder = DeltaRecorder(wm)
-        #: Cumulative wire-delta log since pool creation — the catch-up
-        #: script replayed into a respawned worker.
-        self._log: List[tuple] = []
+        #: Shared-attach mode: the store's columns live in shared memory,
+        #: so workers attach once and refresh from the shared delta
+        #: journal — no per-cycle delta pickling at all.
+        self._shared = isinstance(wm, ColumnarWorkingMemory)
         #: Parent-side timestamp index for rebuilding Instantiations with
         #: the exact WME objects the sequential matchers would use.
         self._wme_by_ts: Dict[int, WME] = {}
+        self._recorder: Optional[DeltaRecorder] = None
+        if self._shared:
+            # No delta recorder: track the ts index with a thin listener.
+            self._wme_by_ts = {w.timestamp: w for w in wm}
+            wm.add_listener(self._ts_listener)
+        else:
+            self._recorder = DeltaRecorder(wm)
+        #: Sites whose worker has attached the shared columns (columnar
+        #: mode only; reset on respawn).
+        self._attached: Set[int] = set()
+        #: Cumulative wire-delta log since pool creation — the catch-up
+        #: script replayed into a respawned worker (delta mode only).
+        self._log: List[tuple] = []
         self._conns: Dict[int, Connection] = {}
         self._procs: Dict[int, multiprocessing.process.BaseProcess] = {}
         #: Workers respawned after a crash/timeout (tests assert on this).
@@ -304,6 +354,14 @@ class ProcessMatchPool:
         self._conns[site] = parent_conn
         self._procs[site] = proc
 
+    def _ts_listener(self, wme: WME, added: bool) -> None:
+        """Columnar mode: keep the parent's ts→WME rebuild index current
+        (the delta recorder does this as a side effect in delta mode)."""
+        if added:
+            self._wme_by_ts[wme.timestamp] = wme
+        else:
+            self._wme_by_ts.pop(wme.timestamp, None)
+
     def _kill(self, site: int) -> None:
         proc = self._procs.get(site)
         if proc is not None and proc.is_alive():
@@ -312,6 +370,7 @@ class ProcessMatchPool:
         conn = self._conns.get(site)
         if conn is not None:
             conn.close()
+        self._attached.discard(site)
 
     def _record(self, kind: str, site: int, detail: str = "") -> None:
         event = FaultEvent(cycle=self._cycle, kind=kind, site=site, detail=detail)
@@ -340,13 +399,39 @@ class ProcessMatchPool:
         except (BrokenPipeError, OSError):
             return False
 
+    def _try_send_bytes(self, site: int, blob: bytes) -> bool:
+        """Ship an already-pickled message. ``Connection.recv`` unpickles
+        whatever bytes arrive, so ``send_bytes(pickle.dumps(msg))`` is
+        wire-identical to ``send(msg)`` — but serialized exactly once,
+        which also makes ``len(blob)`` the *exact* IPC byte count (the
+        old scatter path pickled a second time just to measure)."""
+        try:
+            self._conns[site].send_bytes(blob)
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
     def _recv(self, site: int) -> Optional[List[MatchSummary]]:
         """One reply's match summaries (observability payload ingested as
-        a side effect), or ``None`` when the worker is dead or wedged."""
+        a side effect), or ``None`` when the worker is dead or wedged.
+
+        Waits under a bounded deadline no matter how the pool was
+        configured, polling in short slices so a worker that died *after*
+        the request was sent fails over in well under a second instead of
+        burning the whole reply deadline (or, with no usable timeout,
+        blocking forever — the hang this replaces)."""
         conn = self._conns[site]
+        deadline = time.monotonic() + self.timeout
         try:
-            if not conn.poll(self.timeout):
-                return None
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None  # wedged past the deadline
+                if conn.poll(min(0.25, remaining)):
+                    break
+                proc = self._procs.get(site)
+                if proc is not None and not proc.is_alive() and not conn.poll(0):
+                    return None  # died before replying, nothing buffered
             tag, payload = conn.recv()
         except (EOFError, OSError):
             return None
@@ -478,11 +563,44 @@ class ProcessMatchPool:
                     else ""
                 ),
             )
-            if not self._try_send(site, ("match", list(self._log))):
+            if not self._catch_up_and_request(site):
                 continue
             results = self._recv(site)
             if results is not None:
                 return results
+
+    def _catch_up_and_request(self, site: int) -> bool:
+        """Bring a freshly (re)spawned worker current and ask it to match.
+
+        Columnar mode: ship the attach spec (the worker scans the shared
+        liveness snapshot) plus a cursor-only match request. Delta mode:
+        replay the cumulative wire-delta log. Either way the messages are
+        pickled exactly once and their sizes feed the IPC byte metrics.
+        """
+        if self._shared:
+            wm: ColumnarWorkingMemory = self.wm  # type: ignore[assignment]
+            spec_blob = pickle.dumps(
+                ("attach", wm.attach_spec()), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            match_blob = pickle.dumps(
+                ("match-shm", wm.refresh_info()),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            if not self._try_send_bytes(site, spec_blob):
+                return False
+            self._attached.add(site)
+            ok = self._try_send_bytes(site, match_blob)
+            sent_bytes = len(spec_blob) + (len(match_blob) if ok else 0)
+        else:
+            blob = pickle.dumps(
+                ("match", list(self._log)), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            ok = self._try_send_bytes(site, blob)
+            sent_bytes = len(blob) if ok else 0
+        if self.metrics.enabled and sent_bytes:
+            self.metrics.inc("parulel_ipc_messages_total", direction="request")
+            self.metrics.inc("parulel_ipc_bytes_total", sent_bytes, site=site)
+        return ok
 
     def _inject_faults(self) -> None:
         """Apply this cycle's scheduled worker kills/wedges (real signals)."""
@@ -505,44 +623,82 @@ class ProcessMatchPool:
     def conflict_set(self) -> List[Instantiation]:
         """Full conflict set, deterministic order (site 0's rules first).
 
-        Ships the WM delta since the last call to every live worker, then
-        merges per-site results in site order. Crashed or unresponsive
-        workers are respawned and caught up transparently; sites past
-        their respawn budget are matched in-parent.
+        Delta mode ships the WM delta since the last call to every live
+        worker; columnar mode ships only journal cursors (workers read the
+        shared columns directly). Per-site results merge in site order.
+        Crashed or unresponsive workers are respawned and caught up
+        transparently; sites past their respawn budget are matched
+        in-parent.
         """
         if self._closed:
             raise MatchError("ProcessMatchPool is closed")
         self._cycle += 1
         if self._injector is not None:
             self._inject_faults()
-        delta = self._recorder.drain()
-        for wme in delta.adds:
-            self._wme_by_ts[wme.timestamp] = wme
-        for ts in delta.removes:
-            self._wme_by_ts.pop(ts, None)
-        payload: List[tuple] = []
-        if not delta.empty:
-            wire = delta.wire()
-            self._log.append(wire)
-            payload.append(wire)
 
         # Fan the request out to every live worker before collecting any
         # reply, so sites match concurrently; then merge in deterministic
-        # order (degraded sites are matched serially in-parent).
+        # order (degraded sites are matched serially in-parent). Both modes
+        # pickle each distinct message exactly once and ship the bytes, so
+        # the IPC byte metrics count precisely what crossed the pipes.
         metrics = self.metrics
-        wire_bytes = 0
-        if metrics.enabled and payload:
-            wire_bytes = len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
         sent: Dict[int, bool] = {}
-        for site in self.active_sites:
-            ok = site not in self.degraded_sites and self._try_send(
-                site, ("match", payload)
+        if self._shared:
+            # Columnar mode: the data already lives in shared memory. The
+            # per-cycle message is just journal/heap cursors plus any
+            # structural (re)mount specs — a few hundred bytes regardless
+            # of how many WMEs changed.
+            wm: ColumnarWorkingMemory = self.wm  # type: ignore[assignment]
+            match_blob = pickle.dumps(
+                ("match-shm", wm.cycle_info()), protocol=pickle.HIGHEST_PROTOCOL
             )
-            sent[site] = ok
-            if ok and metrics.enabled:
-                metrics.inc("parulel_ipc_messages_total", direction="request")
-                if wire_bytes:
-                    metrics.inc("parulel_ipc_bytes_total", wire_bytes, site=site)
+            spec_blob: Optional[bytes] = None
+            for site in self.active_sites:
+                if site in self.degraded_sites:
+                    sent[site] = False
+                    continue
+                site_bytes = 0
+                ok = True
+                if site not in self._attached:
+                    if spec_blob is None:
+                        spec_blob = pickle.dumps(
+                            ("attach", wm.attach_spec()),
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        )
+                    ok = self._try_send_bytes(site, spec_blob)
+                    if ok:
+                        self._attached.add(site)
+                        site_bytes += len(spec_blob)
+                if ok:
+                    ok = self._try_send_bytes(site, match_blob)
+                    if ok:
+                        site_bytes += len(match_blob)
+                sent[site] = ok
+                if ok and metrics.enabled:
+                    metrics.inc("parulel_ipc_messages_total", direction="request")
+                    metrics.inc("parulel_ipc_bytes_total", site_bytes, site=site)
+        else:
+            delta = self._recorder.drain()
+            for wme in delta.adds:
+                self._wme_by_ts[wme.timestamp] = wme
+            for ts in delta.removes:
+                self._wme_by_ts.pop(ts, None)
+            payload: List[tuple] = []
+            if not delta.empty:
+                wire = delta.wire()
+                self._log.append(wire)
+                payload.append(wire)
+            blob = pickle.dumps(
+                ("match", payload), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            for site in self.active_sites:
+                ok = site not in self.degraded_sites and self._try_send_bytes(
+                    site, blob
+                )
+                sent[site] = ok
+                if ok and metrics.enabled:
+                    metrics.inc("parulel_ipc_messages_total", direction="request")
+                    metrics.inc("parulel_ipc_bytes_total", len(blob), site=site)
         merged: List[Instantiation] = []
         for site in self.active_sites:
             if site in self.degraded_sites:
@@ -575,7 +731,10 @@ class ProcessMatchPool:
         if self._closed:
             return
         self._closed = True
-        self._recorder.detach()
+        if self._recorder is not None:
+            self._recorder.detach()
+        if self._shared:
+            self.wm.remove_listener(self._ts_listener)
         if self._parent_alpha is not None:
             self._parent_alpha.detach()
         for site in list(self._procs):

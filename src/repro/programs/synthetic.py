@@ -13,6 +13,11 @@ rules never need to fire):
     retracts and re-asserts a block of WMEs. RETE pays beta-memory
     maintenance on every change; TREAT recomputes seeded joins but carries
     no beta state — the classic trade Miranker measured.
+
+:func:`build_scale_workload` (million-WME tier)
+    a huge mostly-inert working memory with a small churned frontier — the
+    regime where shipping per-cycle deltas to process workers is dominated
+    by replica (re)build cost and the shared columnar store pays off.
 """
 
 from __future__ import annotations
@@ -25,7 +30,14 @@ from repro.lang.builder import ProgramBuilder, v
 from repro.wm.memory import WorkingMemory
 from repro.wm.template import TemplateRegistry
 
-__all__ = ["build_join_workload", "build_churn_workload", "JoinWorkload", "ChurnWorkload"]
+__all__ = [
+    "build_join_workload",
+    "build_churn_workload",
+    "build_scale_workload",
+    "JoinWorkload",
+    "ChurnWorkload",
+    "ScaleWorkload",
+]
 
 
 class JoinWorkload:
@@ -130,3 +142,81 @@ def build_churn_workload(
         return new_block
 
     return ChurnWorkload(program, load, churn)
+
+
+class ScaleWorkload:
+    """A bulk-load-then-churn workload for the million-WME experiments."""
+
+    def __init__(
+        self,
+        program: Program,
+        load: Callable[[WorkingMemory], List],
+        churn: Callable[[WorkingMemory, List, int], List],
+        n_facts: int,
+    ):
+        self.program = program
+        self.load = load
+        self.churn = churn
+        self.n_facts = n_facts
+
+    def fresh_wm(self) -> WorkingMemory:
+        return WorkingMemory(TemplateRegistry.from_program(self.program))
+
+
+def build_scale_workload(
+    n_facts: int = 1_000_000,
+    n_keys: int = 1000,
+    churn_block: int = 200,
+    seed: int = 23,
+) -> ScaleWorkload:
+    """The million-WME tier: a huge, mostly-inert working memory with a
+    tiny matched frontier — the regime the columnar store targets.
+
+    ``load(wm)`` asserts ``n_facts`` ``item`` WMEs (the bulk; no rule ever
+    joins on them alone) plus one ``probe`` per key. The single rule joins
+    ``probe ⋈ item`` on ``key``, but probes cover only ``n_keys`` of the
+    ``16 * n_keys`` item key values, so the conflict set stays ~``n_facts/16``
+    regardless of bulk size. ``churn(wm, block, step)`` retracts and
+    re-asserts a ``churn_block``-sized slice of items with rotated keys —
+    the per-cycle delta a worker replica must absorb, deterministic in
+    ``(seed, step)``.
+    """
+    pb = ProgramBuilder()
+    pb.literalize("item", "key", "payload")
+    pb.literalize("probe", "key")
+    pb.literalize("hit", "key", "payload")
+    (
+        pb.rule("probe-hit")
+        .ce("probe", key=v("k"))
+        .ce("item", key=v("k"), payload=v("p"))
+        .make("hit", key=v("k"), payload=v("p"))
+    )
+    program = pb.build()
+    key_space = 16 * n_keys
+
+    def load(wm: WorkingMemory) -> List:
+        rng = random.Random(seed)
+        block = []
+        for i in range(n_facts):
+            wme = wm.make("item", key=rng.randrange(key_space), payload=i)
+            if len(block) < churn_block:
+                block.append(wme)
+        for k in range(n_keys):
+            wm.make("probe", key=k)
+        return block
+
+    def churn(wm: WorkingMemory, block: List, step: int) -> List:
+        new_block = []
+        for wme in block:
+            wm.remove(wme)
+        for wme in block:
+            new_block.append(
+                wm.make(
+                    "item",
+                    key=(wme.get("key") + step) % key_space,
+                    payload=wme.get("payload"),
+                )
+            )
+        return new_block
+
+    return ScaleWorkload(program, load, churn, n_facts)

@@ -26,7 +26,7 @@ from repro.lang.builder import ProgramBuilder, v
 from repro.programs.base import BenchmarkWorkload
 from repro.wm.memory import WorkingMemory
 
-__all__ = ["build_tc", "tc_program", "generate_graph"]
+__all__ = ["build_tc", "build_tc_scale", "tc_program", "generate_graph"]
 
 
 def tc_program():
@@ -111,5 +111,63 @@ def build_tc(
         verify=verify,
         params={"n_nodes": n_nodes, "shape": shape, "seed": seed, "density": density},
         domains={("path", "src"): node_names, ("edge", "src"): node_names},
+        cc_hint=("tc-extend", 1, "src"),
+    )
+
+
+def build_tc_scale(n_chains: int = 200, chain_length: int = 20) -> BenchmarkWorkload:
+    """Scaled transitive closure: a *forest* of ``n_chains`` disjoint
+    chains, ``chain_length`` edges each.
+
+    The shape is chosen so correctness stays checkable at any size without
+    materializing a ground-truth closure: a chain of ``L`` edges closes to
+    exactly ``L·(L+1)/2`` paths, so the forest's closure size is analytic,
+    and cycles-to-quiescence stays ``⌈log2 L⌉``-ish (frontier doubling)
+    rather than growing with ``n_chains`` — set-oriented firing does all
+    chains at once. Derived path counts in the million-WME benchmarks are
+    verified against the formula plus a full spot-check of chain 0.
+
+    Deliberately *not* registered in ``REGISTRY`` — table-1 style tooling
+    iterates the registry, and this workload is sized for the scale
+    benchmarks only.
+    """
+    edges: List[Tuple[int, int]] = []
+    stride = chain_length + 1
+    for c in range(n_chains):
+        base = c * stride
+        edges.extend((base + i, base + i + 1) for i in range(chain_length))
+    expected_paths = n_chains * chain_length * (chain_length + 1) // 2
+    chain0 = {
+        (f"n{a}", f"n{b}")
+        for a in range(stride)
+        for b in range(a + 1, stride)
+    }
+
+    def setup(engine) -> None:
+        for a, b in edges:
+            engine.make("edge", src=f"n{a}", dst=f"n{b}")
+
+    def verify(wm: WorkingMemory) -> Dict[str, bool]:
+        derived = {
+            (wme.get("src"), wme.get("dst")) for wme in wm.by_class("path")
+        }
+        derived_chain0 = {
+            (a, b) for a, b in derived if int(a[1:]) < stride
+        }
+        return {
+            "path-count-matches-formula": len(derived) == expected_paths,
+            "no-duplicate-paths": len(derived) == wm.count_class("path"),
+            "chain0-closure-exact": derived_chain0 == chain0,
+        }
+
+    return BenchmarkWorkload(
+        name="tc-scale",
+        description=f"transitive closure, forest of {n_chains} chains × "
+        f"{chain_length} edges ({len(edges)} edges, "
+        f"{expected_paths} closure paths)",
+        program=tc_program(),
+        setup=setup,
+        verify=verify,
+        params={"n_chains": n_chains, "chain_length": chain_length},
         cc_hint=("tc-extend", 1, "src"),
     )

@@ -14,6 +14,7 @@ from hypothesis import HealthCheck, given, settings
 from repro.lang.builder import ProgramBuilder, conj, gt, lt, ne, v
 from repro.match.interface import MATCHER_NAMES, create_matcher
 from repro.programs import REGISTRY
+from repro.wm.columnar import ColumnarWorkingMemory
 from repro.wm.memory import WorkingMemory
 
 CLASSES = ["a", "b", "c"]
@@ -137,6 +138,44 @@ class TestDifferential:
             fresh_wm.add(wme)
         fresh = create_matcher("rete", program.rules, fresh_wm)
         assert conflict_image(incremental) == conflict_image(fresh)
+
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(program=rule_programs(), script=script_steps)
+    def test_columnar_store_agrees_with_dict_store(self, program, script):
+        """The whole differential script run over the columnar store must
+        land every serial matcher on the same conflict set as over the
+        dict store — the ``--wm-backend columnar`` guarantee."""
+        col_wm = ColumnarWorkingMemory()
+        dict_wm = WorkingMemory()
+        try:
+            col_matchers = [
+                create_matcher(name, program.rules, col_wm)
+                for name in ("rete", "rete-shared", "treat", "naive")
+            ]
+            dict_rete = create_matcher("rete", program.rules, dict_wm)
+            live_col, live_dict = [], []
+            for step in script:
+                if step[0] == "add":
+                    _tag, cls, k, mval = step
+                    live_col.append(col_wm.make(cls, k=k, m=mval))
+                    live_dict.append(dict_wm.make(cls, k=k, m=mval))
+                else:
+                    if not live_col:
+                        continue
+                    idx = step[1] % len(live_col)
+                    col_wm.remove(live_col.pop(idx))
+                    dict_wm.remove(live_dict.pop(idx))
+                expected = conflict_image(dict_rete)
+                for matcher in col_matchers:
+                    assert conflict_image(matcher) == expected, (
+                        f"columnar divergence after {step}"
+                    )
+        finally:
+            col_wm.close()
 
 
 class TestAllBackendsOnRealPrograms:
