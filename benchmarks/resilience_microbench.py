@@ -1,0 +1,125 @@
+"""Checkpoint cost microbenchmark: full snapshots vs delta increments.
+
+Advisory only — no CI gate. Quantifies what the rotating
+:class:`~repro.resilience.checkpoint.CheckpointStore` buys over writing a
+full snapshot every cycle:
+
+- **size**: bytes on disk per full vs per delta checkpoint (a delta
+  carries only the delta-log suffix, new output and new refraction keys
+  since the previous save — the working memory is not re-serialized);
+- **write time**: wall time per ``save_full`` vs ``save_delta``
+  (both pay the fsync + rename discipline);
+- **restore latency**: ``store.load()`` + ``ParulelEngine.restore`` for a
+  store holding one full plus a chain of deltas, versus a full-only store
+  — the replay cost a resume actually pays.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python -m benchmarks.resilience_microbench [--wmes N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+from typing import List
+
+from repro.core import ParulelEngine
+from repro.lang.parser import parse_program
+from repro.resilience.checkpoint import CheckpointStore, EngineCheckpointer
+
+#: Bulk facts + per-cycle churn: big enough that re-serializing the whole
+#: working memory per checkpoint visibly dominates the full-snapshot cost.
+SRC = """
+(literalize item id gen)
+(literalize tick n limit)
+(p advance
+    (tick ^n <n> ^limit {<limit> > <n>})
+    (item ^id <i> ^gen <n>)
+    -->
+    (modify 2 ^gen (compute <n> + 1))
+    (modify 1 ^n (compute <n> + 1)))
+"""
+
+
+def build_engine(wmes: int, cycles: int) -> ParulelEngine:
+    engine = ParulelEngine(parse_program(SRC))
+    engine.make("tick", n=0, limit=cycles)
+    for i in range(wmes):
+        # Only item 0 matches per cycle; the rest are checkpoint ballast.
+        engine.make("item", id=i, gen=0 if i == 0 else -1)
+    return engine
+
+
+def timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def fmt_bytes(n: float) -> str:
+    return f"{n / 1024:.1f} KiB" if n >= 1024 else f"{n:.0f} B"
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--wmes", type=int, default=20_000,
+                        help="working-memory size (default: 20000)")
+    parser.add_argument("--cycles", type=int, default=10,
+                        help="checkpointed cycles to run (default: 10)")
+    args = parser.parse_args(argv)
+
+    prog = parse_program(SRC)
+    engine = build_engine(args.wmes, args.cycles)
+
+    with tempfile.TemporaryDirectory(prefix="parulel-bench-") as tmp:
+        store = CheckpointStore(os.path.join(tmp, "store"), keep=2)
+        ck = EngineCheckpointer(engine, store, full_every=args.cycles + 1)
+        full_times = [timed(ck.save)]  # first save is always full
+        delta_times, paths = [], []
+        while engine.step() is not None:
+            delta_times.append(timed(ck.save))
+        paths = [p for _s, _k, p in store._entries()]
+        full_sizes = [os.path.getsize(p) for p in paths if p.endswith(".full")]
+        delta_sizes = [os.path.getsize(p) for p in paths if p.endswith(".delta")]
+        t0 = time.perf_counter()
+        load = store.load()
+        restored = ParulelEngine.restore(prog, load.state)
+        restore_chain = time.perf_counter() - t0
+        n_deltas = len(load.delta_paths)
+
+        # A second full snapshot for the like-for-like write-time sample
+        # (written after the chain restore so it does not shadow it).
+        full_times.append(timed(lambda: store.save_full(engine.checkpoint())))
+        full_sizes.append(os.path.getsize(store._entries()[-1][2]))
+
+        full_only = CheckpointStore(os.path.join(tmp, "full-only"), keep=1)
+        full_only.save_full(engine.checkpoint())
+        t0 = time.perf_counter()
+        ParulelEngine.restore(prog, full_only.load().state)
+        restore_full = time.perf_counter() - t0
+
+        assert restored.cycle == engine.cycle
+
+    def avg(xs):
+        return sum(xs) / len(xs) if xs else 0.0
+
+    print(f"[resilience] {args.wmes} WMEs, {engine.cycle} checkpointed cycles")
+    print(f"  full snapshot : {fmt_bytes(avg(full_sizes)):>10} "
+          f"  write {avg(full_times) * 1e3:7.2f} ms   (n={len(full_sizes)})")
+    print(f"  delta         : {fmt_bytes(avg(delta_sizes)):>10} "
+          f"  write {avg(delta_times) * 1e3:7.2f} ms   (n={len(delta_sizes)})")
+    if delta_sizes:
+        print(f"  size ratio    : {avg(full_sizes) / avg(delta_sizes):10.1f}x "
+              f"smaller per delta")
+    print(f"  restore       : full-only {restore_full * 1e3:.2f} ms; "
+          f"full + {n_deltas} delta(s) {restore_chain * 1e3:.2f} ms")
+    print("  (advisory: numbers vary with machine load; no gate)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

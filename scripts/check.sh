@@ -9,6 +9,11 @@
 #                               # recovery bug from hanging the gate)
 #   scripts/check.sh --bench    # additionally regenerate the experiment
 #                               # tables/figures under benchmarks/results/
+#   scripts/check.sh --resilience  # additionally run the live-recovery
+#                               # chaos differential (seeded SIGKILLs +
+#                               # checkpoint truncation + segment unlinks
+#                               # must recover byte-identically) for both
+#                               # WM backends, plus the shm-leak check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -71,21 +76,32 @@ echo "== working-memory store gate (columnar vs dict: bytes + identity)"
 python -m benchmarks.wm_microbench --check
 # Shared-memory segments are unlinked by ColumnarWorkingMemory.close(),
 # a pid-guarded finalizer, and the stdlib resource tracker — but a
-# SIGKILLed *parent* can still strand named segments. Sweep any left by
-# this gate's own runs so repeated CI runs cannot fill /dev/shm.
-# (Other live processes may legitimately own pwm* segments; only remove
-# ones whose owner is gone, which `fuser` reports as unused.)
-for seg in /dev/shm/pwm*; do
-    [[ -e "$seg" ]] || continue
-    if ! fuser -s "$seg" 2>/dev/null; then
-        rm -f "$seg"
-        echo "swept leaked shared-memory segment: $seg"
-    fi
-done
+# SIGKILLed *parent* can still strand named segments. The janitor sweeps
+# any left by this gate's own runs so repeated CI runs cannot fill
+# /dev/shm; it is safe by construction (segments whose embedded owner pid
+# is alive, or that any live process has mapped, are kept).
+python -m repro.cli janitor
 
 if [[ "${1:-}" == "--faults" ]]; then
     echo "== fault-injection/recovery suite (slow tests included)"
-    python -m pytest tests/faults tests/core/test_checkpoint.py -q
+    python -m pytest tests/faults tests/core/test_checkpoint.py tests/resilience -q
+fi
+
+if [[ "${1:-}" == "--resilience" ]]; then
+    echo "== resilience suite (checkpoints, supervision, janitor)"
+    python -m pytest tests/resilience -q
+    echo "== chaos differential (crash + corruption -> byte-identical recovery)"
+    for seed in 0 1; do
+        python -m repro.resilience.chaos --workload tc --backend dict --seed "$seed"
+        python -m repro.resilience.chaos --workload tc --backend columnar --seed "$seed"
+    done
+    # The chaos runs above include the janitor leg (orphaned-segment
+    # reclamation after a SIGKILLed columnar owner); fail loudly if
+    # anything pwm* is still both present and unowned afterwards.
+    LEFT="$(python -m repro.cli janitor)"
+    if [[ -n "$LEFT" ]]; then
+        echo "chaos runs leaked shared-memory segments:"; echo "$LEFT"; exit 1
+    fi
 fi
 
 if [[ "${1:-}" == "--bench" ]]; then

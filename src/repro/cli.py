@@ -30,7 +30,19 @@ Installed as ``parulel`` (see pyproject). Subcommands:
 ``parulel profile TARGET [--facts FILE] [--matcher ...] [--top N]``
     run a program (or a bundled workload name like ``tc``) with the
     observability layer on and print the per-phase breakdown plus the
-    hot-rule table (time, candidates, firings, redactions per rule).
+    hot-rule table (time, candidates, firings, redactions per rule);
+``parulel janitor [--dry-run] [--min-age S]``
+    reclaim orphaned ``/dev/shm`` segments left behind by killed
+    ``--wm-backend columnar`` runs (safe: only segments whose owner
+    process is gone are removed).
+
+Checkpointing: ``--checkpoint-every N`` writes a resumable checkpoint
+every N cycles (atomic, digest-framed — a crash mid-write never corrupts
+the previous one). Adding ``--checkpoint-keep K`` turns the checkpoint
+path into a rotating *store directory* holding the last K full snapshots
+with cheap delta checkpoints in between (``--checkpoint-full-every``);
+``--resume`` accepts either form and, given a store, falls back to the
+newest checkpoint that verifies, warning about any it had to skip.
 
 ``parulel run``/``parulel profile`` accept ``--trace-out PATH`` (Chrome
 trace-event JSON, or JSONL when PATH ends in ``.jsonl`` — load the former
@@ -132,6 +144,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.checkpoint_every is not None and args.checkpoint_every < 1:
         print("error: --checkpoint-every must be >= 1", file=sys.stderr)
         return 2
+    if args.checkpoint_keep is not None:
+        if args.checkpoint_keep < 1:
+            print("error: --checkpoint-keep must be >= 1", file=sys.stderr)
+            return 2
+        if args.checkpoint_every is None:
+            print(
+                "error: --checkpoint-keep requires --checkpoint-every",
+                file=sys.stderr,
+            )
+            return 2
+    if args.checkpoint_full_every < 1:
+        print("error: --checkpoint-full-every must be >= 1", file=sys.stderr)
+        return 2
     if args.engine == "ops5" and (
         args.matcher_timeout is not None
         or args.respawn_limit is not None
@@ -197,7 +222,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if user_trace is not None:
                 user_trace(report)
             if report.cycle % args.checkpoint_every == 0:
-                engine.checkpoint(ckpt_path)
+                ckpt_save()
 
     config = EngineConfig(
         matcher=matcher,
@@ -210,14 +235,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     obs_tracer, obs_metrics = _make_obs(args)
     if args.resume:
+        import os
+
         if args.facts:
             print(
                 "warning: --resume restores the checkpointed working memory; "
                 "--facts is ignored",
                 file=sys.stderr,
             )
+        resume_state = args.resume
+        if os.path.isdir(args.resume):
+            # A checkpoint store: load here (not inside restore) so the
+            # last-good fallback can surface which files were skipped.
+            from repro.resilience import CheckpointStore
+
+            load = CheckpointStore(args.resume).load()
+            for path, reason in load.skipped:
+                print(
+                    f"warning: skipped corrupt checkpoint {path}: {reason}",
+                    file=sys.stderr,
+                )
+            resume_state = load.state
         engine = ParulelEngine.restore(
-            program, args.resume, config, trace=trace,
+            program, resume_state, config, trace=trace,
             tracer=obs_tracer, metrics=obs_metrics,
         )
     else:
@@ -226,6 +266,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         for cls, attrs in facts:
             engine.make(cls, attrs)
+    if args.checkpoint_keep is not None:
+        from repro.resilience import CheckpointStore, EngineCheckpointer
+
+        _ckpt = EngineCheckpointer(
+            engine,
+            CheckpointStore(ckpt_path, keep=args.checkpoint_keep),
+            full_every=args.checkpoint_full_every,
+        )
+        ckpt_save = _ckpt.save
+    else:
+
+        def ckpt_save() -> None:
+            engine.checkpoint(ckpt_path)
+
     try:
         result = engine.run(max_cycles=args.max_cycles)
     except CycleLimitExceeded as exc:
@@ -234,7 +288,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             for line in partial.output:
                 print(line)
         if args.checkpoint_every is not None:
-            engine.checkpoint(ckpt_path)  # salvage the partial run
+            ckpt_save()  # salvage the partial run
         # A truncated run is exactly when you want to see where the time
         # went — the artifacts cover the cycles that did complete.
         _write_obs(args, obs_tracer, obs_metrics)
@@ -512,6 +566,22 @@ def _cmd_repl(args: argparse.Namespace) -> int:
     return run_repl(program, input_lines=feed() if initial else None)
 
 
+def _cmd_janitor(args: argparse.Namespace) -> int:
+    from repro.resilience import sweep_orphans
+
+    report = sweep_orphans(
+        shm_dir=args.shm_dir, min_age=args.min_age, dry_run=args.dry_run
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    for name in report.removed:
+        print(f"{verb} {name}")
+    if args.verbose:
+        for name, reason in report.kept:
+            print(f"kept {name}: {reason}", file=sys.stderr)
+    print(str(report), file=sys.stderr)
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.programs import REGISTRY
 
@@ -613,13 +683,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--checkpoint",
         metavar="PATH",
-        help="checkpoint file path (default: PROGRAM.ckpt)",
+        help="checkpoint file path (default: PROGRAM.ckpt); with "
+        "--checkpoint-keep this is a store *directory*",
+    )
+    p_run.add_argument(
+        "--checkpoint-keep",
+        type=int,
+        default=None,
+        metavar="K",
+        help="rotate checkpoints in a store directory, keeping the last K "
+        "full snapshots (requires --checkpoint-every); between fulls the "
+        "store writes cheap incremental deltas",
+    )
+    p_run.add_argument(
+        "--checkpoint-full-every",
+        type=int,
+        default=5,
+        metavar="M",
+        help="with --checkpoint-keep: write a full snapshot every M-th "
+        "checkpoint, deltas in between (default: 5)",
     )
     p_run.add_argument(
         "--resume",
         metavar="PATH",
-        help="resume from a checkpoint written by --checkpoint-every "
-        "(--facts is ignored)",
+        help="resume from a checkpoint file or store directory written by "
+        "--checkpoint-every (--facts is ignored); a store falls back to "
+        "the newest checkpoint that verifies",
     )
     p_run.add_argument(
         "--no-index",
@@ -751,6 +840,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--trace-out", metavar="PATH")
     p_prof.add_argument("--metrics-out", metavar="PATH")
     p_prof.set_defaults(fn=_cmd_profile)
+
+    p_jan = sub.add_parser(
+        "janitor",
+        help="reclaim orphaned /dev/shm segments left by killed "
+        "--wm-backend columnar runs",
+    )
+    p_jan.add_argument(
+        "--shm-dir",
+        default="/dev/shm",
+        metavar="DIR",
+        help="shared-memory mount to sweep (default: /dev/shm)",
+    )
+    p_jan.add_argument(
+        "--min-age",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="never sweep legacy (pid-less) segments younger than this",
+    )
+    p_jan.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be removed without unlinking anything",
+    )
+    p_jan.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also report kept segments and why, to stderr",
+    )
+    p_jan.set_defaults(fn=_cmd_janitor)
 
     return parser
 

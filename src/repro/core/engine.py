@@ -29,7 +29,6 @@ published description of PARULEL's meta level.
 
 from __future__ import annotations
 
-import json
 import time
 from collections import Counter
 from dataclasses import dataclass, field
@@ -94,6 +93,13 @@ class EngineConfig:
     matcher_timeout: Optional[float] = None
     respawn_limit: Optional[int] = None
     fault_plan: Optional[FaultPlan] = None
+    #: Supervision policy for the process backend
+    #: (:class:`~repro.resilience.supervisor.SupervisorPolicy`): heartbeat
+    #: probes, seeded respawn backoff, per-site circuit breaker, and the
+    #: process → threaded → serial degradation ladder with re-promotion.
+    #: ``None`` keeps the legacy behaviour (immediate respawns, permanent
+    #: degradation straight to in-parent serial).
+    supervisor: Optional[object] = None
     #: Rule-to-worker assignment policy for the process backend:
     #: ``"round-robin"`` (default), ``"analysis"`` (the static analyzer's
     #: connectivity-minimizing partition), or a concrete
@@ -214,6 +220,8 @@ class ParulelEngine:
             matcher_options["respawn_limit"] = self.config.respawn_limit
         if self.config.fault_plan is not None:
             matcher_options["fault_plan"] = self.config.fault_plan
+        if self.config.supervisor is not None:
+            matcher_options["supervisor"] = self.config.supervisor
         if self.config.assignment is not None:
             matcher_options["assignment"] = self.config.assignment
         if self.tracer.enabled or self.metrics.enabled:
@@ -241,6 +249,10 @@ class ParulelEngine:
         #: Last-seen matcher op totals, for per-cycle MATCH_OPS deltas.
         self._last_match_ops: Counter = Counter()
         self.fired: Set[InstKey] = set()
+        #: Append-only mirror of :attr:`fired` in firing order, so
+        #: incremental checkpoints (:meth:`checkpoint_delta`) can slice
+        #: "keys fired since the cursor" without diffing sets.
+        self._fired_log: List[InstKey] = []
         self.output: List[str] = []
         self.reports: List[CycleReport] = []
         #: Thread-safe per-phase wall-clock accumulator; the engine's named
@@ -337,6 +349,7 @@ class ParulelEngine:
             if metrics.enabled:
                 for inst in survivors:
                     self.fired.add(inst.key)
+                    self._fired_log.append(inst.key)
                     t0 = time.perf_counter()
                     deltas.append(self.evaluator.evaluate(inst))
                     metrics.observe(
@@ -347,6 +360,7 @@ class ParulelEngine:
             else:
                 for inst in survivors:
                     self.fired.add(inst.key)
+                    self._fired_log.append(inst.key)
                     deltas.append(self.evaluator.evaluate(inst))
 
         with self._phase("merge", "apply", cycle=cycle_no, deltas=len(deltas)):
@@ -577,6 +591,11 @@ class ParulelEngine:
         Matcher internals are *not* saved — :meth:`restore` rebuilds the
         match network by replaying the restored WMEs, which yields the same
         conflict set because matchers are deterministic in timestamp order.
+
+        When ``path`` is given the checkpoint is written as a framed,
+        digest-protected envelope (:mod:`repro.resilience.checkpoint`)
+        via an atomic tmp + fsync + rename, so a crash mid-write can never
+        leave a half-written file under the final name.
         """
         records, next_ts = self.wm.dump_records()
         state: Dict[str, Any] = {
@@ -598,9 +617,53 @@ class ParulelEngine:
             ],
         }
         if path is not None:
-            with open(path, "w", encoding="utf-8") as fh:
-                json.dump(state, fh)
+            from repro.resilience.checkpoint import write_envelope
+
+            write_envelope(path, state, kind="full")
         return state
+
+    def checkpoint_cursor(self) -> Tuple[int, int, int, int]:
+        """Opaque position marker for :meth:`checkpoint_delta`: the cycle
+        plus the lengths of the append-only logs (delta log, output,
+        firing log) at this moment."""
+        return (
+            self._cycle,
+            len(self.delta_log),
+            len(self.output),
+            len(self._fired_log),
+        )
+
+    def checkpoint_delta(
+        self, cursor: Tuple[int, int, int, int]
+    ) -> Tuple[Dict[str, Any], Tuple[int, int, int, int]]:
+        """Incremental checkpoint: everything appended since ``cursor``.
+
+        Returns ``(payload, new_cursor)``. The payload is a JSON-safe dict
+        that :func:`repro.resilience.checkpoint.apply_delta_state` replays
+        onto the full-checkpoint state taken at ``cursor`` — orders of
+        magnitude smaller than a full snapshot when few WMEs change per
+        cycle, which is what makes frequent checkpointing affordable.
+        """
+        base_cycle, d0, o0, f0 = cursor
+        payload: Dict[str, Any] = {
+            "version": CHECKPOINT_VERSION,
+            "kind": "delta",
+            "base_cycle": base_cycle,
+            "cycle": self._cycle,
+            "halted": self.halted,
+            "redaction_quiescent": self._redaction_quiescent,
+            "next_timestamp": self.wm.latest_timestamp + 1,
+            "fired": [
+                [rule, list(timestamps)]
+                for rule, timestamps in self._fired_log[f0:]
+            ],
+            "output": list(self.output[o0:]),
+            "delta_log": [
+                [list(removed), [list(rec) for rec in made]]
+                for removed, made in self.delta_log[d0:]
+            ],
+        }
+        return payload, self.checkpoint_cursor()
 
     @classmethod
     def restore(
@@ -619,21 +682,56 @@ class ParulelEngine:
         are not serialized — only state). The restored engine continues
         byte-identically: same timestamps, same refraction set, same cycle
         numbering.
+
+        ``state`` may be a checkpoint dict, a file path (envelope or
+        legacy raw JSON), or a :class:`~repro.resilience.checkpoint`
+        store directory — directories fall back to the newest checkpoint
+        that verifies. Truncated or malformed inputs raise a typed
+        :class:`~repro.errors.ExecutionError` (or its subclass
+        ``CheckpointCorruptError``) naming the file, never a raw
+        ``json.JSONDecodeError``/``KeyError``.
         """
+        src: Optional[str] = None
         if isinstance(state, str):
-            with open(state, "r", encoding="utf-8") as fh:
-                state = json.load(fh)
+            from repro.resilience.checkpoint import load_checkpoint_file
+
+            src = state
+            state = load_checkpoint_file(state)
+        where = f" file {src!r}" if src is not None else ""
+        if not isinstance(state, dict):
+            raise ExecutionError(
+                f"malformed checkpoint{where}: expected an object, "
+                f"got {type(state).__name__}"
+            )
         version = state.get("version")
         if version != CHECKPOINT_VERSION:
             raise ExecutionError(
                 f"checkpoint version {version!r} is not supported "
                 f"(expected {CHECKPOINT_VERSION})"
             )
+        try:
+            records = [tuple(rec) for rec in state["wm"]["records"]]
+            next_ts = int(state["wm"]["next_timestamp"])
+            cycle = int(state["cycle"])
+            halted = bool(state["halted"])
+            quiescent = bool(state["redaction_quiescent"])
+            fired = {
+                (rule, tuple(timestamps)) for rule, timestamps in state["fired"]
+            }
+            output = list(state["output"])
+            delta_log = [
+                (
+                    tuple(removed),
+                    tuple((cn, dict(attrs), ts) for cn, attrs, ts in made),
+                )
+                for removed, made in state["delta_log"]
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ExecutionError(
+                f"malformed checkpoint{where}: {exc!r}"
+            ) from exc
         wm = _build_wm(config or EngineConfig(), program)
-        wm.load_records(
-            [tuple(rec) for rec in state["wm"]["records"]],
-            state["wm"]["next_timestamp"],
-        )
+        wm.load_records(records, next_ts)
         engine = cls(
             program,
             config=config,
@@ -643,20 +741,15 @@ class ParulelEngine:
             tracer=tracer,
             metrics=metrics,
         )
-        engine._cycle = int(state["cycle"])
-        engine.halted = bool(state["halted"])
-        engine._redaction_quiescent = bool(state["redaction_quiescent"])
-        engine.fired = {
-            (rule, tuple(timestamps)) for rule, timestamps in state["fired"]
-        }
-        engine.output = list(state["output"])
-        engine.delta_log = [
-            (
-                tuple(removed),
-                tuple((cn, dict(attrs), ts) for cn, attrs, ts in made),
-            )
-            for removed, made in state["delta_log"]
-        ]
+        engine._cycle = cycle
+        engine.halted = halted
+        engine._redaction_quiescent = quiescent
+        engine.fired = fired
+        # Firing order within past cycles is not serialized; a stable
+        # sorted order keeps delta checkpoints deterministic post-restore.
+        engine._fired_log = sorted(fired)
+        engine.output = output
+        engine.delta_log = delta_log
         return engine
 
     # -- introspection ---------------------------------------------------------

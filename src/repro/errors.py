@@ -56,6 +56,20 @@ class ExecutionError(ReproError):
     ``modify``, arithmetic on non-numbers, exceeding the cycle limit, ...)."""
 
 
+class CheckpointCorruptError(ExecutionError):
+    """Raised when a checkpoint file fails integrity verification: bad
+    magic, truncated payload, SHA-256 digest mismatch, malformed JSON, or
+    an unusable store directory. Carries the offending ``path`` so callers
+    (and the CLI) can name the file; the checkpoint store catches it
+    internally to fall back to the last good snapshot.
+    """
+
+    def __init__(self, path: str, reason: str) -> None:
+        super().__init__(f"corrupt checkpoint {path!r}: {reason}")
+        self.path = path
+        self.reason = reason
+
+
 class InterferenceError(ExecutionError):
     """Raised under the ``error`` interference policy when two instantiations
     in the same firing set issue incompatible updates to one WME.

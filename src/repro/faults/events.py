@@ -27,7 +27,13 @@ __all__ = ["FaultEvent", "KNOWN_KINDS", "summarize_faults"]
 #: ``straggler`` (slow site). Recovery actions: ``detect`` (missed
 #: gather), ``redistribute`` (rules re-hosted on survivors), ``rejoin``
 #: (replica rebuilt from the delta log), ``respawn`` (worker replaced),
-#: ``degrade`` (site folded into the in-parent serial matcher).
+#: ``degrade`` (site demoted one rung down the degradation ladder).
+#: Supervision events (:mod:`repro.resilience.supervisor`): ``backoff``
+#: (seeded exponential delay before a respawn), ``heartbeat-miss`` (a
+#: liveness probe went unanswered), ``worker-error`` (a worker reply was
+#: an error and the policy degrades instead of raising),
+#: ``breaker-open``/``breaker-close`` (per-site circuit breaker), and
+#: ``promote`` (site re-promoted a rung up after cool-down).
 KNOWN_KINDS = (
     "crash",
     "kill",
@@ -41,6 +47,12 @@ KNOWN_KINDS = (
     "rejoin",
     "respawn",
     "degrade",
+    "backoff",
+    "heartbeat-miss",
+    "worker-error",
+    "breaker-open",
+    "breaker-close",
+    "promote",
 )
 
 

@@ -104,6 +104,7 @@ def create_matcher(
     respawn_limit: Optional[int] = None,
     fault_plan=None,
     assignment=None,
+    supervisor=None,
     tracer=None,
     metrics=None,
     indexed: bool = True,
@@ -113,12 +114,14 @@ def create_matcher(
 
     ``timeout`` (per-worker reply deadline, seconds), ``respawn_limit``
     (per-site crash budget before graceful degradation), ``fault_plan``
-    (a :class:`~repro.faults.FaultPlan` of injected worker faults) and
+    (a :class:`~repro.faults.FaultPlan` of injected worker faults),
     ``assignment`` (a rule-to-site policy name — ``"round-robin"`` or
     ``"analysis"`` — or a concrete
-    :class:`~repro.parallel.partition.Assignment`) apply only to the
-    ``process`` backend; passing them for a serial engine is an error
-    rather than a silent no-op.
+    :class:`~repro.parallel.partition.Assignment`) and ``supervisor``
+    (a :class:`~repro.resilience.supervisor.SupervisorPolicy` governing
+    heartbeats, backoff, circuit breaking and the degradation ladder)
+    apply only to the ``process`` backend; passing them for a serial
+    engine is an error rather than a silent no-op.
 
     ``indexed`` is likewise cross-cutting: it selects the hash-indexed
     join kernel (default) or the nested-loop escape hatch (``--no-index``)
@@ -157,6 +160,7 @@ def create_matcher(
             timeout=timeout if timeout is not None else DEFAULT_TIMEOUT,
             respawn_limit=respawn_limit,
             fault_plan=fault_plan,
+            supervisor=supervisor,
             tracer=tracer,
             metrics=metrics,
             indexed=indexed,
@@ -167,10 +171,11 @@ def create_matcher(
         or respawn_limit is not None
         or fault_plan is not None
         or assignment is not None
+        or supervisor is not None
     ):
         raise ValueError(
-            f"timeout/respawn_limit/fault_plan/assignment only apply to the "
-            f"'process' backend, not {engine!r}"
+            f"timeout/respawn_limit/fault_plan/assignment/supervisor only "
+            f"apply to the 'process' backend, not {engine!r}"
         )
 
     table = {

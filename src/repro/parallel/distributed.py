@@ -369,6 +369,10 @@ class DistributedMachine:
             site=site,
             detail=f"{moved} rule slot(s) re-hosted across survivors",
         )
+        if self.metrics.enabled:
+            # Same gauge the process pool's supervisor exports: 0 = site
+            # serving at full isolation, >0 = degraded/down.
+            self.metrics.set_gauge("parulel_site_mode", 1, site=site)
         # One timeout round, then a control round carrying the new hosting.
         return self.network.latency + self.network.round_cost(moved), moved
 
@@ -400,6 +404,8 @@ class DistributedMachine:
             detail=f"replayed {records} delta record(s); {moved} rule slot(s) "
             f"migrated home",
         )
+        if self.metrics.enabled:
+            self.metrics.set_gauge("parulel_site_mode", 0, site=site)
         return self.network.round_cost(records), records
 
     def _apply_cycle_faults(self, cycle_no: int) -> Tuple[float, int]:

@@ -26,15 +26,24 @@ What keeps it fast and correct:
   cumulative delta log, then re-asked for its site's matches. A run
   survives ``kill -9`` of any worker mid-cycle (tests inject exactly
   that).
-- **Graceful degradation.** Each site has a respawn budget
-  (``respawn_limit``; ``None`` = unlimited). When a site's worker keeps
-  dying past its budget, the pool stops respawning and *degrades* the
-  site: its rules are matched in-parent by the serial join engine against
-  the parent's own working memory. The run stays alive — slower on that
-  site, never wrong — instead of raising
-  :class:`~repro.errors.MatchError`. Because the parent WM holds exactly
-  the replica contents in the same order, degraded results are
-  byte-identical to worker results. Every respawn and degradation is a
+- **Supervised degradation.** Each site has a respawn budget
+  (``respawn_limit``; ``None`` = unlimited) and a
+  :class:`~repro.resilience.supervisor.SupervisorPolicy` deciding when to
+  retry and when to give up. When a site's worker keeps dying past its
+  budget (or trips the policy's circuit breaker), the pool stops
+  respawning and *degrades* the site one rung down the policy's ladder —
+  ``process`` → (optionally) ``threaded`` (matched in-parent on a helper
+  thread) → ``serial`` (matched in-parent inline by the serial join
+  engine). The run stays alive — slower on that site, never wrong —
+  instead of raising :class:`~repro.errors.MatchError`. Because the
+  parent WM holds exactly the replica contents in the same order,
+  degraded results are byte-identical to worker results. Policies can
+  add seeded respawn backoff, ping/pong heartbeat probes (catching a
+  wedged worker *before* a request burns the reply deadline), and
+  cool-down re-promotion back up the ladder. The default policy is the
+  pool's historical behaviour: immediate respawns, permanent degradation
+  straight to in-parent serial. Every respawn, degradation, backoff,
+  heartbeat miss, breaker transition and promotion is a
   :class:`~repro.faults.FaultEvent`; engines drain them per cycle via
   :meth:`ProcessMatcher.drain_fault_events` into the
   :class:`~repro.core.engine.CycleReport`.
@@ -59,6 +68,7 @@ import multiprocessing
 import os
 import pickle
 import signal
+import threading
 import time
 from multiprocessing.connection import Connection
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -75,6 +85,7 @@ from repro.obs.metrics import NULL_METRICS
 from repro.obs.profile import RULE_MATCH_SECONDS
 from repro.obs.trace import NULL_TRACER, TraceEvent, Tracer
 from repro.parallel.partition import Assignment, resolve_assignment
+from repro.resilience.supervisor import SiteSupervisor, SupervisorPolicy
 from repro.wm.columnar import ColumnarReader, ColumnarWorkingMemory
 from repro.wm.memory import DeltaRecorder, WMDelta, WorkingMemory
 from repro.wm.wme import WME
@@ -133,6 +144,8 @@ def _worker_main(
     - ``("match-shm", info)`` — columnar mode: refresh the replica from
       the shared delta journal up to the message's cursors, then match
       and reply exactly as ``"match"`` does;
+    - ``("ping", token)`` — liveness probe: reply ``("pong", token)``
+      immediately (a wedged or dead worker cannot);
     - ``("stop",)`` — exit.
 
     Any exception is reported as ``("err", message)``; the parent treats it
@@ -184,6 +197,9 @@ def _worker_main(
                 reader = ColumnarReader(msg[1])
                 with tracer.span("attach", lane="worker"):
                     reader.attach(replica_add)
+                continue
+            if tag == "ping":
+                conn.send(("pong", msg[1]))
                 continue
             cycle += 1
             rule_times: List[Tuple[str, float]] = []
@@ -253,6 +269,7 @@ class ProcessMatchPool:
         start_method: Optional[str] = None,
         respawn_limit: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
+        supervisor: Optional[SupervisorPolicy] = None,
         tracer=None,
         metrics=None,
         indexed: bool = True,
@@ -322,8 +339,18 @@ class ProcessMatchPool:
         self.respawns = 0
         #: Per-site respawn counts, charged against ``respawn_limit``.
         self.site_respawns: Dict[int, int] = {}
-        #: Sites whose budget ran out, now matched in-parent.
+        #: Sites matched in-parent (rungs below ``process``): budget ran
+        #: out, the circuit breaker tripped, or respawns kept failing.
         self.degraded_sites: Set[int] = set()
+        #: When to retry, how long to wait, when to give up, when to try
+        #: again — the policy half of supervision (the pool is the
+        #: mechanics half). Default = the pool's historical behaviour.
+        self.policy = supervisor if supervisor is not None else SupervisorPolicy()
+        self._sup = SiteSupervisor(self.policy, self.active_sites)
+        #: Delta-mode sites just promoted back to a worker: their next
+        #: dispatch must replay the whole delta log, not this cycle's
+        #: increment (columnar promotions re-attach via ``_attached``).
+        self._needs_catchup: Set[int] = set()
         self._site_compiled: Dict[int, Tuple[CompiledRule, ...]] = {}
         self._injector: Optional[FaultInjector] = (
             fault_plan.injector() if fault_plan is not None else None
@@ -457,32 +484,148 @@ class ProcessMatchPool:
                     RULE_MATCH_SECONDS, seconds, rule=rule, site=site
                 )
 
+    def _probe(self, site: int) -> bool:
+        """Ping/pong liveness probe: a healthy worker answers between
+        cycles in microseconds; a dead or SIGSTOP'd one cannot. Bounded by
+        the policy's ``heartbeat_timeout`` (much shorter than the reply
+        deadline — that is the point)."""
+        token = self._cycle
+        if not self._try_send(site, ("ping", token)):
+            return False
+        conn = self._conns[site]
+        deadline = time.monotonic() + self.policy.heartbeat_timeout
+        try:
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                if conn.poll(min(0.05, remaining)):
+                    break
+                proc = self._procs.get(site)
+                if proc is not None and not proc.is_alive() and not conn.poll(0):
+                    return False
+            tag, payload = conn.recv()
+        except (EOFError, OSError):
+            return False
+        return tag == "pong" and payload == token
+
+    def _recv_checked(self, site: int) -> Optional[List[MatchSummary]]:
+        """:meth:`_recv` plus the supervision bookkeeping: a healthy reply
+        resets the site's failure streak (and closes its circuit breaker,
+        emitting ``breaker-close``); a worker-reported error either raises
+        :class:`MatchError` (default) or — under a policy with
+        ``degrade_on_worker_error`` — counts as a site failure so the
+        ladder can absorb deterministic worker-side faults (e.g. a chaos
+        run unlinking the shared segment a re-attach needs)."""
+        try:
+            results = self._recv(site)
+        except MatchError as exc:
+            if not self.policy.degrade_on_worker_error:
+                raise
+            self._record("worker-error", site, detail=str(exc))
+            return None
+        if results is not None and self._sup.on_success(site):
+            self._record(
+                "breaker-close", site, detail="healthy reply at full isolation"
+            )
+            if self.metrics.enabled:
+                self.metrics.set_gauge("parulel_site_mode", 0, site=site)
+        return results
+
     def _budget_left(self, site: int) -> bool:
         if self.respawn_limit is None:
             return True
         return self.site_respawns.get(site, 0) < self.respawn_limit
 
-    def _degrade(self, site: int, reason: str) -> List[MatchSummary]:
-        """Fold a site into the in-parent serial matcher, permanently.
+    def _degrade(
+        self, site: int, reason: str, breaker: bool = False
+    ) -> List[MatchSummary]:
+        """Move a site one rung down the policy's ladder (in-parent).
 
         The parent working memory holds exactly what the worker's replica
         held (the replica was built from the parent's delta log), and both
-        iterate class buckets in timestamp order, so the serial matches are
-        byte-identical to what the worker would have returned.
+        iterate class buckets in timestamp order, so the in-parent matches
+        are byte-identical to what the worker would have returned. With
+        ``cooldown_cycles`` set the demotion is temporary — the supervisor
+        schedules a promotion back up; the default policy makes it
+        permanent (historical behaviour).
         """
+        if breaker:
+            self._record("breaker-open", site, detail=reason)
+        mode = self._sup.note_demotion(site)
         self._kill(site)
         self._procs.pop(site, None)
         self._conns.pop(site, None)
         self.degraded_sites.add(site)
+        where = "in-parent" if mode == "serial" else "on a parent thread"
         self._record(
             "degrade",
             site,
             detail=(
                 f"{reason}; {len(self._site_rules[site])} rule(s) now "
-                f"matched in-parent"
+                f"matched {where}"
             ),
         )
+        if self.metrics.enabled:
+            self.metrics.set_gauge(
+                "parulel_site_mode", self._sup.rung(site), site=site
+            )
+        return self._degraded_match(site)
+
+    def _degraded_match(self, site: int) -> List[MatchSummary]:
+        """Match a degraded site at its current rung: ``threaded`` runs
+        the in-parent match on a joined helper thread, ``serial`` inline.
+        Both compute the identical summaries — the rungs differ only in
+        where the work runs."""
+        if self._sup.mode(site) == "threaded":
+            return self._threaded_match(site)
         return self._parent_match(site)
+
+    def _threaded_match(self, site: int) -> List[MatchSummary]:
+        box: List[List[MatchSummary]] = []
+        err: List[BaseException] = []
+
+        def run() -> None:
+            try:
+                box.append(self._parent_match(site))
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                err.append(exc)
+
+        t = threading.Thread(
+            target=run, name=f"parulel-match-site{site}-threaded", daemon=True
+        )
+        t.start()
+        t.join()
+        if err:
+            raise err[0]
+        return box[0]
+
+    def _promote(self, site: int) -> None:
+        """Move a demoted site one rung back up after its cool-down.
+
+        A promotion to ``process`` respawns a worker (charged against the
+        respawn budget — no budget, no promotion) and flags the site for a
+        full catch-up on this cycle's dispatch; intermediate promotions
+        (``serial`` → ``threaded``) just change where in-parent matching
+        runs."""
+        target = self.policy.ladder[self._sup.rung(site) - 1]
+        if target == "process":
+            if not self._budget_left(site):
+                self._sup.cancel_promotion(site)
+                return
+            self._spawn(site)
+            self.site_respawns[site] = self.site_respawns.get(site, 0) + 1
+            self.degraded_sites.discard(site)
+            if not self._shared:
+                self._needs_catchup.add(site)
+        mode = self._sup.note_promotion(site)
+        self._record(
+            "promote", site, detail=f"cool-down elapsed; site back to {mode!r}"
+        )
+        if self.metrics.enabled:
+            self.metrics.set_gauge(
+                "parulel_site_mode", self._sup.rung(site), site=site
+            )
 
     def _parent_match(self, site: int) -> List[MatchSummary]:
         """Serial in-parent match of one (degraded) site's rules.
@@ -530,24 +673,36 @@ class ProcessMatchPool:
         return out
 
     def _respawn_and_match(self, site: int) -> List[MatchSummary]:
-        """Replace a dead/wedged worker (within budget), replay the delta
-        log, and re-match; degrade the site once the budget runs out.
+        """Replace a dead/wedged worker, replay the delta log, re-match.
 
-        A site with budget left that keeps dying *within one cycle* (a
-        worker that cannot even come up) is a deterministic failure no
-        respawn will fix — after three consecutive attempts the pool
-        degrades it too rather than spinning.
+        Every decision — respawn now, respawn after a (seeded, jittered)
+        backoff, or stop trying and demote the site down the ladder — comes
+        from the :class:`~repro.resilience.supervisor.SiteSupervisor`; the
+        default policy reproduces the historical behaviour exactly
+        (immediate respawns; degrade on budget exhaustion or after three
+        consecutive failed respawns within one cycle — a worker that cannot
+        even come up is a deterministic failure no respawn will fix).
         """
         attempts = 0
         while True:
-            if not self._budget_left(site):
+            decision = self._sup.on_failure(
+                site, attempts, self._budget_left(site), self.respawn_limit
+            )
+            if decision.action == "demote":
                 return self._degrade(
-                    site, f"respawn budget ({self.respawn_limit}) exhausted"
+                    site, decision.reason, breaker=decision.breaker_tripped
                 )
-            if attempts >= 3:
-                return self._degrade(
-                    site, f"{attempts} consecutive respawns failed in one cycle"
+            if decision.backoff > 0:
+                self._record(
+                    "backoff",
+                    site,
+                    detail=f"sleeping {decision.backoff:.3f}s before respawn",
                 )
+                if self.metrics.enabled:
+                    self.metrics.inc(
+                        "parulel_backoff_seconds_total", decision.backoff, site=site
+                    )
+                time.sleep(decision.backoff)
             attempts += 1
             self._kill(site)
             self._spawn(site)
@@ -565,7 +720,7 @@ class ProcessMatchPool:
             )
             if not self._catch_up_and_request(site):
                 continue
-            results = self._recv(site)
+            results = self._recv_checked(site)
             if results is not None:
                 return results
 
@@ -633,8 +788,32 @@ class ProcessMatchPool:
         if self._closed:
             raise MatchError("ProcessMatchPool is closed")
         self._cycle += 1
+        # Promotions first: a site whose cool-down elapsed gets its worker
+        # back before this cycle's faults/dispatch, so the very cycle it
+        # re-joins is already served at the higher rung.
+        for site in self._sup.begin_cycle(self._cycle):
+            self._promote(site)
         if self._injector is not None:
             self._inject_faults()
+        # Heartbeat probes (policy-gated): catch dead/wedged workers now,
+        # in heartbeat_timeout, instead of letting the match request burn
+        # the (much longer) reply deadline first.
+        unhealthy: Set[int] = set()
+        if self.policy.heartbeat_every and (
+            self._cycle % self.policy.heartbeat_every == 0
+        ):
+            for site in self.active_sites:
+                if site in self.degraded_sites:
+                    continue
+                if not self._probe(site):
+                    self._record(
+                        "heartbeat-miss",
+                        site,
+                        detail=(
+                            f"no pong within {self.policy.heartbeat_timeout}s"
+                        ),
+                    )
+                    unhealthy.add(site)
 
         # Fan the request out to every live worker before collecting any
         # reply, so sites match concurrently; then merge in deterministic
@@ -654,7 +833,7 @@ class ProcessMatchPool:
             )
             spec_blob: Optional[bytes] = None
             for site in self.active_sites:
-                if site in self.degraded_sites:
+                if site in self.degraded_sites or site in unhealthy:
                     sent[site] = False
                     continue
                 site_bytes = 0
@@ -692,9 +871,16 @@ class ProcessMatchPool:
                 ("match", payload), protocol=pickle.HIGHEST_PROTOCOL
             )
             for site in self.active_sites:
-                ok = site not in self.degraded_sites and self._try_send_bytes(
-                    site, blob
-                )
+                if site in self.degraded_sites or site in unhealthy:
+                    sent[site] = False
+                    continue
+                if site in self._needs_catchup:
+                    # Freshly promoted worker: replay the whole log (this
+                    # cycle's delta is already appended to it).
+                    self._needs_catchup.discard(site)
+                    sent[site] = self._catch_up_and_request(site)
+                    continue
+                ok = self._try_send_bytes(site, blob)
                 sent[site] = ok
                 if ok and metrics.enabled:
                     metrics.inc("parulel_ipc_messages_total", direction="request")
@@ -702,9 +888,9 @@ class ProcessMatchPool:
         merged: List[Instantiation] = []
         for site in self.active_sites:
             if site in self.degraded_sites:
-                results = self._parent_match(site)
+                results = self._degraded_match(site)
             else:
-                results = self._recv(site) if sent[site] else None
+                results = self._recv_checked(site) if sent[site] else None
                 if results is None:
                     results = self._respawn_and_match(site)
             for summary in results:
@@ -734,17 +920,29 @@ class ProcessMatchPool:
         if self._recorder is not None:
             self._recorder.detach()
         if self._shared:
-            self.wm.remove_listener(self._ts_listener)
+            try:
+                self.wm.remove_listener(self._ts_listener)
+            except ValueError:  # already removed (e.g. the WM was reset)
+                pass
         if self._parent_alpha is not None:
             self._parent_alpha.detach()
         for site in list(self._procs):
             self._try_send(site, ("stop",))
         for site, proc in list(self._procs.items()):
-            proc.join(timeout=1.0)
-            if proc.is_alive():
-                proc.kill()
-                proc.join()
-            self._conns[site].close()
+            # Whatever joining/killing the worker does, its connection must
+            # be closed — leaked pipe fds outlive the pool otherwise.
+            try:
+                proc.join(timeout=1.0)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join()
+            finally:
+                conn = self._conns.get(site)
+                if conn is not None:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
 
     def __enter__(self) -> "ProcessMatchPool":
         return self
@@ -773,6 +971,7 @@ class ProcessMatcher(Matcher):
         timeout: float = DEFAULT_TIMEOUT,
         respawn_limit: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
+        supervisor: Optional[SupervisorPolicy] = None,
         tracer=None,
         metrics=None,
         indexed: bool = True,
@@ -790,6 +989,7 @@ class ProcessMatcher(Matcher):
             timeout=timeout,
             respawn_limit=respawn_limit,
             fault_plan=fault_plan,
+            supervisor=supervisor,
             tracer=tracer,
             metrics=metrics,
             indexed=indexed,

@@ -1,0 +1,58 @@
+"""Resilience subsystem: durable checkpoints, supervised degradation, and
+live recovery.
+
+Three legs (see ``docs/RESILIENCE.md``):
+
+- :mod:`repro.resilience.checkpoint` — atomic, digest-framed checkpoint
+  envelopes; a keep-last-K rotating store with cheap delta checkpoints
+  between full snapshots; last-good fallback on corruption.
+- :mod:`repro.resilience.supervisor` — the policy side of worker
+  supervision for the process match backend: heartbeats, seeded backoff,
+  per-site circuit breakers, and the process → threaded → serial
+  degradation ladder with cool-down re-promotion.
+- :mod:`repro.resilience.janitor` — startup sweep reclaiming orphaned
+  ``/dev/shm`` segments left by SIGKILLed columnar-store owners.
+
+The chaos harness lives in :mod:`repro.resilience.chaos`; it imports the
+engine, so it is deliberately *not* re-exported here (importing it from
+package ``__init__`` would cycle with :mod:`repro.core.engine`, which
+lazily imports this package's checkpoint helpers).
+"""
+
+from repro.resilience.checkpoint import (
+    CheckpointLoad,
+    CheckpointStore,
+    EngineCheckpointer,
+    apply_delta_state,
+    is_envelope,
+    load_checkpoint_file,
+    read_envelope,
+    write_envelope,
+)
+from repro.resilience.janitor import DEFAULT_SHM_DIR, JanitorReport, sweep_orphans
+from repro.resilience.supervisor import (
+    FULL_LADDER,
+    LADDER_RUNGS,
+    SiteSupervisor,
+    SupervisorDecision,
+    SupervisorPolicy,
+)
+
+__all__ = [
+    "CheckpointLoad",
+    "CheckpointStore",
+    "EngineCheckpointer",
+    "apply_delta_state",
+    "is_envelope",
+    "load_checkpoint_file",
+    "read_envelope",
+    "write_envelope",
+    "DEFAULT_SHM_DIR",
+    "JanitorReport",
+    "sweep_orphans",
+    "FULL_LADDER",
+    "LADDER_RUNGS",
+    "SiteSupervisor",
+    "SupervisorDecision",
+    "SupervisorPolicy",
+]

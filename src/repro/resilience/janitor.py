@@ -1,0 +1,143 @@
+"""Startup janitor for orphaned shared-memory segments.
+
+The columnar store (:mod:`repro.wm.columnar`) names every POSIX
+shared-memory segment ``pwm...``. Cleanup is layered — ``close()``, a
+pid-guarded finalizer, the stdlib ``resource_tracker`` — but a parent that
+dies by ``SIGKILL`` executes none of them, stranding named segments in
+``/dev/shm`` until the machine reboots (or fills).
+
+This module reclaims such orphans *safely*:
+
+- New-format segment names embed the creating pid
+  (``pwm<pid:08x>p<token>...``, see
+  :func:`repro.wm.columnar.parse_owner_pid`): a segment is an orphan
+  exactly when its owner pid is gone. Pid recycling can only err on the
+  side of *keeping* a segment (some unrelated live process wears the pid),
+  never of deleting a live one. Unlinking only removes the name — any
+  reader that still has the segment mapped keeps its mapping.
+- Legacy names (no embedded pid) fall back to a ``/proc/*/maps`` scan
+  (the ``fuser`` equivalent, without the binary): the segment is an
+  orphan only if no live process has it mapped *and* it is older than
+  ``min_age`` seconds (so a store mid-construction is never swept).
+
+``parulel janitor`` runs a sweep from the command line;
+``scripts/check.sh`` calls it instead of the old fuser loop, and the chaos
+harness (:mod:`repro.resilience.chaos`) runs it after every killed run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.wm.columnar import SEGMENT_PREFIX, parse_owner_pid
+
+__all__ = ["JanitorReport", "sweep_orphans", "DEFAULT_SHM_DIR"]
+
+DEFAULT_SHM_DIR = "/dev/shm"
+
+#: Legacy (pid-less) segments younger than this are never swept: the
+#: owner may not have mapped them into any scanned process yet.
+DEFAULT_MIN_AGE = 1.0
+
+
+@dataclass
+class JanitorReport:
+    """One sweep's outcome: names removed, names kept (with the reason)."""
+
+    removed: List[str] = field(default_factory=list)
+    kept: List[Tuple[str, str]] = field(default_factory=list)
+    dry_run: bool = False
+
+    def __str__(self) -> str:
+        verb = "would remove" if self.dry_run else "removed"
+        return (
+            f"janitor: {verb} {len(self.removed)} orphaned segment(s), "
+            f"kept {len(self.kept)}"
+        )
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - pid exists, not ours
+        return True
+    except OSError:  # pragma: no cover - conservative default
+        return True
+    return True
+
+
+def _mapped_anywhere(path: str) -> bool:
+    """Whether any live process has ``path`` mapped (scan /proc/*/maps)."""
+    try:
+        pids = [p for p in os.listdir("/proc") if p.isdigit()]
+    except OSError:  # pragma: no cover - no procfs
+        return True  # cannot tell: assume in use
+    needle = path.encode()
+    for pid in pids:
+        try:
+            with open(f"/proc/{pid}/maps", "rb") as fh:
+                if needle in fh.read():
+                    return True
+        except OSError:
+            continue  # process vanished or not ours to inspect
+    return False
+
+
+def sweep_orphans(
+    shm_dir: str = DEFAULT_SHM_DIR,
+    prefix: str = SEGMENT_PREFIX,
+    min_age: float = DEFAULT_MIN_AGE,
+    dry_run: bool = False,
+) -> JanitorReport:
+    """Reclaim orphaned ``<prefix>*`` segments under ``shm_dir``.
+
+    Safe by construction: segments whose embedded owner pid is alive are
+    kept; pid-less (legacy) segments are kept while mapped by any process
+    or younger than ``min_age`` seconds. Everything else is unlinked
+    (reported only, with ``dry_run``).
+    """
+    report = JanitorReport(dry_run=dry_run)
+    try:
+        names = sorted(os.listdir(shm_dir))
+    except OSError:
+        return report  # no shm dir on this platform: nothing to do
+    now = time.time()
+    for name in names:
+        if not name.startswith(prefix):
+            continue
+        path = os.path.join(shm_dir, name)
+        pid = parse_owner_pid(name, prefix=prefix)
+        if pid is not None:
+            if _pid_alive(pid):
+                report.kept.append((name, f"owner pid {pid} is alive"))
+                continue
+        else:
+            try:
+                age = now - os.stat(path).st_mtime
+            except OSError:
+                continue  # vanished under us
+            if age < min_age:
+                report.kept.append((name, f"only {age:.2f}s old"))
+                continue
+            if _mapped_anywhere(path):
+                report.kept.append((name, "mapped by a live process"))
+                continue
+        if not dry_run:
+            # Plain unlink, no resource_tracker.unregister: the sweeping
+            # process never registered these names (the dead owner's
+            # tracker did, and died with it), so messaging our own tracker
+            # would only spawn one to reject the name.
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                continue  # swept concurrently
+            except OSError as exc:  # pragma: no cover - permissions
+                report.kept.append((name, f"unlink failed: {exc}"))
+                continue
+        report.removed.append(name)
+    return report

@@ -51,8 +51,11 @@ Design rules that keep cross-process readers trivial:
   ``weakref.finalize`` guard (pid-checked, so forked workers cannot
   destroy the parent's segments) unlinks on garbage collection or
   interpreter exit; and if the process dies uncleanly, the stdlib
-  ``resource_tracker`` unlinks the leaked names. ``scripts/check.sh``
-  additionally sweeps ``/dev/shm/pwm*`` as a belt-and-braces gate.
+  ``resource_tracker`` unlinks the leaked names. As the last layer, the
+  store's token embeds the owner pid (``pwm<pid:08x>p<random>``), so the
+  shm janitor (:mod:`repro.resilience.janitor` — run by
+  ``scripts/check.sh`` and ``parulel janitor``) can reclaim segments
+  whose owner died by SIGKILL without touching live ones.
 
 The dict-backed parent index (class buckets of live WME objects) is kept
 alongside the columns: the parent needs real :class:`~repro.wm.wme.WME`
@@ -77,10 +80,32 @@ from repro.wm.memory import WorkingMemory
 from repro.wm.template import TemplateRegistry
 from repro.wm.wme import WME
 
-__all__ = ["ColumnarWorkingMemory", "ColumnarReader", "SEGMENT_PREFIX"]
+__all__ = [
+    "ColumnarWorkingMemory",
+    "ColumnarReader",
+    "SEGMENT_PREFIX",
+    "parse_owner_pid",
+]
 
-#: Every segment name starts with this; check.sh sweeps leaked ones.
+#: Every segment name starts with this; the resilience janitor (and the
+#: check.sh gate) sweeps leaked ones whose owner is gone.
 SEGMENT_PREFIX = "pwm"
+
+
+def parse_owner_pid(name: str, prefix: str = SEGMENT_PREFIX) -> Optional[int]:
+    """The owner pid embedded in a segment name, or ``None`` for legacy /
+    foreign names. New-format tokens are ``<prefix><pid:08x>p<random hex>``;
+    the literal ``p`` separator cannot collide with legacy names, whose
+    9th body character is a segment-kind letter (``j``/``h``/``c``)."""
+    if not name.startswith(prefix):
+        return None
+    body = name[len(prefix):]
+    if len(body) < 9 or body[8] != "p":
+        return None
+    try:
+        return int(body[:8], 16)
+    except ValueError:
+        return None
 
 # -- value slot encoding ------------------------------------------------------
 
@@ -139,8 +164,17 @@ class _Seg:
     def unlink(self) -> None:
         try:
             self.shm.unlink()
-        except FileNotFoundError:  # already swept externally
-            pass
+        except FileNotFoundError:
+            # Already swept externally (janitor, chaos fault). The stdlib
+            # only unregisters after a successful shm_unlink, so drop the
+            # stale tracker entry ourselves or the resource tracker warns
+            # (and re-unlinks the missing name) at interpreter exit.
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(self.shm._name, "shared_memory")
+            except Exception:  # noqa: BLE001 - cleanup must never raise
+                pass
 
 
 def _encode_value(intern: Callable[[str], int], val: Value) -> Tuple[int, int]:
@@ -343,7 +377,11 @@ class ColumnarWorkingMemory(WorkingMemory):
         if initial_capacity < 1:
             raise WorkingMemoryError("initial_capacity must be >= 1")
         self.initial_capacity = initial_capacity
-        self.token = f"{SEGMENT_PREFIX}{secrets.token_hex(4)}"
+        # The owner pid rides in the token so the shm janitor can prove a
+        # segment orphaned (owner dead) without a /proc-wide maps scan.
+        self.token = (
+            f"{SEGMENT_PREFIX}{os.getpid() & 0xFFFFFFFF:08x}p{secrets.token_hex(4)}"
+        )
         self._segs: Dict[str, _Seg] = {}
         self._owner_pid = os.getpid()
         self._finalizer = weakref.finalize(
@@ -584,18 +622,34 @@ class _ReaderTable:
         self.cid, self.name, self.gen, self.cap = cid, name, gen, cap
         self.attr_order = list(attrs)
         base = f"{self.token}c{cid}g{gen}"
-        seg_t = _Seg(f"{base}t")
-        seg_l = _Seg(f"{base}l")
-        self.ts_col = seg_t.view(0, cap * 8, "q")
-        self.live_col = seg_l.view(0, cap)
-        self.segs = [seg_t, seg_l]
-        self.payload_cols = []
-        self.tag_cols = []
-        for idx in range(len(self.attr_order)):
-            seg = _Seg(f"{base}a{idx}")
-            self.payload_cols.append(seg.view(0, cap * 8, "q"))
-            self.tag_cols.append(seg.view(cap * 8, cap * 9))
-            self.segs.append(seg)
+        # Mount all-or-nothing: close whatever mapped if a later segment
+        # is gone (unlinked mid-run), so no exported views leak. self.segs
+        # is only replaced on success (refresh_structure keeps the old
+        # mounts when a re-mount fails).
+        opened: List[_Seg] = []
+        payload_cols: List = []
+        tag_cols: List = []
+        try:
+            seg_t = _Seg(f"{base}t")
+            opened.append(seg_t)
+            seg_l = _Seg(f"{base}l")
+            opened.append(seg_l)
+            ts_col = seg_t.view(0, cap * 8, "q")
+            live_col = seg_l.view(0, cap)
+            for idx in range(len(self.attr_order)):
+                seg = _Seg(f"{base}a{idx}")
+                opened.append(seg)
+                payload_cols.append(seg.view(0, cap * 8, "q"))
+                tag_cols.append(seg.view(cap * 8, cap * 9))
+        except Exception:
+            for seg in opened:
+                seg.close()
+            raise
+        self.ts_col = ts_col
+        self.live_col = live_col
+        self.payload_cols = payload_cols
+        self.tag_cols = tag_cols
+        self.segs = opened
 
     def refresh_structure(self, spec: Tuple) -> None:
         """Re-attach after growth or new columns (row→WME map survives)."""
@@ -639,12 +693,26 @@ class ColumnarReader:
         self._journal_gen, self._cursor = journal
         self._heap_gen, self._heap_used = heap
         self._class_specs = class_specs
-        self._heap_seg = _Seg(f"{token}h{self._heap_gen}")
-        self._journal_seg = _Seg(f"{token}j{self._journal_gen}")
         self._strings: Dict[int, str] = {}
         self._tables: Dict[int, _ReaderTable] = {}
-        for cspec in class_specs:
-            self._tables[cspec[0]] = _ReaderTable(token, cspec)
+        # Attach all-or-nothing: if any segment is gone (e.g. unlinked by
+        # a fault mid-run), release whatever did map before re-raising —
+        # a half-attached reader abandoned un-closed would leak exported
+        # views into interpreter shutdown.
+        self._heap_seg = _Seg(f"{token}h{self._heap_gen}")
+        try:
+            self._journal_seg = _Seg(f"{token}j{self._journal_gen}")
+            try:
+                for cspec in class_specs:
+                    self._tables[cspec[0]] = _ReaderTable(token, cspec)
+            except Exception:
+                for table in self._tables.values():
+                    table.close()
+                self._journal_seg.close()
+                raise
+        except Exception:
+            self._heap_seg.close()
+            raise
 
     # -- heap ----------------------------------------------------------------
 

@@ -1,0 +1,111 @@
+"""Shared-memory janitor: reclaim orphans, never touch live segments.
+
+The sweep runs against a temporary directory standing in for /dev/shm,
+with fabricated segment names — no real shared memory involved, so these
+tests are fast and hermetic. The one live-process fact used is our own
+pid (alive) versus a freshly reaped child pid (dead).
+"""
+
+import os
+import subprocess
+import time
+
+import pytest
+
+from repro.resilience.janitor import JanitorReport, sweep_orphans
+from repro.wm.columnar import SEGMENT_PREFIX, parse_owner_pid
+
+
+def dead_pid():
+    """A pid that existed a moment ago and is certainly gone now."""
+    proc = subprocess.Popen(["true"])
+    proc.wait()
+    return proc.pid
+
+
+def seg_name(pid):
+    return f"{SEGMENT_PREFIX}{pid:08x}p0011aabbj0000"
+
+
+def touch(shm_dir, name, age=0.0):
+    path = os.path.join(str(shm_dir), name)
+    with open(path, "w") as fh:
+        fh.write("x")
+    if age:
+        past = time.time() - age
+        os.utime(path, (past, past))
+    return path
+
+
+class TestParseOwnerPid:
+    def test_new_format_roundtrips(self):
+        assert parse_owner_pid(seg_name(0x1234)) == 0x1234
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "pwm0011aabbj0000",  # legacy: kind letter where 'p' would be
+            "pwm0011aabbh0000",
+            "pwm0011aabbc0000",
+            "pwmshort",
+            "pwmzzzzzzzzp0000",  # not hex
+            "other00000001p00",  # wrong prefix
+        ],
+    )
+    def test_legacy_and_foreign_names_return_none(self, name):
+        assert parse_owner_pid(name) is None
+
+
+class TestSweep:
+    def test_dead_owner_removed_live_owner_kept(self, tmp_path):
+        dead = seg_name(dead_pid())
+        live = seg_name(os.getpid())
+        touch(tmp_path, dead)
+        touch(tmp_path, live)
+        report = sweep_orphans(shm_dir=str(tmp_path))
+        assert report.removed == [dead]
+        assert not os.path.exists(tmp_path / dead)
+        assert os.path.exists(tmp_path / live)
+        assert (live, f"owner pid {os.getpid()} is alive") in report.kept
+
+    def test_legacy_young_segment_kept(self, tmp_path):
+        name = "pwm0011aabbj0000"
+        touch(tmp_path, name)  # just created
+        report = sweep_orphans(shm_dir=str(tmp_path), min_age=60.0)
+        assert report.removed == []
+        assert os.path.exists(tmp_path / name)
+        assert any(n == name and "old" in r for n, r in report.kept)
+
+    def test_legacy_old_unmapped_segment_removed(self, tmp_path):
+        name = "pwm0011aabbj0000"
+        touch(tmp_path, name, age=120.0)
+        report = sweep_orphans(shm_dir=str(tmp_path), min_age=1.0)
+        assert report.removed == [name]
+        assert not os.path.exists(tmp_path / name)
+
+    def test_foreign_names_untouched(self, tmp_path):
+        touch(tmp_path, "psm_someone_elses")
+        touch(tmp_path, "unrelated", age=120.0)
+        report = sweep_orphans(shm_dir=str(tmp_path))
+        assert report.removed == []
+        assert report.kept == []
+        assert sorted(os.listdir(tmp_path)) == ["psm_someone_elses", "unrelated"]
+
+    def test_dry_run_reports_without_unlinking(self, tmp_path):
+        dead = seg_name(dead_pid())
+        touch(tmp_path, dead)
+        report = sweep_orphans(shm_dir=str(tmp_path), dry_run=True)
+        assert report.removed == [dead]
+        assert report.dry_run
+        assert os.path.exists(tmp_path / dead)
+        assert "would remove 1" in str(report)
+
+    def test_missing_shm_dir_is_a_noop(self, tmp_path):
+        report = sweep_orphans(shm_dir=str(tmp_path / "nope"))
+        assert report.removed == []
+        assert report.kept == []
+
+    def test_report_str_counts(self):
+        report = JanitorReport(removed=["a", "b"], kept=[("c", "why")])
+        assert "removed 2" in str(report)
+        assert "kept 1" in str(report)
