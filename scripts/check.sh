@@ -14,6 +14,11 @@
 #                               # checkpoint truncation + segment unlinks
 #                               # must recover byte-identically) for both
 #                               # WM backends, plus the shm-leak check
+#   scripts/check.sh --analysis # additionally gate the commutativity
+#                               # detector: per-pair verdicts over every
+#                               # bundled workload must match the golden
+#                               # file, and the certified fast path +
+#                               # race sanitizer must run clean on tc
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,7 +32,8 @@ python -m repro.tools.lint
 
 echo "== static analysis (bundled workloads)"
 # 'parulel analyze' exits 1 when any error-severity PAxxx diagnostic fires;
-# on failure re-run with --json so the log shows the exact regressing code.
+# on failure re-run with --json (flat machine JSON) so the log shows the
+# exact regressing code.
 python -m repro.cli analyze --no-hints || {
     echo "static analysis found error-severity diagnostics; JSON follows:"
     python -m repro.cli analyze --json
@@ -102,6 +108,21 @@ if [[ "${1:-}" == "--resilience" ]]; then
     if [[ -n "$LEFT" ]]; then
         echo "chaos runs leaked shared-memory segments:"; echo "$LEFT"; exit 1
     fi
+fi
+
+if [[ "${1:-}" == "--analysis" ]]; then
+    echo "== commutativity verdicts (bundled workloads vs golden file)"
+    # Per-pair COMMUTES/RACES/UNKNOWN verdicts recorded in
+    # benchmarks/results/COMMUTE_verdicts.json; after an intentional
+    # detector or workload change, refresh with:
+    #   python -m repro.analysis.commute --write
+    # (-c import avoids runpy's found-in-sys.modules warning: the package
+    # __init__ imports the module eagerly)
+    python -c "from repro.analysis.commute import main; raise SystemExit(main(['--check']))"
+    echo "== certified fast path + race sanitizer smoke (tc, waltz demos)"
+    python -m repro.cli run examples/tc.pl --facts examples/tc.facts \
+        --certified-commute --sanitize-races >/dev/null
+    python -m pytest tests/core/test_certified_commute.py -q
 fi
 
 if [[ "${1:-}" == "--bench" ]]; then

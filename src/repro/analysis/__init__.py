@@ -15,6 +15,10 @@ workflow and the distributed backends need decided before a run:
 - :mod:`repro.analysis.advisor` — an analysis-driven rule partition
   that the distributed/process backends accept as
   ``assignment="analysis"``;
+- :mod:`repro.analysis.commute` — the critical-pair race detector:
+  COMMUTES / RACES (with concrete witness WMs) / UNKNOWN verdicts per
+  rule pair, feeding PA007–PA009 diagnostics, ``races`` edges in the
+  dependency graph, and the engine's certified redaction fast path;
 - :mod:`repro.analysis.diagnostics` — the shared ``PAxxx`` diagnostic
   vocabulary with text and SARIF-shaped JSON renderers.
 
@@ -25,12 +29,21 @@ its error-severity findings.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from repro.lang.ast import Program
 
 from repro.analysis.advisor import analysis_assignment, connectivity_cost
+from repro.analysis.commute import (
+    CommuteIndex,
+    CommuteSummary,
+    PairVerdict,
+    Verdict,
+    classify_rule_pair,
+    commute_matrix,
+)
 from repro.analysis.coverage import (
     CoverageSummary,
     check_meta_rules,
@@ -53,6 +66,12 @@ __all__ = [
     "analyze",
     "analysis_assignment",
     "connectivity_cost",
+    "CommuteIndex",
+    "CommuteSummary",
+    "PairVerdict",
+    "Verdict",
+    "classify_rule_pair",
+    "commute_matrix",
     "build_dependency_graph",
     "DependencyGraph",
     "DepEdge",
@@ -77,6 +96,9 @@ class AnalysisReport:
     diagnostics: List[Diagnostic] = field(default_factory=list)
     #: Whether the dead-rule check ran (it needs seed classes).
     dead_rules_checked: bool = False
+    #: Critical-pair verdicts for every unordered object-rule pair
+    #: (``None`` when the commute analysis was skipped).
+    commute: Optional[CommuteSummary] = None
 
     @property
     def worst(self) -> Optional[Severity]:
@@ -93,6 +115,8 @@ class AnalysisReport:
         props["coverage"] = self.coverage.as_properties()
         props["deadRulesChecked"] = self.dead_rules_checked
         props["diagnostics"] = len(self.diagnostics)
+        if self.commute is not None:
+            props["commute"] = self.commute.as_properties()
         return props
 
     def render_text(self, show_hints: bool = True) -> str:
@@ -138,6 +162,13 @@ class AnalysisReport:
             "dead rules: "
             + ("checked against seed classes" if self.dead_rules_checked else "not checked (no facts given)")
         )
+        if self.commute is not None:
+            c = self.commute.counts
+            lines.append(
+                f"commutativity: {len(self.commute.pairs)} rule pair(s) — "
+                f"{c['commutes']} commute, {c['races']} race, "
+                f"{c['unknown']} unknown"
+            )
         if self.diagnostics:
             lines.append(f"{len(self.diagnostics)} finding(s):")
             lines.append(render_text(self.diagnostics, show_hints=show_hints))
@@ -151,13 +182,15 @@ def analyze(
     seed_classes: Optional[Iterable[str]] = None,
     name: str = "<program>",
     include_lint: bool = True,
+    include_commute: bool = True,
 ) -> AnalysisReport:
     """Run every static check over ``program``.
 
     ``seed_classes`` — classes the initial facts load; enables the
     dead-rule check. ``include_lint=False`` drops the PA001 interference
     candidates from the findings (``parulel lint`` already reports them;
-    the registry gate keeps them on).
+    the registry gate keeps them on). ``include_commute=False`` skips the
+    critical-pair race detector (PA007–PA009 and ``races`` edges).
     """
     from repro.tools.lint import lint_diagnostics
 
@@ -180,10 +213,91 @@ def analyze(
                 rule=edge.src,
             )
         )
+    diagnostics.extend(_check_cc_splits(program))
+    commute: Optional[CommuteSummary] = None
+    if include_commute:
+        commute = commute_matrix(program, name=name)
+        diagnostics.extend(commute.diagnostics())
+        race_edges = tuple(
+            DepEdge(
+                src=min(p.rule_a, p.rule_b),
+                dst=max(p.rule_a, p.rule_b),
+                kind="races",
+                class_name="*",
+            )
+            for p in commute.of_verdict(Verdict.RACES)
+        )
+        if race_edges:
+            graph = dataclasses.replace(graph, edges=graph.edges + race_edges)
     return AnalysisReport(
         name=name,
         graph=graph,
         coverage=coverage,
         diagnostics=diagnostics,
         dead_rules_checked=seed_classes is not None,
+        commute=commute,
     )
+
+
+def _check_cc_splits(program: Program) -> List[Diagnostic]:
+    """PA010: sibling copy-and-constrain copies whose membership partitions
+    overlap — such a split double-fires the shared instantiations, so the
+    transformation no longer preserves the original rule's semantics."""
+    from collections import defaultdict
+
+    from repro.analysis.footprint import ce_constraints
+    from repro.match.compile import compile_rule
+
+    groups: Dict[str, List] = defaultdict(list)
+    for rule in program.rules:
+        base, sep, _rest = rule.name.partition("@cc")
+        if sep:
+            groups[base].append(rule)
+
+    out: List[Diagnostic] = []
+    for base in sorted(groups):
+        copies = groups[base]
+        if len(copies) < 2:
+            continue
+        # Membership ('in') alternatives per (CE index, attribute) per copy.
+        memberships: List[Dict] = []
+        for rule in copies:
+            sets: Dict = {}
+            for ce in compile_rule(rule, plan=False).ces:
+                for attr, conds in ce_constraints(ce).items():
+                    for cond in conds:
+                        if cond[0] == "in":
+                            sets.setdefault((ce.index, attr), set()).update(
+                                cond[1]
+                            )
+            memberships.append(sets)
+        # The partition point is wherever the copies' sets differ; disjoint
+        # sets there are what makes the split sound. Identical sets at a key
+        # are inherited tests from the original rule, not the partition.
+        keys = {k for sets in memberships for k in sets}
+        for key in sorted(keys):
+            per_copy = [sets.get(key) for sets in memberships]
+            present = [(i, s) for i, s in enumerate(per_copy) if s is not None]
+            if len({frozenset(s) for _i, s in present}) < 2:
+                continue
+            for idx_a in range(len(present)):
+                for idx_b in range(idx_a + 1, len(present)):
+                    i, sa = present[idx_a]
+                    j, sb = present[idx_b]
+                    shared = sa & sb
+                    if shared:
+                        ce_index, attr = key
+                        out.append(
+                            diag(
+                                "PA010",
+                                f"copies {copies[i].name!r} and "
+                                f"{copies[j].name!r} overlap on ^{attr} "
+                                f"(CE {ce_index + 1}): both accept "
+                                f"{sorted(map(repr, shared))[0]} — the "
+                                f"partition double-fires shared "
+                                f"instantiations",
+                                rule=copies[i].name,
+                                ce=ce_index + 1,
+                            )
+                        )
+    return out

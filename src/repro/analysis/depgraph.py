@@ -54,7 +54,9 @@ class DepEdge:
 
     src: str
     dst: str
-    #: 'enables', 'inhibits' or 'conflicts'.
+    #: 'enables', 'inhibits', 'conflicts', or 'races' — the last added by
+    #: :func:`repro.analysis.analyze` from the commute detector's RACES
+    #: verdicts (undirected, stored with ``src <= dst`` like conflicts).
     kind: str
     class_name: str
 
@@ -131,6 +133,7 @@ class DependencyGraph:
             "enables": len(self.edges_of_kind("enables")),
             "inhibits": len(self.edges_of_kind("inhibits")),
             "conflicts": len(self.edges_of_kind("conflicts")),
+            "races": len(self.edges_of_kind("races")),
             "sccs": len(self.sccs),
             "largestScc": max((len(s) for s in self.sccs), default=0),
             "cyclicSccs": len(self.cyclic_sccs()),

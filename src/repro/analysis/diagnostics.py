@@ -79,6 +79,26 @@ CODES: Dict[str, Tuple[Severity, str]] = {
         Severity.ERROR,
         "inapplicable meta-rule: its instantiation pattern can never match",
     ),
+    "PA007": (
+        Severity.WARNING,
+        "commutativity race: the pair's working-memory updates collide "
+        "(witness working memory attached)",
+    ),
+    "PA008": (
+        Severity.WARNING,
+        "enablement race: one rule's firing invalidates or disables the "
+        "other's match (witness working memory attached)",
+    ),
+    "PA009": (
+        Severity.INFO,
+        "commutation unknown: the critical-pair analysis could neither "
+        "certify nor refute this rule pair",
+    ),
+    "PA010": (
+        Severity.ERROR,
+        "unsound copy-and-constrain split: partition copies overlap or "
+        "contradict existing tests",
+    ),
 }
 
 

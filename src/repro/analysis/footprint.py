@@ -40,6 +40,7 @@ from repro.lang.ast import (
     RemoveAction,
     Rule,
     Value,
+    VariableExpr,
 )
 from repro.match.compile import CompiledCE, CompiledRule, compile_rule, value_predicate
 from repro.wm.wme import NIL
@@ -57,8 +58,11 @@ __all__ = [
 
 #: One atomic per-attribute fact: ``('eq', v)``, ``('pred', op, v)`` for a
 #: non-equality comparison against a constant, ``('in', alternatives)``,
-#: ``('absent',)`` (attribute never assigned — reads back as ``nil``) or
-#: ``('unknown',)`` (value not statically known).
+#: ``('absent',)`` (attribute never assigned — reads back as ``nil``),
+#: ``('var', name)`` (value copied from the named LHS variable — known
+#: symbolically but not concretely; the commute analysis unifies these,
+#: everything else treats them like ``unknown``) or ``('unknown',)``
+#: (value not statically known).
 Constraint = Tuple
 
 #: attr -> constraints that must all hold for that attribute.
@@ -133,6 +137,8 @@ def _assignment_constraints(assignments) -> Dict[str, Tuple[Constraint, ...]]:
     for attr, expr in assignments:
         if isinstance(expr, ConstantExpr):
             out[attr] = (("eq", expr.value),)
+        elif isinstance(expr, VariableExpr):
+            out[attr] = (("var", expr.name),)
         else:
             out[attr] = (("unknown",),)
     return out
@@ -198,12 +204,12 @@ def _value_satisfies(value: Value, constraint: Constraint) -> bool:
         return value in constraint[1]
     if kind == "absent":
         return value == NIL
-    return True  # unknown
+    return True  # unknown / var (symbolic — any value possible)
 
 
 def _pair_satisfiable(a: Constraint, b: Constraint) -> bool:
     """Could one value satisfy both atomic constraints? Conservative."""
-    if a[0] == "unknown" or b[0] == "unknown":
+    if a[0] in ("unknown", "var") or b[0] in ("unknown", "var"):
         return True
     # Resolve "absent" to the value it reads back as.
     if a[0] == "absent":

@@ -177,6 +177,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.engine == "ops5" and (args.certified_commute or args.sanitize_races):
+        print(
+            "error: --certified-commute/--sanitize-races apply to "
+            "--engine parulel only",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.engine == "ops5":
         ops5 = OPS5Engine(
@@ -232,6 +239,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         respawn_limit=args.respawn_limit,
         assignment=args.assignment,
         wm_backend=args.wm_backend,
+        certified_commute=args.certified_commute,
+        sanitize_races=args.sanitize_races,
     )
     obs_tracer, obs_metrics = _make_obs(args)
     if args.resume:
@@ -534,14 +543,42 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 (name, workload.program, _registry_seed_classes(workload))
             )
 
+    if args.json and args.sarif:
+        print("error: --json and --sarif are mutually exclusive", file=sys.stderr)
+        return 2
+
     reports = [
         analyze(program, seed_classes=seeds, name=name)
         for name, program, seeds in units
     ]
-    if args.json:
+    if args.sarif:
         doc = render_sarif(
             [(r.name, r.diagnostics, r.properties()) for r in reports]
         )
+        print(json.dumps(doc, indent=2))
+    elif args.json:
+        doc = {
+            "programs": [
+                {
+                    "name": r.name,
+                    "worst": r.worst.value if r.worst is not None else None,
+                    "hasErrors": r.has_errors,
+                    "properties": r.properties(),
+                    "diagnostics": [
+                        {
+                            "code": d.code,
+                            "severity": d.severity.value,
+                            "rule": d.rule,
+                            "ce": d.ce,
+                            "message": d.message,
+                            "hint": d.hint,
+                        }
+                        for d in r.diagnostics
+                    ],
+                }
+                for r in reports
+            ]
+        }
         print(json.dumps(doc, indent=2))
     else:
         print("\n\n".join(r.render_text(show_hints=not args.no_hints) for r in reports))
@@ -720,6 +757,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--interference", choices=("error", "first", "merge"), default="error"
     )
+    p_run.add_argument(
+        "--certified-commute",
+        action="store_true",
+        help="skip reifying conflict-set candidates the commutativity "
+        "detector proves invisible to the meta level and pairwise "
+        "commuting (byte-identical results, fewer redaction checks)",
+    )
+    p_run.add_argument(
+        "--sanitize-races",
+        action="store_true",
+        help="dynamic race sanitizer: replay each pair of firings in both "
+        "orders on a shadow WM and hard-fail if a pair certified as "
+        "commuting diverges",
+    )
     p_run.add_argument("--max-cycles", type=int, default=100_000)
     p_run.add_argument("--trace", action="store_true", help="per-cycle trace to stderr")
     p_run.add_argument("--stats", action="store_true", help="match/phase statistics")
@@ -792,6 +843,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_analyze.add_argument(
         "--json",
+        action="store_true",
+        help="emit a flat machine-readable JSON document (one entry per "
+        "program: worst severity, properties, diagnostics) instead of text",
+    )
+    p_analyze.add_argument(
+        "--sarif",
         action="store_true",
         help="emit a SARIF-shaped JSON document instead of text",
     )

@@ -34,7 +34,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.errors import CycleLimitExceeded, ExecutionError
+from repro.errors import CommuteViolationError, CycleLimitExceeded, ExecutionError
 from repro.core.actions import ActionEvaluator, HostFunction, InstantiationDelta
 from repro.core.delta import CycleDelta, InterferencePolicy, merge_deltas
 from repro.core.provenance import ProvenanceTracker
@@ -48,10 +48,12 @@ from repro.metrics.timers import PhaseTimer
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.profile import (
     MATCH_OPS,
+    REDACTION_SKIPPED,
     RULE_CANDIDATES,
     RULE_EVAL_SECONDS,
     RULE_FIRINGS,
     RULE_REDACTIONS,
+    SANITIZER_REPLAYS,
 )
 from repro.obs.trace import NULL_TRACER, PhaseSpan
 from repro.wm.memory import WorkingMemory
@@ -110,6 +112,19 @@ class EngineConfig:
     #: shared-memory columns the process backend attaches instead of
     #: receiving pickled deltas). Semantics are identical either way.
     wm_backend: str = "dict"
+    #: Certified redaction fast path: skip reifying conflict-set candidates
+    #: whose rules the commute analysis proved invisible to every meta-rule
+    #: and commuting (statically or by concrete pair replay) with every
+    #: other candidate. Results are byte-identical; the skipped work is
+    #: reported via ``parulel_redaction_skipped_total``.
+    certified_commute: bool = False
+    #: Runtime race sanitizer: after evaluating each cycle's firing set,
+    #: replay every fired pair in both orders on a shadow of the deltas and
+    #: raise :class:`~repro.errors.CommuteViolationError` if a pair the
+    #: analysis certified as COMMUTES diverges. A dynamic cross-check of
+    #: the static verdicts; replays are counted via
+    #: ``parulel_sanitizer_replays_total``.
+    sanitize_races: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -123,6 +138,11 @@ class EngineConfig:
             raise ValueError(
                 f"unknown wm_backend {self.wm_backend!r} "
                 f"(expected 'dict' or 'columnar')"
+            )
+        if self.certified_commute and not self.dedupe_makes:
+            raise ValueError(
+                "certified_commute requires dedupe_makes=True (the pair "
+                "replays mirror the set-insertion merge)"
             )
 
 
@@ -246,6 +266,22 @@ class ParulelEngine:
         self.provenance: Optional[ProvenanceTracker] = (
             ProvenanceTracker() if self.config.track_provenance else None
         )
+        #: Commute-analysis runtime state (built only when a flag asks for
+        #: it — the analysis package is never imported otherwise).
+        self._commute_index = None
+        self._pair_replayer = None
+        #: Survivor-key pairs concretely certified during the current
+        #: cycle's redact phase (the sanitizer treats them like static
+        #: COMMUTES verdicts).
+        self._certified_pairs: Set[frozenset] = set()
+        if self.config.certified_commute or self.config.sanitize_races:
+            from repro.analysis.commute import CommuteIndex
+            from repro.core.sanitize import PairReplayer
+
+            self._commute_index = CommuteIndex(program)
+            self._pair_replayer = PairReplayer(
+                dedupe_makes=self.config.dedupe_makes
+            )
         #: Last-seen matcher op totals, for per-cycle MATCH_OPS deltas.
         self._last_match_ops: Counter = Counter()
         self.fired: Set[InstKey] = set()
@@ -315,7 +351,13 @@ class ParulelEngine:
             return None
 
         with self._phase("redact", "redact", cycle=cycle_no, candidates=len(candidates)):
-            survivors, red_report = self.meta.redact(candidates)
+            self._certified_pairs = set()
+            skip = (
+                self._certified_skip(candidates)
+                if self.config.certified_commute
+                else frozenset()
+            )
+            survivors, red_report = self.meta.redact(candidates, skip_reify=skip)
         meta_writes = list(self.meta.writes)
         self.output.extend(meta_writes)
 
@@ -362,6 +404,9 @@ class ParulelEngine:
                     self.fired.add(inst.key)
                     self._fired_log.append(inst.key)
                     deltas.append(self.evaluator.evaluate(inst))
+
+        if self.config.sanitize_races and len(deltas) > 1:
+            self._sanitize_races(deltas)
 
         with self._phase("merge", "apply", cycle=cycle_no, deltas=len(deltas)):
             merged = merge_deltas(
@@ -434,6 +479,8 @@ class ParulelEngine:
         metrics.inc("parulel_redacted_total", red_report.redacted)
         metrics.inc("parulel_meta_cycles_total", red_report.meta_cycles)
         metrics.inc("parulel_meta_firings_total", red_report.meta_firings)
+        if red_report.skipped:
+            metrics.inc(REDACTION_SKIPPED, red_report.skipped)
         cand_by_rule = Counter(i.rule.name for i in candidates)
         surv_by_rule = Counter(i.rule.name for i in survivors)
         for rule, n in cand_by_rule.items():
@@ -451,6 +498,89 @@ class ParulelEngine:
                 if delta:
                     metrics.inc(MATCH_OPS, delta, op=op)
             self._last_match_ops = snap
+
+    def _certified_skip(self, candidates: Sequence[Instantiation]) -> frozenset:
+        """1-based ids of candidates whose reification is provably skippable.
+
+        A candidate may skip the meta level iff (1) its rule is *invisible*
+        — no ``instantiation`` CE of any meta-rule can match its
+        reification, so skipping cannot change any meta match — and (2) it
+        commutes with every other candidate, statically (the commute
+        analysis proved the rule pair COMMUTES) or concretely (replaying
+        the two purely-evaluated deltas in both orders nets the same WM
+        effect), so no arbitration between them can matter.
+        """
+        from repro.core.sanitize import evaluate_delta_pure
+
+        index, replayer = self._commute_index, self._pair_replayer
+        assert index is not None and replayer is not None
+        n = len(candidates)
+        eligible = [
+            i for i in range(n) if index.invisible(candidates[i].rule.name)
+        ]
+        if not eligible:
+            return frozenset()
+
+        deltas: Dict[int, Optional[InstantiationDelta]] = {}
+
+        def delta(i: int) -> Optional[InstantiationDelta]:
+            if i not in deltas:
+                deltas[i] = evaluate_delta_pure(candidates[i])
+            return deltas[i]
+
+        pair_cache: Dict[Tuple[int, int], bool] = {}
+
+        def commutes(i: int, j: int) -> bool:
+            key = (i, j) if i < j else (j, i)
+            got = pair_cache.get(key)
+            if got is None:
+                a, b = candidates[key[0]], candidates[key[1]]
+                if index.statically_commutes(a.rule.name, b.rule.name):
+                    got = True
+                else:
+                    da, db = delta(key[0]), delta(key[1])
+                    got = (
+                        da is not None
+                        and db is not None
+                        and replayer.pair_commutes(da, db)
+                    )
+                    if got:
+                        self._certified_pairs.add(frozenset((a.key, b.key)))
+                pair_cache[key] = got
+            return got
+
+        return frozenset(
+            i + 1
+            for i in eligible
+            if all(commutes(i, j) for j in range(n) if j != i)
+        )
+
+    def _sanitize_races(self, deltas: Sequence[InstantiationDelta]) -> None:
+        """Replay every fired pair in both orders and hard-fail when a pair
+        the analysis certified as commuting diverges — a dynamic
+        cross-check of the static verdicts (``--sanitize-races``)."""
+        index, replayer = self._commute_index, self._pair_replayer
+        assert index is not None and replayer is not None
+        metrics = self.metrics
+        for i, da in enumerate(deltas):
+            for db in deltas[i + 1 :]:
+                if metrics.enabled:
+                    metrics.inc(SANITIZER_REPLAYS)
+                if replayer.replay((da, db)) == replayer.replay((db, da)):
+                    continue
+                a, b = da.inst, db.inst
+                certified = index.statically_commutes(
+                    a.rule.name, b.rule.name
+                ) or frozenset((a.key, b.key)) in self._certified_pairs
+                if certified:
+                    raise CommuteViolationError(
+                        f"race sanitizer: rules {a.rule.name!r} and "
+                        f"{b.rule.name!r} were certified as commuting but "
+                        f"their firings diverge under reordering in cycle "
+                        f"{self._cycle}",
+                        rules=(a.rule.name, b.rule.name),
+                        cycle=self._cycle,
+                    )
 
     def _drain_matcher_faults(self) -> List[FaultEvent]:
         """Collect fault/recovery events the match backend accumulated

@@ -80,19 +80,28 @@ def reify_instantiation(inst: Instantiation, inst_id: int) -> Dict[str, Value]:
 class RedactionReport:
     """What one redaction phase did (feeds Table 3)."""
 
-    __slots__ = ("candidates", "redacted", "meta_cycles", "meta_firings")
+    __slots__ = ("candidates", "redacted", "meta_cycles", "meta_firings", "skipped")
 
-    def __init__(self, candidates: int, redacted: int, meta_cycles: int, meta_firings: int) -> None:
+    def __init__(
+        self,
+        candidates: int,
+        redacted: int,
+        meta_cycles: int,
+        meta_firings: int,
+        skipped: int = 0,
+    ) -> None:
         self.candidates = candidates
         self.redacted = redacted
         self.meta_cycles = meta_cycles
         self.meta_firings = meta_firings
+        #: Candidates whose reification the certified fast path skipped.
+        self.skipped = skipped
 
     def __repr__(self) -> str:
         return (
             f"RedactionReport(candidates={self.candidates}, "
             f"redacted={self.redacted}, meta_cycles={self.meta_cycles}, "
-            f"meta_firings={self.meta_firings})"
+            f"meta_firings={self.meta_firings}, skipped={self.skipped})"
         )
 
 
@@ -129,19 +138,39 @@ class MetaLevel:
     def enabled(self) -> bool:
         return self.matcher is not None
 
-    def redact(self, candidates: Sequence[Instantiation]) -> Tuple[List[Instantiation], RedactionReport]:
-        """Run the meta-program; return survivors (original order) + report."""
+    def redact(
+        self,
+        candidates: Sequence[Instantiation],
+        skip_reify: frozenset = frozenset(),
+    ) -> Tuple[List[Instantiation], RedactionReport]:
+        """Run the meta-program; return survivors (original order) + report.
+
+        ``skip_reify`` holds 1-based candidate ids the certified fast path
+        proved safe to leave unreified: their rules are invisible to every
+        meta-rule's ``instantiation`` CEs and they commute with every other
+        candidate, so the meta-level outcome cannot depend on their
+        presence. They keep their ids (a computed-id ``(redact i)`` still
+        removes them) but cost no WM churn or meta rematching.
+        """
         self.halt_requested = False
         self.writes = []
         if not self.enabled or not candidates:
-            return list(candidates), RedactionReport(len(candidates), 0, 0, 0)
+            return list(candidates), RedactionReport(
+                len(candidates), 0, 0, 0, skipped=len(skip_reify)
+            )
 
         by_id: Dict[int, Instantiation] = {}
         wme_by_id: Dict[int, WME] = {}
         for i, inst in enumerate(candidates, start=1):
+            by_id[i] = inst
+            if i in skip_reify:
+                # Burn the timestamp the reification would have taken so
+                # every later allocation — and therefore the whole run —
+                # stays byte-identical to the unskipped engine.
+                self.wm.allocate_timestamp()
+                continue
             attrs = reify_instantiation(inst, i)
             wme = self.wm.make(INSTANTIATION_CLASS, attrs)
-            by_id[i] = inst
             wme_by_id[i] = wme
 
         redacted: Set[int] = set()
@@ -182,6 +211,12 @@ class MetaLevel:
                         continue
                     wme = wme_by_id.get(raw_id)
                     if wme is None:
+                        if raw_id in by_id:
+                            # A computed-id redact of an unreified (skipped)
+                            # candidate: honor it — no WME to retract.
+                            redacted.add(raw_id)
+                            progressed = True
+                            continue
                         raise ExecutionError(
                             f"(redact {raw_id}): no instantiation with that id "
                             f"in the current conflict set"
@@ -208,5 +243,9 @@ class MetaLevel:
 
         survivors = [inst for i, inst in by_id.items() if i not in redacted]
         return survivors, RedactionReport(
-            len(candidates), len(redacted), meta_cycles, meta_firings
+            len(candidates),
+            len(redacted),
+            meta_cycles,
+            meta_firings,
+            skipped=len(skip_reify),
         )

@@ -51,6 +51,20 @@ class MatchError(ReproError):
     """Raised when a rule cannot be compiled into a match network."""
 
 
+class PartitionConstraintError(MatchError):
+    """Raised by :func:`repro.parallel.partition.copy_and_constrain` when a
+    partition's membership test conjoins with an existing test on the same
+    attribute into an unsatisfiable constraint — the resulting rule copy
+    could never match, so the split silently drops work instead of
+    distributing it. Carries the ``rule`` name and ``attribute``.
+    """
+
+    def __init__(self, message: str, rule: str = "", attribute: str = "") -> None:
+        super().__init__(message)
+        self.rule = rule
+        self.attribute = attribute
+
+
 class ExecutionError(ReproError):
     """Raised for runtime failures while firing rules (bad CE index in a
     ``modify``, arithmetic on non-numbers, exceeding the cycle limit, ...)."""
@@ -86,6 +100,24 @@ class InterferenceError(ExecutionError):
         #: the porting lint's tests check each runtime pair appears among
         #: its static candidates.
         self.rules = tuple(rules)
+
+
+class CommuteViolationError(ExecutionError):
+    """Raised by the runtime race sanitizer (``--sanitize-races``) when a
+    fired pair whose rules the commute analysis certified as COMMUTES
+    produces divergent working-memory deltas under the two firing orders.
+
+    This never fires for honest programs: it means the static certificate
+    (or the concrete per-cycle certification used by the certified
+    redaction fast path) is unsound, which is exactly the bug class the
+    sanitizer exists to catch before it can corrupt results silently.
+    Carries the two ``rules`` and the ``cycle`` the divergence occurred on.
+    """
+
+    def __init__(self, message: str, rules=(), cycle: int = 0) -> None:
+        super().__init__(message)
+        self.rules = tuple(rules)
+        self.cycle = cycle
 
 
 class CycleLimitExceeded(ExecutionError):

@@ -237,6 +237,22 @@ class CompiledRule:
                     out.append(var)
         return tuple(out)
 
+    def binder_map(self) -> Dict[str, Tuple[int, str]]:
+        """var -> (0-based CE index, attribute) of its binding occurrence.
+
+        The identity classification binds each variable exactly once (at
+        its first plain occurrence in a positive CE); join tests elsewhere
+        only *compare* against the binding. Symbolic analyses (the commute
+        detector) use this to translate an action's variable reference back
+        to the CE attribute it reads.
+        """
+        out: Dict[str, Tuple[int, str]] = {}
+        for ce in self.ces:
+            for attr, var in ce.bindings:
+                if var not in out:
+                    out[var] = (ce.index, attr)
+        return out
+
 
 # ---------------------------------------------------------------------------
 # Compilation

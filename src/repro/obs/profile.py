@@ -31,6 +31,12 @@ RULE_MATCH_SECONDS = "parulel_rule_match_seconds"
 #: :data:`repro.match.stats.COUNTER_NAMES` entry), exported by the engine
 #: as per-cycle deltas of the matcher's MatchStats totals.
 MATCH_OPS = "parulel_match_ops_total"
+#: Candidates whose reification the certified commutativity fast path
+#: skipped (``EngineConfig.certified_commute``).
+REDACTION_SKIPPED = "parulel_redaction_skipped_total"
+#: Fired pairs the runtime race sanitizer replayed in both orders
+#: (``EngineConfig.sanitize_races``).
+SANITIZER_REPLAYS = "parulel_sanitizer_replays_total"
 
 
 @dataclass

@@ -27,7 +27,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import MatchError
+import warnings
+
+from repro.errors import MatchError, PartitionConstraintError
 from repro.lang.ast import (
     ConditionElement,
     ConjunctiveTest,
@@ -229,7 +231,21 @@ def copy_and_constrain(
     ``ce_index`` is 1-based (as in ``modify``); the CE must be positive.
     Copies are named ``<rule>@cc<i>``. The partitions must be disjoint and
     cover the attribute's runtime domain for the transformation to preserve
-    semantics (checked by the caller/workload, not statically checkable).
+    semantics; disjointness is checked here, coverage by the caller.
+
+    Each copy's constrained CE is also checked for satisfiability: a
+    membership partition that conjoins with an existing test on the same
+    attribute into a contradiction (e.g. partitioning ``^src`` on a CE that
+    already tests ``^src a`` with a partition not containing ``a``) would
+    silently drop instantiations, so it raises
+    :class:`~repro.errors.PartitionConstraintError` naming the rule and
+    attribute instead. Empty partitions (k exceeding the domain size) stay
+    legal — an empty membership test is inert, not contradictory.
+
+    Finally the commute detector is consulted on the produced copies: a
+    pair of copies proven RACES (their match sets overlap and the firings
+    interfere) earns a ``UserWarning`` — the split is still returned, since
+    meta-rules may arbitrate the overlap at runtime.
     """
     if not (1 <= ce_index <= len(rule.conditions)):
         raise MatchError(
@@ -267,6 +283,8 @@ def copy_and_constrain(
         new_ce = ConditionElement(
             class_name=ce.class_name, tests=tuple(new_pairs), negated=False
         )
+        if part:
+            _check_partition_satisfiable(rule, new_ce, attr)
         conditions = (
             rule.conditions[: ce_index - 1] + (new_ce,) + rule.conditions[ce_index:]
         )
@@ -279,7 +297,53 @@ def copy_and_constrain(
                 salience=rule.salience,
             )
         )
+    _warn_on_racing_copies(rule, copies)
     return copies
+
+
+def _check_partition_satisfiable(rule: Rule, new_ce: ConditionElement, attr: str) -> None:
+    """Reject a constrained CE whose conjoined tests are unsatisfiable."""
+    # Local imports: repro.analysis builds on this module's Assignment.
+    from repro.analysis.footprint import ce_constraints, constraints_satisfiable
+    from repro.match.compile import compile_rule
+
+    probe = Rule(name=rule.name, conditions=(new_ce,), actions=())
+    compiled = compile_rule(probe, plan=False)
+    for a, conds in ce_constraints(compiled.ces[0]).items():
+        if len(conds) >= 2 and not constraints_satisfiable(conds):
+            raise PartitionConstraintError(
+                f"copy_and_constrain: partitioning {rule.name!r} on "
+                f"^{attr} makes attribute ^{a} unsatisfiable — the "
+                f"membership partition contradicts an existing test on "
+                f"that attribute, so the copy could never match",
+                rule=rule.name,
+                attribute=a,
+            )
+
+
+def _warn_on_racing_copies(rule: Rule, copies: Sequence[Rule]) -> None:
+    """Best-effort commute check over the produced copies (object rules
+    only — meta-rule copies are arbitrated sequentially anyway)."""
+    if isinstance(rule, MetaRule) or len(copies) < 2:
+        return
+    try:
+        from repro.analysis.commute import Verdict, classify_rule_pair
+
+        for i, a in enumerate(copies):
+            for b in copies[i + 1 :]:
+                verdict = classify_rule_pair(a, b)
+                if verdict.verdict == Verdict.RACES:
+                    warnings.warn(
+                        f"copy_and_constrain: copies {a.name!r} and "
+                        f"{b.name!r} race ({verdict.reason}) — the "
+                        f"partitions overlap or the rule interferes with "
+                        f"itself; results may depend on arbitration",
+                        UserWarning,
+                        stacklevel=3,
+                    )
+                    return
+    except Exception:  # pragma: no cover - advisory only, never fatal
+        return
 
 
 def copy_and_constrain_program(

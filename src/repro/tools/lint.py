@@ -85,23 +85,27 @@ def _write_targets(rule: Rule) -> List[Tuple[int, CompiledCE, str]]:
     return out
 
 
-def _constant_eq_tests(ce: CompiledCE) -> Dict[str, object]:
-    out: Dict[str, object] = {}
-    for cond in ce.alpha_conds:
-        if cond[0] == "const" and cond[2] == "=":
-            _kind, attr, _op, value = cond
-            out[attr] = value
-    return out
-
-
 def _may_alias(a: CompiledCE, b: CompiledCE) -> bool:
-    """Could one WME match both compiled CEs? (conservative)"""
+    """Could one WME match both compiled CEs? (conservative)
+
+    ``False`` only on proof: class mismatch, or a shared attribute whose
+    combined alpha constraints — constant equality, ``<< … >>`` membership
+    alternatives, numeric predicate ranges — no single value can satisfy.
+    Copy-and-constrain siblings partitioned on disjoint membership sets
+    therefore stop aliasing, while anything unprovable stays a candidate
+    (runtime interference errors remain a subset of the lint's worklist).
+    """
     if a.class_name != b.class_name:
         return False
-    consts_a = _constant_eq_tests(a)
-    consts_b = _constant_eq_tests(b)
-    for attr, value in consts_a.items():
-        if attr in consts_b and consts_b[attr] != value:
+    from repro.analysis.footprint import ce_constraints, constraints_satisfiable
+
+    conds_a = ce_constraints(a)
+    conds_b = ce_constraints(b)
+    for attr, ca in conds_a.items():
+        cb = conds_b.get(attr)
+        if cb is None:
+            continue
+        if not constraints_satisfiable(list(ca) + list(cb)):
             return False  # provably disjoint
     return True
 

@@ -103,9 +103,9 @@ class TestRegistryMode:
             assert f"== {name}" in out
 
 
-class TestJsonMode:
+class TestSarifMode:
     def test_sarif_shape(self, tmp_path, capsys):
-        rc = main(["analyze", "--json", _write(tmp_path, "c.pl", CONTENDED)])
+        rc = main(["analyze", "--sarif", _write(tmp_path, "c.pl", CONTENDED)])
         assert rc == 0
         doc = json.loads(capsys.readouterr().out)
         assert doc["version"] == "2.1.0"
@@ -119,8 +119,8 @@ class TestJsonMode:
         assert "graph" in run["properties"]
         assert "coverage" in run["properties"]
 
-    def test_json_exit_code_still_reflects_errors(self, tmp_path, capsys):
-        rc = main(["analyze", "--json", _write(tmp_path, "b.pl", BROKEN)])
+    def test_sarif_exit_code_still_reflects_errors(self, tmp_path, capsys):
+        rc = main(["analyze", "--sarif", _write(tmp_path, "b.pl", BROKEN)])
         assert rc == 1
         doc = json.loads(capsys.readouterr().out)
         assert any(
@@ -128,10 +128,52 @@ class TestJsonMode:
             for r in doc["runs"][0]["results"]
         )
 
-    def test_registry_json_one_run_per_workload(self, capsys):
-        rc = main(["analyze", "--json"])
+    def test_registry_sarif_one_run_per_workload(self, capsys):
+        rc = main(["analyze", "--sarif"])
         assert rc == 0
         doc = json.loads(capsys.readouterr().out)
         from repro.programs import REGISTRY
 
         assert len(doc["runs"]) == len(REGISTRY)
+
+
+class TestJsonMode:
+    def test_machine_json_shape(self, tmp_path, capsys):
+        rc = main(["analyze", "--json", _write(tmp_path, "c.pl", CONTENDED)])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        (prog,) = doc["programs"]
+        assert prog["worst"] == "warning"
+        assert prog["hasErrors"] is False
+        assert "graph" in prog["properties"]
+        assert "commute" in prog["properties"]
+        codes = {d["code"] for d in prog["diagnostics"]}
+        assert "PA001" in codes
+        first = prog["diagnostics"][0]
+        assert set(first) == {"code", "severity", "rule", "ce", "message", "hint"}
+
+    def test_json_exit_code_still_reflects_errors(self, tmp_path, capsys):
+        rc = main(["analyze", "--json", _write(tmp_path, "b.pl", BROKEN)])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        (prog,) = doc["programs"]
+        assert prog["hasErrors"] is True
+        assert any(
+            d["code"] == "PA004" and d["severity"] == "error"
+            for d in prog["diagnostics"]
+        )
+
+    def test_registry_json_one_entry_per_workload(self, capsys):
+        rc = main(["analyze", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        from repro.programs import REGISTRY
+
+        assert len(doc["programs"]) == len(REGISTRY)
+
+    def test_json_and_sarif_are_mutually_exclusive(self, tmp_path, capsys):
+        rc = main(
+            ["analyze", "--json", "--sarif", _write(tmp_path, "c.pl", CONTENDED)]
+        )
+        assert rc == 2
+        assert "mutually exclusive" in capsys.readouterr().err

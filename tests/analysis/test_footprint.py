@@ -162,3 +162,150 @@ class TestFootprintClasses:
             """
         )
         assert footprint_classes(program.rules) == {"r": frozenset({"a", "b"})}
+
+
+class TestNegatedCes:
+    SRC = """
+    (literalize edge src dst)
+    (literalize path src dst)
+    (p init
+        (edge ^src <a> ^dst <b>)
+        -(path ^src <a> ^dst <b>)
+        -->
+        (make path ^src <a> ^dst <b>))
+    """
+
+    def test_negated_ce_constraints_still_computed(self):
+        # The guard's alpha constraints are analyzable exactly like a
+        # positive CE's — may_overlap against the rule's own make image
+        # is what PA005/inhibits edges and the commute channels consume.
+        rule = _rule(self.SRC)
+        compiled = compile_rule(rule)
+        neg = compiled.ces[1]
+        assert neg.negated
+        # All tests on the guard are variable joins — no static constants.
+        assert ce_constraints(neg) == {}
+
+    def test_negated_class_counted_as_read(self):
+        fp = rule_footprint(_rule(self.SRC))
+        assert "path" in fp.classes_read
+
+    def test_make_image_overlaps_own_guard(self):
+        # Self-inhibition: the make's post-image may alias the negated CE
+        # (same class, variable-valued attrs are 'var' constraints which
+        # never disprove overlap).
+        fp = rule_footprint(_rule(self.SRC))
+        (make_image,) = [w for w in fp.writes if w.kind == "make"]
+        guard = compile_rule(fp.rule).ces[1]
+        assert may_overlap(make_image, ce_constraints(guard), "path")
+
+    def test_constant_guard_vs_disjoint_make(self):
+        rule = _rule(
+            """
+            (literalize tok color)
+            (p r (tok ^color red) -(tok ^color blue)
+             --> (make tok ^color red))
+            """
+        )
+        fp = rule_footprint(rule)
+        (make_image,) = fp.writes
+        guard = compile_rule(rule).ces[1]
+        # ^color red can never satisfy the guard's ^color blue.
+        assert not may_overlap(make_image, ce_constraints(guard), "tok")
+
+
+class TestMetaRuleFootprints:
+    SRC = """
+    (literalize slot owner)
+    (literalize req n)
+    (p claim (slot ^owner nil) (req ^n <n>) --> (modify 1 ^owner <n>))
+    (mp arbitrate
+        (instantiation ^rule claim ^id <i>)
+        (instantiation ^rule claim ^id {<j> > <i>})
+        -->
+        (redact <j>))
+    """
+
+    def test_meta_rule_reads_instantiation_class(self):
+        program = parse_program(self.SRC)
+        (meta,) = program.meta_rules
+        fp = rule_footprint(meta)
+        assert fp.classes_read == frozenset({"instantiation"})
+
+    def test_redact_contributes_no_write_image(self):
+        # Redaction deletes a *reification*, not an ordinary WME: the
+        # footprint's write side must stay empty so the dependency graph
+        # never derives object-level edges from meta arbitration.
+        program = parse_program(self.SRC)
+        (meta,) = program.meta_rules
+        fp = rule_footprint(meta)
+        assert fp.writes == ()
+        assert fp.classes_written == frozenset()
+
+    def test_meta_reading_and_redacting_same_class(self):
+        # Both CEs read the class the redact targets — the read-side
+        # constraint maps must keep the two CEs' distinct ^id constraints
+        # apart (one 'eq'-free binding, one predicate join).
+        program = parse_program(self.SRC)
+        (meta,) = program.meta_rules
+        compiled = compile_rule(meta)
+        c0 = ce_constraints(compiled.ces[0])
+        c1 = ce_constraints(compiled.ces[1])
+        assert c0["rule"] == (("eq", "claim"),)
+        assert c1["rule"] == (("eq", "claim"),)
+        # <i>/<j> are bindings/joins, not alpha constraints.
+        assert "id" not in c0
+        assert "id" not in c1
+
+
+class TestModifyReadWriteSameWme:
+    SRC = """
+    (literalize slot owner state)
+    (literalize req n)
+    (p claim
+        (slot ^owner nil ^state open)
+        (req ^n <n>)
+        -->
+        (modify 1 ^owner <n>))
+    """
+
+    def test_modify_image_inherits_unwritten_reads(self):
+        # The modify target is read and written by the same action: the
+        # post-image must keep the *unassigned* attributes' constraints
+        # (^state open survives) while the assigned one is overridden.
+        fp = rule_footprint(_rule(self.SRC))
+        (image,) = fp.writes
+        assert image.kind == "modify" and image.ce_index == 1
+        cmap = image.constraint_map
+        assert cmap["state"] == (("pred", "=", "open"),) or cmap["state"] == (
+            ("eq", "open"),
+        )
+
+    def test_assigned_attr_overridden_with_var_kind(self):
+        # ^owner nil is overwritten by the bound variable <n>: the image
+        # must NOT claim the post-WME still has ^owner nil, and the 'var'
+        # kind records where the value comes from.
+        fp = rule_footprint(_rule(self.SRC))
+        (image,) = fp.writes
+        assert image.constraint_map["owner"] == (("var", "n"),)
+
+    def test_post_image_no_longer_feeds_own_pattern(self):
+        # After the modify, ^owner is <n> (a req number) — but 'var' is
+        # conservative, so overlap with ^owner nil must still be assumed
+        # (refinement only on proof).
+        fp = rule_footprint(_rule(self.SRC))
+        (image,) = fp.writes
+        assert may_overlap(image, {"owner": (("eq", NIL),)}, "slot")
+
+    def test_constant_overwrite_is_proof(self):
+        rule = _rule(
+            """
+            (literalize slot owner)
+            (p close (slot ^owner nil) --> (modify 1 ^owner taken))
+            """
+        )
+        (image,) = rule_footprint(rule).writes
+        # The post-image provably has ^owner taken: reads demanding nil
+        # are disjoint — this is what breaks false self-enablement edges.
+        assert not may_overlap(image, {"owner": (("eq", NIL),)}, "slot")
+        assert may_overlap(image, {"owner": (("eq", "taken"),)}, "slot")

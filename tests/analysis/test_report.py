@@ -11,18 +11,24 @@ from repro.analysis import Severity, analyze, render_sarif
 from repro.lang.parser import parse_program
 from repro.programs import REGISTRY
 
-# One program, six pathologies:
+# One program, ten pathologies:
 #   PA001 — 'claim' can fire twice into the same slot (modify/modify);
 #   PA002 — a meta level exists but covers none of claim's candidates;
 #   PA003 — 'stranded' reads a class no seed or make ever produces;
 #   PA004 — 'never' demands ^n 1 and ^n 2 at once;
 #   PA005 — 'ab' makes the very class it negates, inside the ab/ba cycle;
-#   PA006 — 'arbitrate-ghost' pins ^rule to a rule that does not exist.
+#   PA006 — 'arbitrate-ghost' pins ^rule to a rule that does not exist;
+#   PA007 — two 'claim' firings modify the same slot (witnessed race);
+#   PA008 — one 'block' firing's make disables the other's negated CE;
+#   PA009 — 'mint' uses genatom, so its pairs cannot be classified;
+#   PA010 — the hand-rolled 'split@cc*' copies both accept ^n 2.
 EVERYTHING_WRONG = """
 (literalize req n)
 (literalize slot owner)
 (literalize a v)
 (literalize b v)
+(literalize c v)
+(literalize tok id)
 (literalize orphan v)
 (literalize broken n)
 
@@ -31,6 +37,10 @@ EVERYTHING_WRONG = """
 (p never (broken ^n 1 ^n 2) --> (halt))
 (p ab (a ^v go) - (b ^v stop) --> (make b ^v stop))
 (p ba (b ^v stop) --> (make a ^v go))
+(p block (a ^v <x>) - (b ^v 1) --> (make b ^v 1) (make c ^v <x>))
+(p mint (req ^n <n>) --> (make tok ^id (genatom)))
+(p split@cc0 (req ^n << 1 2 >>) --> (remove 1))
+(p split@cc1 (req ^n << 2 3 >>) --> (remove 1))
 
 (mp arbitrate-ghost
     (instantiation ^rule no-such ^id <i>)
@@ -39,6 +49,11 @@ EVERYTHING_WRONG = """
 """
 
 SEEDS = ["a", "b", "broken", "req", "slot"]
+
+ALL_CODES = {
+    "PA001", "PA002", "PA003", "PA004", "PA005",
+    "PA006", "PA007", "PA008", "PA009", "PA010",
+}
 
 
 def everything_wrong_report():
@@ -50,11 +65,9 @@ def everything_wrong_report():
 
 
 class TestEveryCodeFires:
-    def test_all_six_codes_triggered(self):
+    def test_all_ten_codes_triggered(self):
         report = everything_wrong_report()
-        assert {d.code for d in report.diagnostics} == {
-            "PA001", "PA002", "PA003", "PA004", "PA005", "PA006",
-        }
+        assert {d.code for d in report.diagnostics} == ALL_CODES
 
     def test_each_code_names_the_offending_rule(self):
         report = everything_wrong_report()
@@ -65,8 +78,12 @@ class TestEveryCodeFires:
         assert "claim" in by_code["PA002"]
         assert by_code["PA003"] == {"stranded"}
         assert by_code["PA004"] == {"never"}
-        assert by_code["PA005"] <= {"ab", "ba"}
+        assert "ab" in by_code["PA005"]
         assert by_code["PA006"] == {"arbitrate-ghost"}
+        assert "claim" in by_code["PA007"]
+        assert "block" in by_code["PA008"]
+        assert any("mint" in (r or "") for r in by_code["PA009"])
+        assert "split@cc0" in by_code["PA010"]
 
     def test_severities_and_worst(self):
         report = everything_wrong_report()
@@ -76,9 +93,10 @@ class TestEveryCodeFires:
 
     def test_render_text_mentions_every_code(self):
         text = everything_wrong_report().render_text()
-        for code in ("PA001", "PA002", "PA003", "PA004", "PA005", "PA006"):
+        for code in sorted(ALL_CODES):
             assert code in text
         assert "== everything-wrong" in text
+        assert "commutativity:" in text
 
     def test_sarif_round_trips_with_all_codes(self):
         report = everything_wrong_report()
@@ -88,8 +106,9 @@ class TestEveryCodeFires:
         doc = json.loads(json.dumps(doc))  # must be JSON-serializable
         run = doc["runs"][0]
         seen = {r["ruleId"] for r in run["results"]}
-        assert seen == {"PA001", "PA002", "PA003", "PA004", "PA005", "PA006"}
+        assert seen == ALL_CODES
         assert run["properties"]["program"] == "everything-wrong"
+        assert "commute" in run["properties"]
 
 
 class TestCleanPrograms:

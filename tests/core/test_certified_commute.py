@@ -1,0 +1,121 @@
+"""The certified redaction fast path and the runtime race sanitizer.
+
+Acceptance, from the PR: ``certified_commute=True`` must be byte-identical
+to the plain engine — same cycles, firings, output and final working
+memory (timestamps included) — while skipping a measurable number of
+candidate reifications on tc and waltz; every statically-COMMUTES verdict
+must survive the dynamic sanitizer; and a deliberately wrong
+certification must be caught as :class:`CommuteViolationError`.
+"""
+
+import pytest
+
+from repro.core import EngineConfig, ParulelEngine
+from repro.errors import CommuteViolationError
+from repro.lang import parse_program
+from repro.obs import MetricsRegistry
+from repro.obs.profile import REDACTION_SKIPPED, SANITIZER_REPLAYS
+from repro.programs import REGISTRY
+
+
+def _run(workload, metrics=None, **config):
+    wl = REGISTRY[workload]()
+    engine = ParulelEngine(wl.program, EngineConfig(**config), metrics=metrics)
+    wl.setup(engine)
+    result = engine.run(max_cycles=5000)
+    return engine, result, wl
+
+
+def _fingerprint(engine, result):
+    return (
+        result.cycles,
+        result.firings,
+        tuple(result.output),
+        engine.wm.dump_records(),
+    )
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize(
+        "workload",
+        ["tc", "waltz", "manners", "routing", "circuit", "sort", "monkey"],
+    )
+    def test_certified_commute_is_byte_identical(self, workload):
+        base_engine, base_result, wl = _run(workload)
+        metrics = MetricsRegistry()
+        fast_engine, fast_result, _ = _run(
+            workload,
+            metrics=metrics,
+            certified_commute=True,
+            sanitize_races=True,
+        )
+        assert _fingerprint(fast_engine, fast_result) == _fingerprint(
+            base_engine, base_result
+        )
+        assert wl.verify(fast_engine.wm)
+
+    @pytest.mark.parametrize("workload,min_skips", [("tc", 100), ("waltz", 50)])
+    def test_measurably_fewer_redaction_checks(self, workload, min_skips):
+        metrics = MetricsRegistry()
+        _run(workload, metrics=metrics, certified_commute=True)
+        skipped = metrics.counter_value(REDACTION_SKIPPED)
+        assert skipped >= min_skips, (
+            f"{workload}: expected ≥{min_skips} skipped reifications, "
+            f"got {skipped}"
+        )
+
+
+class TestSanitizer:
+    @pytest.mark.parametrize("workload", ["tc", "waltz", "manners", "sort"])
+    def test_clean_run_with_sanitizer(self, workload):
+        metrics = MetricsRegistry()
+        engine, result, wl = _run(
+            workload, metrics=metrics, sanitize_races=True
+        )
+        assert wl.verify(engine.wm)
+        if result.firings > result.cycles:
+            # At least one multi-firing cycle existed, so pairs replayed.
+            assert metrics.counter_value(SANITIZER_REPLAYS) > 0
+
+    def test_wrong_certification_raises(self):
+        """Force a bogus COMMUTES claim onto a racing pair: the sanitizer
+        must catch the divergence and name the rules."""
+        src = """
+        (literalize slot owner)
+        (literalize req n)
+        (p claim (slot ^owner nil) (req ^n <n>) --> (modify 1 ^owner <n>))
+        """
+        program = parse_program(src)
+        engine = ParulelEngine(
+            program, EngineConfig(sanitize_races=True, interference="merge")
+        )
+        engine.make("slot", owner="nil")
+        engine.make("req", n=1)
+        engine.make("req", n=2)
+        # Sanity: without the bogus claim the divergence is tolerated
+        # (detected as a plain non-commuting pair, not a violation).
+        engine_ok = ParulelEngine(
+            program, EngineConfig(sanitize_races=True, interference="merge")
+        )
+        engine_ok.make("slot", owner="nil")
+        engine_ok.make("req", n=1)
+        engine_ok.make("req", n=2)
+        engine_ok.run(max_cycles=10)
+
+        class _LyingIndex:
+            def statically_commutes(self, a, b):
+                return True
+
+            def invisible(self, name):
+                return False
+
+        engine._commute_index = _LyingIndex()
+        with pytest.raises(CommuteViolationError) as exc:
+            engine.run(max_cycles=10)
+        assert "claim" in str(exc.value)
+        assert exc.value.rules == ("claim", "claim")
+        assert exc.value.cycle >= 1
+
+    def test_config_requires_dedupe_makes(self):
+        with pytest.raises(ValueError, match="dedupe_makes"):
+            EngineConfig(certified_commute=True, dedupe_makes=False)

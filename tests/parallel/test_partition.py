@@ -188,3 +188,90 @@ class TestCopyAndConstrain:
             self.TC, "extend", 1, "src", hash_partitions(domain, 3)
         )
         assert run(self.TC) == run(cc)
+
+
+class TestPartitionSatisfiability:
+    """Satellite of the commute PR: unsatisfiable constrained copies are
+    rejected with a typed error instead of silently dropping work."""
+
+    CONST = parse_program(
+        "(literalize edge src dst)"
+        "(literalize path src dst)"
+        "(p pinned (path ^src a ^dst <b>) (edge ^src <b> ^dst <c>)"
+        " --> (make path ^src a ^dst <c>))"
+    )
+
+    def test_contradictory_partition_rejected(self):
+        from repro.errors import PartitionConstraintError
+
+        rule = self.CONST.rule("pinned")
+        # CE 1 already pins ^src to the constant a; a partition without a
+        # can never match — the copy would silently drop instantiations.
+        with pytest.raises(PartitionConstraintError) as exc:
+            copy_and_constrain(rule, 1, "src", [("x", "y"), ("a",)])
+        assert exc.value.rule == "pinned"
+        assert exc.value.attribute == "src"
+
+    def test_partition_containing_the_constant_accepted(self):
+        rule = self.CONST.rule("pinned")
+        copies = copy_and_constrain(rule, 1, "src", [("a", "b")])
+        assert copies[0].name == "pinned@cc0"
+
+    def test_typed_error_is_a_match_error(self):
+        from repro.errors import PartitionConstraintError
+
+        assert issubclass(PartitionConstraintError, MatchError)
+
+    def test_empty_partition_stays_legal(self):
+        # k exceeding the domain size produces empty partitions; an empty
+        # membership test is inert, not contradictory.
+        rule = self.CONST.rule("pinned")
+        copies = copy_and_constrain(rule, 1, "src", [("a",), ()])
+        assert len(copies) == 2
+
+    def test_membership_contradiction_rejected(self):
+        from repro.errors import PartitionConstraintError
+
+        src = parse_program(
+            "(literalize box owner)"
+            "(p pick (box ^owner << a b >>) --> (remove 1))"
+        )
+        rule = src.rule("pick")
+        with pytest.raises(PartitionConstraintError):
+            copy_and_constrain(rule, 1, "owner", [("c", "d")])
+
+
+class TestRacingCopyWarning:
+    """copy_and_constrain consults the commute detector: copies proven to
+    race earn a UserWarning (the split is still returned — meta-rules may
+    arbitrate at runtime)."""
+
+    def test_disjoint_copies_do_not_warn(self):
+        import warnings
+
+        src = parse_program(
+            "(literalize counter owner n)"
+            "(literalize phase name)"
+            "(p bump (phase ^name go) (counter ^owner <o> ^n <n>)"
+            " --> (modify 2 ^n 0))"
+        )
+        rule = src.rule("bump")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            copy_and_constrain(rule, 2, "owner", [("a", "b"), ("c", "d")])
+
+    def test_racing_copies_warn(self):
+        import warnings
+
+        # Partitioning on an attribute of a *different* CE than the modify
+        # target leaves the written WMEs shared across copies: the copies
+        # race and the detector can prove it with a witness.
+        src = parse_program(
+            "(literalize slot owner)"
+            "(literalize req n)"
+            "(p claim (slot ^owner nil) (req ^n <n>)"
+            " --> (modify 1 ^owner <n>))"
+        )
+        rule = src.rule("claim")
+        with pytest.warns(UserWarning, match="race"):
+            copy_and_constrain(rule, 2, "n", [(1, 2), (3, 4)])
