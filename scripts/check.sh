@@ -14,6 +14,10 @@
 #                               # checkpoint truncation + segment unlinks
 #                               # must recover byte-identically) for both
 #                               # WM backends, plus the shm-leak check
+#   scripts/check.sh --obs      # additionally run the full observability
+#                               # suite (flight recorder, blackbox decode,
+#                               # metrics HTTP) and the recorder-overhead
+#                               # benchmark gate vs BENCH_obs.json
 #   scripts/check.sh --analysis # additionally gate the commutativity
 #                               # detector: per-pair verdicts over every
 #                               # bundled workload must match the golden
@@ -108,6 +112,17 @@ if [[ "${1:-}" == "--resilience" ]]; then
     if [[ -n "$LEFT" ]]; then
         echo "chaos runs leaked shared-memory segments:"; echo "$LEFT"; exit 1
     fi
+fi
+
+if [[ "${1:-}" == "--obs" ]]; then
+    echo "== observability suite (flight recorder, blackbox, metrics HTTP)"
+    python -m pytest tests/obs -q
+    echo "== flight-recorder overhead gate (recorder-on within budget)"
+    # Gates fresh on-vs-off wall time for tc/manners against the budget
+    # recorded in benchmarks/results/BENCH_obs.json; after an intentional
+    # recorder change, refresh with:
+    #   python -m benchmarks.obs_microbench --write
+    python -m benchmarks.obs_microbench --check
 fi
 
 if [[ "${1:-}" == "--analysis" ]]; then

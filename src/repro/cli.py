@@ -33,8 +33,22 @@ Installed as ``parulel`` (see pyproject). Subcommands:
     hot-rule table (time, candidates, firings, redactions per rule);
 ``parulel janitor [--dry-run] [--min-age S]``
     reclaim orphaned ``/dev/shm`` segments left behind by killed
-    ``--wm-backend columnar`` runs (safe: only segments whose owner
-    process is gone are removed).
+    ``--wm-backend columnar`` runs and killed flight-recorder rings
+    (safe: only segments whose owner process is gone are removed);
+``parulel blackbox dump|report|diff FILE ...``
+    post-mortem tooling for ``*.blackbox`` crash dumps: ``dump`` prints
+    the merged causal timeline across the engine and every worker ring,
+    ``report`` prints per-site busy/skew and per-rule time-share
+    analytics with cycle-phase percentiles, ``diff`` pinpoints the first
+    diverging event between two recordings (exit 1 on divergence).
+
+The flight recorder is **on by default** for ``parulel run``: every run
+journals cycle/firing/fault events into fixed-size shared-memory rings
+and writes a self-contained ``PROGRAM.blackbox`` dump on abnormal exit
+(``--blackbox PATH`` overrides the path, ``--no-flight-recorder`` turns
+the recorder off). ``--metrics-port N`` serves one-shot Prometheus text
+exposition after the run (port 0 picks a free port; the server exits
+after the first scrape or ``--metrics-linger`` seconds).
 
 Checkpointing: ``--checkpoint-every N`` writes a resumable checkpoint
 every N cycles (atomic, digest-framed — a crash mid-write never corrupts
@@ -97,13 +111,13 @@ def _write_obs(args: argparse.Namespace, tracer, metrics) -> None:
     follows the suffix: ``--trace-out`` is Chrome trace JSON unless the
     path ends in ``.jsonl``; ``--metrics-out`` is a JSON snapshot unless
     the path ends in ``.prom``/``.txt`` (Prometheus text exposition)."""
-    if tracer is not None:
+    if tracer is not None and getattr(args, "trace_out", None):
         if args.trace_out.endswith(".jsonl"):
             tracer.write_jsonl(args.trace_out)
         else:
             tracer.write_chrome(args.trace_out)
         print(f"[obs] trace written to {args.trace_out}", file=sys.stderr)
-    if metrics is not None:
+    if metrics is not None and getattr(args, "metrics_out", None):
         if args.metrics_out.endswith((".prom", ".txt")):
             metrics.write_prometheus(args.metrics_out)
         else:
@@ -177,6 +191,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.engine == "ops5" and (
+        args.no_flight_recorder
+        or args.blackbox is not None
+        or args.metrics_port is not None
+    ):
+        print(
+            "error: --no-flight-recorder/--blackbox/--metrics-port apply "
+            "to --engine parulel only",
+            file=sys.stderr,
+        )
+        return 2
+    if args.metrics_port is not None and args.metrics_port < 0:
+        print("error: --metrics-port must be >= 0 (0 = pick a free port)",
+              file=sys.stderr)
+        return 2
+    if args.metrics_linger <= 0:
+        print("error: --metrics-linger must be > 0 seconds", file=sys.stderr)
+        return 2
     if args.engine == "ops5" and (args.certified_commute or args.sanitize_races):
         print(
             "error: --certified-commute/--sanitize-races apply to "
@@ -241,8 +273,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         wm_backend=args.wm_backend,
         certified_commute=args.certified_commute,
         sanitize_races=args.sanitize_races,
+        flight_recorder=not args.no_flight_recorder,
+        blackbox_path=args.blackbox or (args.program + ".blackbox"),
     )
     obs_tracer, obs_metrics = _make_obs(args)
+    if args.metrics_port is not None and obs_metrics is None:
+        from repro.obs import MetricsRegistry
+
+        obs_metrics = MetricsRegistry()
     if args.resume:
         import os
 
@@ -301,6 +339,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # A truncated run is exactly when you want to see where the time
         # went — the artifacts cover the cycles that did complete.
         _write_obs(args, obs_tracer, obs_metrics)
+        if not args.no_flight_recorder:
+            import os
+
+            bb_path = args.blackbox or (args.program + ".blackbox")
+            if os.path.exists(bb_path):
+                print(
+                    f"[obs] black-box dump written to {bb_path} "
+                    f"(inspect with: parulel blackbox dump {bb_path})",
+                    file=sys.stderr,
+                )
         print(
             f"[parulel] cycle limit hit after {exc.cycles_completed} cycles "
             f"and {exc.firings} firings: {exc}",
@@ -331,6 +379,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with open(args.dump_wm, "w") as fh:
             fh.write(dump_wm_text(engine.wm))
     _write_obs(args, obs_tracer, obs_metrics)
+    if args.metrics_port is not None:
+        from repro.obs import MetricsHTTPServer
+
+        server = MetricsHTTPServer(obs_metrics, port=args.metrics_port)
+        print(
+            f"[obs] serving metrics at {server.url} — one scrape, or "
+            f"{args.metrics_linger:.0f}s, whichever comes first",
+            file=sys.stderr,
+        )
+        scraped = server.wait_for_scrape(timeout=args.metrics_linger)
+        server.shutdown()
+        print(
+            "[obs] metrics scraped" if scraped
+            else "[obs] no scrape before the linger deadline",
+            file=sys.stderr,
+        )
     engine.close()
     return 0
 
@@ -462,22 +526,49 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     cls, attrs = wanted[0]
 
     engine = ParulelEngine(program, EngineConfig(track_provenance=True))
-    if args.facts:
-        for fcls, fattrs in parse_facts(open(args.facts).read()):
-            engine.make(fcls, fattrs)
-    engine.run(max_cycles=args.max_cycles)
+    try:
+        if args.facts:
+            for fcls, fattrs in parse_facts(open(args.facts).read()):
+                engine.make(fcls, fattrs)
+        engine.run(max_cycles=args.max_cycles)
 
-    matches = engine.wm.find(cls, attrs)
-    if not matches:
-        print(
-            f"error: no live WME matches ({cls} ...) with those attributes",
-            file=sys.stderr,
-        )
-        return 1
-    for wme in matches:
-        print(engine.explain(wme))
-        print()
-    return 0
+        matches = engine.wm.find(cls, attrs)
+        counts = engine.provenance.rule_counts()
+        if not matches:
+            # A clear diagnostic, not a traceback: name the pattern and
+            # show what the final memory does hold for that class.
+            live = len(engine.wm.find(cls))
+            hint = (
+                f"{live} live WME(s) of class {cls!r} have other attributes"
+                if live
+                else f"no live WMEs of class {cls!r} at all"
+            )
+            print(
+                f"error: no live WME matches {args.wme.strip()} in the "
+                f"final working memory ({hint})",
+                file=sys.stderr,
+            )
+            return 1
+        if args.json:
+            import json
+
+            doc = {
+                "pattern": args.wme.strip(),
+                "matches": [engine.provenance.tree(w) for w in matches],
+                "ruleCounts": counts,
+            }
+            print(json.dumps(doc, indent=2))
+            return 0
+        for wme in matches:
+            print(engine.explain(wme))
+            print()
+        if counts:
+            print("derivations by rule:")
+            for rule, n in counts.items():
+                print(f"  {rule}: {n}")
+        return 0
+    finally:
+        engine.close()
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -616,6 +707,106 @@ def _cmd_janitor(args: argparse.Namespace) -> int:
         for name, reason in report.kept:
             print(f"kept {name}: {reason}", file=sys.stderr)
     print(str(report), file=sys.stderr)
+    return 0
+
+
+def _cmd_blackbox(args: argparse.Namespace) -> int:
+    from repro.obs.blackbox import diff_blackbox, load_blackbox, skew_report
+
+    if args.bb_command == "diff":
+        result = diff_blackbox(
+            load_blackbox(args.left), load_blackbox(args.right)
+        )
+        if result is None:
+            print(
+                "no divergence: both recordings agree on every "
+                "deterministic engine event"
+            )
+            return 0
+        print(f"first divergence at engine-ring event {result.index}:")
+        print(f"  left : {result.left_text}")
+        print(f"  right: {result.right_text}")
+        return 1
+
+    bb = load_blackbox(args.file)
+    if args.bb_command == "dump":
+        hdr = bb.header
+        info = hdr.get("info") or {}
+        print(f"# blackbox {args.file}")
+        print(
+            f"# reason: {bb.reason}   pid: {hdr.get('pid')}   "
+            f"dumped at cycle: {info.get('cycle', '?')}"
+        )
+        git = hdr.get("git") or {}
+        if git.get("sha"):
+            print(f"# git: {git.get('sha')} ({git.get('head', '?')})")
+        seed = info.get("seed")
+        if seed is not None:
+            print(f"# fault-plan seed: {seed}")
+        timeline = bb.timeline()
+        if args.limit is not None and len(timeline) > args.limit:
+            print(
+                f"# ... {len(timeline) - args.limit} earlier event(s) "
+                f"omitted (--limit {args.limit})"
+            )
+            timeline = timeline[-args.limit:]
+        origin = hdr.get("origin_ns", 0)
+        for ts, site, rec in timeline:
+            who = "engine" if site < 0 else f"site {site}"
+            print(
+                f"{(ts - origin) / 1e6:12.3f}ms  c{rec['cycle']:<4d} "
+                f"{who:<8s} {bb.describe(rec)}"
+            )
+        return 0
+
+    # report
+    registry = None
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    rep = skew_report(bb, registry=registry)
+    print(f"blackbox report: {args.file} (reason: {rep['reason']})")
+    for ring in rep["rings"]:
+        who = "engine" if ring["site"] < 0 else f"site {ring['site']}"
+        extras = ""
+        if ring["dropped"]:
+            extras += f", {ring['dropped']} dropped (ring wrapped)"
+        if ring["torn"]:
+            extras += f", {ring['torn']} torn"
+        print(f"  ring {who}: {ring['records']} record(s){extras}")
+    if rep["phases"]:
+        print("cycle phases (seconds):")
+        print(
+            f"  {'phase':<8} {'n':>5} {'p50':>11} {'p95':>11} "
+            f"{'mean':>11} {'max':>11}"
+        )
+        for name, st in rep["phases"].items():
+            print(
+                f"  {name:<8} {st['n']:>5d} {st['p50']:>11.6f} "
+                f"{st['p95']:>11.6f} {st['mean']:>11.6f} {st['max']:>11.6f}"
+            )
+    if rep["sites"]:
+        print("site skew (match-request -> reply busy windows):")
+        for site, st in rep["sites"].items():
+            print(
+                f"  site {site}: cycles={st['cycles']} "
+                f"busy={st['busy_s']:.6f}s mean={st['mean_busy_s']:.6f}s "
+                f"skew-ratio={st['skew_ratio']:.3f}"
+            )
+    if rep["rules"]:
+        print("rule time share (evaluation + worker match):")
+        for name, st in rep["rules"].items():
+            print(
+                f"  {name}: {st['total_ns'] / 1e6:.3f}ms "
+                f"({st['share']:.1%})"
+            )
+    if registry is not None:
+        if args.metrics_out.endswith((".prom", ".txt")):
+            registry.write_prometheus(args.metrics_out)
+        else:
+            registry.write_json(args.metrics_out)
+        print(f"[obs] metrics written to {args.metrics_out}", file=sys.stderr)
     return 0
 
 
@@ -789,6 +980,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the metrics registry: JSON snapshot, or Prometheus "
         "text when PATH ends in .prom/.txt",
     )
+    p_run.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="after the run, serve one-shot Prometheus text exposition on "
+        "127.0.0.1:PORT (0 = pick a free port); exits after the first "
+        "scrape or --metrics-linger seconds",
+    )
+    p_run.add_argument(
+        "--metrics-linger",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long --metrics-port waits for a scrape (default: 30)",
+    )
+    p_run.add_argument(
+        "--no-flight-recorder",
+        action="store_true",
+        help="disable the always-on flight recorder (fixed-cost binary "
+        "ring journal + crash dumps)",
+    )
+    p_run.add_argument(
+        "--blackbox",
+        metavar="PATH",
+        help="where the flight recorder writes its crash dump on abnormal "
+        "exit (default: PROGRAM.blackbox)",
+    )
     p_run.set_defaults(fn=_cmd_run)
 
     p_check = sub.add_parser("check", help="parse and analyze a program")
@@ -817,6 +1036,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--wme", required=True, help='pattern like "(path ^src a ^dst d)"'
     )
     p_explain.add_argument("--max-cycles", type=int, default=100_000)
+    p_explain.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the derivation tree(s) and per-rule derivation counts "
+        "as a JSON document instead of indented text",
+    )
     p_explain.set_defaults(fn=_cmd_explain)
 
     p_lint = sub.add_parser(
@@ -898,10 +1123,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--metrics-out", metavar="PATH")
     p_prof.set_defaults(fn=_cmd_profile)
 
+    p_bb = sub.add_parser(
+        "blackbox",
+        help="inspect *.blackbox crash dumps: merged timeline, skew "
+        "analytics, first-divergence diff",
+    )
+    bb_sub = p_bb.add_subparsers(dest="bb_command", required=True)
+    p_bb_dump = bb_sub.add_parser(
+        "dump", help="merged causal timeline across engine and worker rings"
+    )
+    p_bb_dump.add_argument("file", help="a *.blackbox dump")
+    p_bb_dump.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="print only the newest N events",
+    )
+    p_bb_dump.set_defaults(fn=_cmd_blackbox)
+    p_bb_report = bb_sub.add_parser(
+        "report",
+        help="per-site busy/skew and per-rule time-share analytics with "
+        "cycle-phase percentiles",
+    )
+    p_bb_report.add_argument("file", help="a *.blackbox dump")
+    p_bb_report.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="also export parulel_site_skew_ratio / parulel_rule_time_share "
+        "gauges: JSON snapshot, or Prometheus text for .prom/.txt",
+    )
+    p_bb_report.set_defaults(fn=_cmd_blackbox)
+    p_bb_diff = bb_sub.add_parser(
+        "diff",
+        help="first diverging deterministic event between two recordings "
+        "(exit 1 on divergence)",
+    )
+    p_bb_diff.add_argument("left", help="baseline *.blackbox dump")
+    p_bb_diff.add_argument("right", help="comparison *.blackbox dump")
+    p_bb_diff.set_defaults(fn=_cmd_blackbox)
+
     p_jan = sub.add_parser(
         "janitor",
         help="reclaim orphaned /dev/shm segments left by killed "
-        "--wm-backend columnar runs",
+        "--wm-backend columnar runs and flight-recorder rings",
     )
     p_jan.add_argument(
         "--shm-dir",

@@ -125,6 +125,17 @@ class EngineConfig:
     #: the static verdicts; replays are counted via
     #: ``parulel_sanitizer_replays_total``.
     sanitize_races: bool = False
+    #: Always-on black-box flight recorder (:mod:`repro.obs.flightrec`):
+    #: bounded shared-memory event rings written by the engine and every
+    #: match worker, dumped to a ``*.blackbox`` post-mortem file on any
+    #: abnormal exit. ``False`` is the ``--no-flight-recorder`` escape
+    #: hatch; the measured overhead budget on tc is 5% (``check.sh --obs``).
+    flight_recorder: bool = True
+    #: Where crash dumps land; ``None`` means a pid-keyed file under the
+    #: temp dir (:func:`repro.obs.flightrec.default_blackbox_path`).
+    blackbox_path: Optional[str] = None
+    #: Ring capacity in records (per ring — the engine's and each worker's).
+    flight_capacity: int = 4096
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -144,6 +155,8 @@ class EngineConfig:
                 "certified_commute requires dedupe_makes=True (the pair "
                 "replays mirror the set-insertion merge)"
             )
+        if self.flight_capacity < 16:
+            raise ValueError("flight_capacity must be >= 16 records")
 
 
 def _build_wm(config: "EngineConfig", program: Program) -> WorkingMemory:
@@ -247,6 +260,21 @@ class ParulelEngine:
         if self.tracer.enabled or self.metrics.enabled:
             matcher_options["tracer"] = self.tracer
             matcher_options["metrics"] = self.metrics
+        #: The always-on black-box flight recorder (None only with
+        #: ``flight_recorder=False``). Imported lazily: it is the one
+        #: default-on feature that touches multiprocessing.shared_memory.
+        self.flightrec = None
+        self._fr = None  # the flightrec module (event-kind constants)
+        self._replay_count = 0
+        if self.config.flight_recorder:
+            from repro.obs import flightrec as _fr
+
+            self._fr = _fr
+            self.flightrec = _fr.FlightRecorder(
+                [r.name for r in program.rules],
+                capacity=self.config.flight_capacity,
+            )
+            matcher_options["flightrec"] = self.flightrec
         self.matcher: Matcher = create_matcher(
             self.config.matcher,
             program.rules,
@@ -280,7 +308,10 @@ class ParulelEngine:
 
             self._commute_index = CommuteIndex(program)
             self._pair_replayer = PairReplayer(
-                dedupe_makes=self.config.dedupe_makes
+                dedupe_makes=self.config.dedupe_makes,
+                on_replay=(
+                    self._note_replay if self.flightrec is not None else None
+                ),
             )
         #: Last-seen matcher op totals, for per-cycle MATCH_OPS deltas.
         self._last_match_ops: Counter = Counter()
@@ -333,10 +364,22 @@ class ParulelEngine:
         to fire) — including redaction quiescence, where candidates exist
         but the meta level vetoes all of them and working memory cannot
         change.
+
+        Any exception escaping the cycle (interference, a commute
+        violation, checkpoint corruption in a trace callback, ...) first
+        triggers a black-box dump, then propagates unchanged.
         """
+        try:
+            return self._step()
+        except Exception as exc:
+            self._dump_blackbox(f"{type(exc).__name__}: {exc}")
+            raise
+
+    def _step(self) -> Optional[CycleReport]:
         if self.halted or self._redaction_quiescent:
             return None
         tracer, metrics = self.tracer, self.metrics
+        flightrec = self.flightrec
         cycle_no = self._cycle + 1
 
         with self._phase("match", "collect", cycle=cycle_no):
@@ -347,6 +390,18 @@ class ParulelEngine:
         # cycle carries them even if nothing fires. The backends record
         # their own trace instants/metrics at injection time.
         cycle_faults = self._drain_matcher_faults()
+        if flightrec is not None:
+            flightrec.record(
+                self._fr.EV_CHURN, cycle_no, a=len(all_insts), b=len(candidates)
+            )
+            # A worker died (or was declared dead) this cycle: the engine
+            # survives by respawn/degradation, but the post-mortem evidence
+            # is freshest *now* — dump before the ring slides past it.
+            if cycle_faults and any(
+                e.kind in self._fr.DEATH_KINDS for e in cycle_faults
+            ):
+                kinds = ",".join(sorted({e.kind for e in cycle_faults}))
+                self._dump_blackbox(f"worker fault: {kinds}")
         if not candidates:
             return None
 
@@ -358,6 +413,13 @@ class ParulelEngine:
                 else frozenset()
             )
             survivors, red_report = self.meta.redact(candidates, skip_reify=skip)
+        if flightrec is not None:
+            flightrec.record(
+                self._fr.EV_REDACT,
+                cycle_no,
+                a=len(candidates),
+                b=red_report.redacted,
+            )
         meta_writes = list(self.meta.writes)
         self.output.extend(meta_writes)
 
@@ -388,17 +450,25 @@ class ParulelEngine:
         # Evaluate every survivor against the pre-firing snapshot.
         deltas: List[InstantiationDelta] = []
         with self._phase("act", "evaluate", cycle=cycle_no, firing_set=len(survivors)):
-            if metrics.enabled:
+            if metrics.enabled or flightrec is not None:
+                fire_kind = self._fr.EV_FIRE if flightrec is not None else 0
                 for inst in survivors:
                     self.fired.add(inst.key)
                     self._fired_log.append(inst.key)
-                    t0 = time.perf_counter()
+                    t0 = time.perf_counter_ns()
                     deltas.append(self.evaluator.evaluate(inst))
-                    metrics.observe(
-                        RULE_EVAL_SECONDS,
-                        time.perf_counter() - t0,
-                        rule=inst.rule.name,
-                    )
+                    dt_ns = time.perf_counter_ns() - t0
+                    if metrics.enabled:
+                        metrics.observe(
+                            RULE_EVAL_SECONDS, dt_ns / 1e9, rule=inst.rule.name
+                        )
+                    if flightrec is not None:
+                        flightrec.record(
+                            fire_kind,
+                            cycle_no,
+                            code=flightrec.rule_id(inst.rule.name),
+                            a=dt_ns,
+                        )
             else:
                 for inst in survivors:
                     self.fired.add(inst.key)
@@ -446,15 +516,43 @@ class ParulelEngine:
         """One cycle phase: a named span (paper vocabulary — match /
         redact / act / merge) whose single measurement also feeds
         ``phase_times`` (historical keys — collect / redact / evaluate /
-        apply) and the phase-seconds histogram."""
+        apply), the phase-seconds histogram, and — when the flight
+        recorder is on — an ``EV_PHASE`` ring record."""
         return PhaseSpan(
-            self.timer, self.tracer, self.metrics, span_name, phase_key, **args
+            self.timer,
+            self.tracer,
+            self.metrics,
+            span_name,
+            phase_key,
+            flightrec=self.flightrec,
+            flight_cycle=args.get("cycle", 0),
+            flight_code=(
+                self._fr.PHASE_CODES.get(span_name, 0)
+                if self.flightrec is not None
+                else 0
+            ),
+            **args,
         )
 
     def _emit(self, report: CycleReport) -> CycleReport:
         """The ONLY path a :class:`CycleReport` leaves the engine by:
         records it, applies its halt flag, and invokes the trace callback
         exactly once — whatever branch of the cycle produced it."""
+        flightrec = self.flightrec
+        if flightrec is not None:
+            if self._replay_count:
+                flightrec.record(
+                    self._fr.EV_REPLAY, report.cycle, a=self._replay_count
+                )
+                self._replay_count = 0
+            flightrec.record(
+                self._fr.EV_CYCLE,
+                report.cycle,
+                a=report.fired,
+                b=report.conflict_set_size,
+            )
+            if report.halted:
+                flightrec.record(self._fr.EV_HALT, report.cycle)
         self.reports.append(report)
         if report.halted:
             self.halted = True
@@ -573,6 +671,13 @@ class ParulelEngine:
                     a.rule.name, b.rule.name
                 ) or frozenset((a.key, b.key)) in self._certified_pairs
                 if certified:
+                    if self.flightrec is not None:
+                        self.flightrec.record(
+                            self._fr.EV_RACE,
+                            self._cycle,
+                            code=self.flightrec.rule_id(a.rule.name),
+                            a=self.flightrec.rule_id(b.rule.name),
+                        )
                     raise CommuteViolationError(
                         f"race sanitizer: rules {a.rule.name!r} and "
                         f"{b.rule.name!r} were certified as commuting but "
@@ -633,7 +738,15 @@ class ParulelEngine:
         wall0 = time.perf_counter()
         reason = "quiescence"
         with self.tracer.span("run", lane="engine", start_cycle=start_cycle):
-            reason = self._run_loop(limit, start_cycle, start_report, start_output, wall0)
+            try:
+                reason = self._run_loop(
+                    limit, start_cycle, start_report, start_output, wall0
+                )
+            except CycleLimitExceeded as exc:
+                # step() already dumps for exceptions raised inside a
+                # cycle; the limit is raised by the loop itself.
+                self._dump_blackbox(f"CycleLimitExceeded: {exc}")
+                raise
         wall = time.perf_counter() - wall0
         run_reports = self.reports[start_report:]
         return RunResult(
@@ -685,6 +798,40 @@ class ParulelEngine:
             if report.fired == 0:
                 return "redaction-quiescence"
 
+    # -- black box -------------------------------------------------------------
+
+    def _note_replay(self) -> None:
+        """PairReplayer hook: counted per cycle, flushed by :meth:`_emit`
+        as one ``EV_REPLAY`` record instead of flooding the ring."""
+        self._replay_count += 1
+
+    def dump_blackbox(self, path: Optional[str] = None, reason: str = "manual") -> Optional[str]:
+        """Write a ``*.blackbox`` post-mortem dump of every flight ring
+        (the engine's plus all worker rings) and return its path, or
+        ``None`` when the recorder is off. Called automatically on
+        abnormal exits; callable any time for a live snapshot."""
+        if self.flightrec is None:
+            return None
+        path = path or self.config.blackbox_path or self._fr.default_blackbox_path()
+        cfg = {
+            f.name: repr(getattr(self.config, f.name))
+            for f in self.config.__dataclass_fields__.values()
+        }
+        seed = getattr(self.config.fault_plan, "seed", None)
+        self.flightrec.dump(
+            path,
+            reason=reason,
+            info={"config": cfg, "seed": seed, "cycle": self._cycle},
+        )
+        return path
+
+    def _dump_blackbox(self, reason: str) -> Optional[str]:
+        """Best-effort crash dump: never masks the exception in flight."""
+        try:
+            return self.dump_blackbox(reason=reason)
+        except Exception:  # noqa: BLE001 - post-mortem must not re-crash
+            return None
+
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
@@ -700,6 +847,8 @@ class ParulelEngine:
         wm_close = getattr(self.wm, "close", None)
         if wm_close is not None:
             wm_close()
+        if self.flightrec is not None:
+            self.flightrec.close()
 
     def __enter__(self) -> "ParulelEngine":
         return self
@@ -746,6 +895,8 @@ class ParulelEngine:
                 for removed, made in self.delta_log
             ],
         }
+        if self.flightrec is not None:
+            self.flightrec.record(self._fr.EV_CHECKPOINT, self._cycle, code=0)
         if path is not None:
             from repro.resilience.checkpoint import write_envelope
 
@@ -793,6 +944,8 @@ class ParulelEngine:
                 for removed, made in self.delta_log[d0:]
             ],
         }
+        if self.flightrec is not None:
+            self.flightrec.record(self._fr.EV_CHECKPOINT, self._cycle, code=1)
         return payload, self.checkpoint_cursor()
 
     @classmethod

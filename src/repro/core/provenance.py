@@ -138,6 +138,56 @@ class ProvenanceTracker:
         """All derivations attributed to one rule, in recording order."""
         return [d for d in self._records.values() if d.rule == rule_name]
 
+    def rule_counts(self) -> Dict[str, int]:
+        """Derivations per rule (``make`` + ``modify``), name-sorted.
+
+        Initial assertions carry no rule and are excluded — this is the
+        "who actually built the final memory" summary ``parulel explain``
+        prints as its footer.
+        """
+        counts: Dict[str, int] = {}
+        for record in self._records.values():
+            if record.rule is not None:
+                counts[record.rule] = counts.get(record.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def tree(self, wme: WME, max_depth: int = 10) -> Dict[str, object]:
+        """The derivation tree rooted at ``wme`` as a JSON-able dict.
+
+        Mirrors :meth:`explain` node for node — same depth budget, same
+        cycle truncation — with ``wme`` rendered via ``repr`` and nested
+        ``parents``/``replaced`` children. ``truncated`` marks nodes cut
+        by the depth budget or a derivation cycle.
+        """
+
+        def walk(current: WME, depth: int, budget: Set[WME]) -> Dict[str, object]:
+            record = self._records.get(current)
+            node: Dict[str, object] = {"wme": repr(current)}
+            if record is None:
+                node["kind"] = "untracked"
+                return node
+            node["kind"] = record.kind
+            node["cycle"] = record.cycle
+            if record.rule is not None:
+                node["rule"] = record.rule
+            if current in self._retired:
+                node["retractedInCycle"] = self._retired[current]
+            if depth >= max_depth or current in budget:
+                if record.parents or record.replaced:
+                    node["truncated"] = True
+                return node
+            budget = budget | {current}
+            if record.replaced is not None:
+                node["replaced"] = walk(record.replaced, depth + 1, budget)
+            if record.parents:
+                node["parents"] = [
+                    walk(parent, depth + 1, budget)
+                    for parent in record.parents
+                ]
+            return node
+
+        return walk(wme, 0, set())
+
     def explain(self, wme: WME, max_depth: int = 10) -> str:
         """An indented derivation tree for ``wme``::
 

@@ -103,10 +103,15 @@ class PairReplayer:
     One instance per engine/analysis run; it caches plan-free compiled
     rules (for negated-CE re-checking) and carries the engine's
     ``dedupe_makes`` setting so replays mirror the real merge.
+
+    ``on_replay`` (when given) is invoked once per :meth:`replay` call —
+    the engine wires it to its flight recorder so shadow-replay volume
+    shows up in post-mortem timelines.
     """
 
-    def __init__(self, dedupe_makes: bool = True) -> None:
+    def __init__(self, dedupe_makes: bool = True, on_replay=None) -> None:
         self.dedupe_makes = dedupe_makes
+        self.on_replay = on_replay
         self._compiled: Dict[int, CompiledRule] = {}
 
     def _compiled_rule(self, rule: Rule) -> CompiledRule:
@@ -157,6 +162,8 @@ class PairReplayer:
         validity-checked against the accumulated effects and skipped
         whole when invalidated.
         """
+        if self.on_replay is not None:
+            self.on_replay()
         removed: Set[WME] = set()
         added: Counter = Counter()
         added_contents: List[Tuple[str, Dict[str, Value]]] = []

@@ -84,6 +84,16 @@ class CheckpointCorruptError(ExecutionError):
         self.reason = reason
 
 
+class BlackboxCorruptError(ReproError):
+    """Raised when a ``*.blackbox`` flight-recorder dump cannot be decoded:
+    bad magic, truncated header or ring blob, or corrupt header JSON.
+
+    Torn *records* inside a ring (a writer SIGKILLed mid-write) are not an
+    error — the decoder skips and counts them; this exception means the
+    dump file itself is unusable.
+    """
+
+
 class InterferenceError(ExecutionError):
     """Raised under the ``error`` interference policy when two instantiations
     in the same firing set issue incompatible updates to one WME.

@@ -107,6 +107,7 @@ def create_matcher(
     supervisor=None,
     tracer=None,
     metrics=None,
+    flightrec=None,
     indexed: bool = True,
 ) -> Matcher:
     """Instantiate a match engine by name (``rete``, ``treat``, ``naive`` or
@@ -128,12 +129,13 @@ def create_matcher(
     for the enumerator-based engines, and is accepted — and ignored — by
     RETE, whose beta network is always hash-joined.
 
-    ``tracer`` / ``metrics`` (:mod:`repro.obs`) are cross-cutting and
-    accepted for every backend: the process pool uses them to record
-    worker lanes and IPC counts, while serial engines — whose work the
-    engine's own phase spans already cover — have nothing extra to record
-    and ignore them. They never change match behaviour, so unlike the
-    process-only knobs they are not an error elsewhere.
+    ``tracer`` / ``metrics`` / ``flightrec`` (:mod:`repro.obs`) are
+    cross-cutting and accepted for every backend: the process pool uses
+    them to record worker lanes, IPC counts and per-worker flight rings,
+    while serial engines — whose work the engine's own phase spans and
+    ring records already cover — have nothing extra to record and ignore
+    them. They never change match behaviour, so unlike the process-only
+    knobs they are not an error elsewhere.
     """
     # Imported here to avoid a cycle (engines import this interface).
     from repro.match.naive import NaiveMatcher
@@ -163,6 +165,7 @@ def create_matcher(
             supervisor=supervisor,
             tracer=tracer,
             metrics=metrics,
+            flightrec=flightrec,
             indexed=indexed,
         )
 

@@ -14,6 +14,14 @@ every execution substrate show its work:
 - :mod:`repro.obs.profile` — the per-rule hot-rule table
   (``parulel profile``).
 
+- :mod:`repro.obs.flightrec` / :mod:`repro.obs.blackbox` — the always-on
+  black-box flight recorder: bounded shared-memory event rings that
+  survive worker SIGKILLs, ``*.blackbox`` crash dumps, merged causal
+  timelines, per-site/per-rule skew analytics, and recording diffs
+  (``parulel blackbox dump/report/diff``);
+- :mod:`repro.obs.metrics_http` — one-shot HTTP ``/metrics`` exposition
+  for ``parulel run --metrics-port``.
+
 Everything defaults to the no-op :data:`NULL_TRACER` /
 :data:`NULL_METRICS` singletons, so the disabled path costs an attribute
 load and a branch — the overhead benchmark holds the enabled path under
@@ -30,6 +38,10 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "Blackbox",
+    "FlightRecorder",
+    "FlightRing",
+    "MetricsHTTPServer",
     "MetricsRegistry",
     "NULL_METRICS",
     "NULL_TRACER",
@@ -37,7 +49,32 @@ __all__ = [
     "NullTracer",
     "RuleProfile",
     "Tracer",
+    "diff_blackbox",
     "hot_rule_table",
+    "load_blackbox",
     "rule_profiles",
+    "skew_report",
     "validate_chrome_trace",
 ]
+
+#: Flight-recorder names resolve lazily (PEP 562) so importing
+#: ``repro.obs`` never drags in ``multiprocessing.shared_memory`` — the
+#: engine's default dict-WM path stays import-light.
+_LAZY = {
+    "FlightRecorder": "repro.obs.flightrec",
+    "FlightRing": "repro.obs.flightrec",
+    "Blackbox": "repro.obs.blackbox",
+    "load_blackbox": "repro.obs.blackbox",
+    "skew_report": "repro.obs.blackbox",
+    "diff_blackbox": "repro.obs.blackbox",
+    "MetricsHTTPServer": "repro.obs.metrics_http",
+}
+
+
+def __getattr__(name):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)

@@ -1,0 +1,74 @@
+"""One-shot HTTP ``/metrics`` exposition for ``parulel run``.
+
+``--metrics-port`` starts this server on a daemon thread for the duration
+of a run; after the run completes the CLI lingers until the first scrape
+(or a timeout) and shuts down. It reuses the Prometheus text renderer in
+:meth:`repro.obs.metrics.MetricsRegistry.to_prometheus`, so scrape-based
+workflows see exactly what ``--metrics-out`` snapshots would contain —
+without the file round-trip.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+__all__ = ["MetricsHTTPServer"]
+
+_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsHTTPServer:
+    """Serve ``GET /metrics`` from a live MetricsRegistry.
+
+    ``port=0`` binds an ephemeral port (the chosen one is in ``.port``).
+    The registry is read at scrape time, so mid-run scrapes see live
+    counters and a post-run scrape sees the final merged totals.
+    """
+
+    def __init__(self, registry: Any, port: int = 0, host: str = "127.0.0.1") -> None:
+        self.registry = registry
+        self.scrapes = 0
+        self._scraped = threading.Event()
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+                if self.path.rstrip("/") not in ("", "/metrics"):
+                    self.send_error(404, "only /metrics is served")
+                    return
+                body = outer.registry.to_prometheus().encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", _CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+                outer.scrapes += 1
+                outer._scraped.set()
+
+            def log_message(self, fmt: str, *args: Any) -> None:
+                pass  # scrapes are not console events
+
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self.host = host
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="parulel-metrics", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def wait_for_scrape(self, timeout: float = 30.0) -> bool:
+        """Block until at least one scrape has happened (True) or the
+        timeout elapses (False). Returns immediately if already scraped."""
+        return self._scraped.wait(timeout)
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)

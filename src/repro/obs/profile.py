@@ -37,6 +37,12 @@ REDACTION_SKIPPED = "parulel_redaction_skipped_total"
 #: Fired pairs the runtime race sanitizer replayed in both orders
 #: (``EngineConfig.sanitize_races``).
 SANITIZER_REPLAYS = "parulel_sanitizer_replays_total"
+#: Gauges exported by ``parulel blackbox report``
+#: (:func:`repro.obs.blackbox.skew_report`): a site's mean per-cycle busy
+#: time over the all-site mean, and a rule's share of total attributed
+#: time — the skew signal the adaptive-scheduling roadmap item consumes.
+SITE_SKEW_RATIO = "parulel_site_skew_ratio"
+RULE_TIME_SHARE = "parulel_rule_time_share"
 
 
 @dataclass

@@ -277,16 +277,33 @@ class Tracer:
 class PhaseSpan:
     """Measures one engine phase once and fans the measurement out.
 
-    One ``perf_counter`` pair feeds three consumers: the engine's public
-    :class:`~repro.metrics.timers.PhaseTimer` (always — ``phase_times``
-    stays populated with tracing off), the tracer (as a span named
-    ``name`` on ``lane``, when enabled), and the metrics registry (as a
-    :data:`PHASE_SECONDS` observation labelled ``phase``, when enabled).
+    One ``perf_counter`` pair feeds up to four consumers: the engine's
+    public :class:`~repro.metrics.timers.PhaseTimer` (always —
+    ``phase_times`` stays populated with tracing off), the tracer (as a
+    span named ``name`` on ``lane``, when enabled), the metrics registry
+    (as a :data:`PHASE_SECONDS` observation labelled ``phase``, when
+    enabled), and the flight recorder (as an ``EV_PHASE`` ring record with
+    the duration in nanoseconds, when one is attached).
     """
 
-    __slots__ = ("_timer", "_tracer", "_metrics", "_name", "_phase", "_lane", "_args", "_t0", "_span")
+    __slots__ = (
+        "_timer", "_tracer", "_metrics", "_name", "_phase", "_lane",
+        "_args", "_t0", "_span", "_flightrec", "_flight_cycle", "_flight_code",
+    )
 
-    def __init__(self, timer: PhaseTimer, tracer, metrics, name: str, phase: str, lane: str = "engine", **args: Any) -> None:
+    def __init__(
+        self,
+        timer: PhaseTimer,
+        tracer,
+        metrics,
+        name: str,
+        phase: str,
+        lane: str = "engine",
+        flightrec=None,
+        flight_cycle: int = 0,
+        flight_code: int = 0,
+        **args: Any,
+    ) -> None:
         self._timer = timer
         self._tracer = tracer
         self._metrics = metrics
@@ -295,6 +312,9 @@ class PhaseSpan:
         self._lane = lane
         self._args = args
         self._span = None
+        self._flightrec = flightrec
+        self._flight_cycle = flight_cycle
+        self._flight_code = flight_code
 
     def __enter__(self) -> "PhaseSpan":
         if self._tracer.enabled:
@@ -310,6 +330,13 @@ class PhaseSpan:
         self._timer.add(self._phase, elapsed)
         if self._metrics.enabled:
             self._metrics.observe(PHASE_SECONDS, elapsed, phase=self._phase)
+        if self._flightrec is not None:
+            self._flightrec.record(
+                2,  # flightrec.EV_PHASE (literal: obs.trace must stay import-light)
+                self._flight_cycle,
+                code=self._flight_code,
+                a=int(elapsed * 1e9),
+            )
 
 
 class _NullSpan:

@@ -81,6 +81,15 @@ from repro.match.compile import CompiledRule, compile_rules
 from repro.match.instantiation import ConflictSet, Instantiation
 from repro.match.interface import Matcher
 from repro.match.join import enumerate_matches
+from repro.obs.flightrec import (
+    EV_MATCH_REPLY,
+    EV_MATCH_REQ,
+    EV_RULE_BEGIN,
+    EV_RULE_END,
+    EV_WORKER_EXIT,
+    EV_WORKER_START,
+    FlightRing,
+)
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.profile import RULE_MATCH_SECONDS
 from repro.obs.trace import NULL_TRACER, TraceEvent, Tracer
@@ -129,6 +138,7 @@ def _worker_main(
     rules: Tuple[Rule, ...],
     obs: bool = False,
     indexed: bool = True,
+    flight: Optional[Tuple[str, Dict[str, int]]] = None,
 ) -> None:
     """Worker loop: maintain a WM replica, answer match requests.
 
@@ -155,7 +165,25 @@ def _worker_main(
     (spans on a local lane, rewritten to ``worker-<site>`` by the parent
     at ingest) — ``perf_counter_ns`` stamps share the parent's monotonic
     base, so the shipped spans land on the parent's timeline unadjusted.
+
+    ``flight`` is the flight-recorder spec ``(ring segment name, rule-id
+    map)``: the worker attaches the *parent-created* shared-memory ring
+    and journals its lifecycle (start/stop, match requests, per-rule
+    begin/end, replies) into it. Because the parent owns the segment and
+    keeps it mapped, those records survive this worker being SIGKILLed
+    mid-rule — that is the whole point. A respawned worker re-attaches
+    the same ring and continues the sequence.
     """
+    ring: Optional[FlightRing] = None
+    rule_ids: Dict[str, int] = {}
+    if flight is not None:
+        ring_name, rule_ids = flight
+        try:
+            ring = FlightRing.attach(ring_name)
+        except Exception:  # noqa: BLE001 - recording is best-effort
+            ring = None
+    if ring is not None:
+        ring.append(EV_WORKER_START, 0, a=os.getpid())
     compiled = compile_rules(rules)
     wm = WorkingMemory()
     by_ts: Dict[int, WME] = {}
@@ -184,10 +212,16 @@ def _worker_main(
         except (EOFError, OSError):
             if reader is not None:
                 reader.close()
+            if ring is not None:
+                ring.append(EV_WORKER_EXIT, cycle, code=1)  # pipe lost
+                ring.close()
             return
         if msg[0] == "stop":
             if reader is not None:
                 reader.close()
+            if ring is not None:
+                ring.append(EV_WORKER_EXIT, cycle, code=0)  # clean stop
+                ring.close()
             return
         try:
             tag = msg[0]
@@ -202,6 +236,12 @@ def _worker_main(
                 conn.send(("pong", msg[1]))
                 continue
             cycle += 1
+            if ring is not None:
+                ring.append(
+                    EV_MATCH_REQ,
+                    cycle,
+                    a=len(msg[1]) if tag == "match" else -1,
+                )
             rule_times: List[Tuple[str, float]] = []
             if tag == "match-shm":
                 with tracer.span("refresh-journal", lane="worker", cycle=cycle):
@@ -218,6 +258,14 @@ def _worker_main(
             with tracer.span("match", lane="worker", cycle=cycle, rules=len(compiled)):
                 for cr in compiled:
                     t0 = time.perf_counter() if obs else 0.0
+                    # Begin/end bracket per rule: a SIGKILL between the two
+                    # leaves an unmatched BEGIN in the shared ring — exactly
+                    # what the post-mortem "last in-flight rule" query reads.
+                    if ring is not None:
+                        n0 = len(out)
+                        ring.append(
+                            EV_RULE_BEGIN, cycle, code=rule_ids.get(cr.name, 0)
+                        )
                     for inst in enumerate_matches(
                         cr, wm, alpha_source=alpha, indexed=indexed
                     ):
@@ -231,12 +279,21 @@ def _worker_main(
                                 inst.env,
                             )
                         )
+                    if ring is not None:
+                        ring.append(
+                            EV_RULE_END,
+                            cycle,
+                            code=rule_ids.get(cr.name, 0),
+                            a=len(out) - n0,
+                        )
                     if obs:
                         rule_times.append((cr.name, time.perf_counter() - t0))
             payload: ObsPayload = (
                 (tracer.drain_events(), rule_times) if obs else None
             )
             conn.send(("ok", (out, payload)))
+            if ring is not None:
+                ring.append(EV_MATCH_REPLY, cycle, a=len(out))
         except Exception as exc:  # noqa: BLE001 - forwarded to the parent
             try:
                 conn.send(("err", f"{type(exc).__name__}: {exc}"))
@@ -272,6 +329,7 @@ class ProcessMatchPool:
         supervisor: Optional[SupervisorPolicy] = None,
         tracer=None,
         metrics=None,
+        flightrec=None,
         indexed: bool = True,
     ) -> None:
         if n_workers < 1:
@@ -358,6 +416,17 @@ class ProcessMatchPool:
         self._fault_events: List[FaultEvent] = []
         self._cycle = 0
         self._closed = False
+        #: Flight recorder (parent-owned). Each active site gets a
+        #: parent-created shared-memory ring; the spec rides along on every
+        #: (re)spawn so even a replacement worker journals into the *same*
+        #: ring — the parent can decode it after any SIGKILL.
+        self._flightrec = flightrec
+        self._flight_specs: Dict[int, Optional[Tuple[str, Dict[str, int]]]] = {}
+        if flightrec is not None:
+            for site in self.active_sites:
+                self._flight_specs[site] = flightrec.worker_spec(
+                    site, [r.name for r in self._site_rules[site]]
+                )
         for site in self.active_sites:
             self._spawn(site)
 
@@ -372,6 +441,7 @@ class ProcessMatchPool:
                 tuple(self._site_rules[site]),
                 self._obs,
                 self.indexed,
+                self._flight_specs.get(site),
             ),
             name=f"parulel-match-site{site}",
             daemon=True,
@@ -413,6 +483,8 @@ class ProcessMatchPool:
             self.metrics.inc("parulel_fault_events_total", kind=kind)
             if kind == "respawn":
                 self.metrics.inc("parulel_worker_respawns_total", site=site)
+        if self._flightrec is not None:
+            self._flightrec.record_fault(kind, site, self._cycle)
 
     def drain_fault_events(self) -> List[FaultEvent]:
         """Fault/recovery events since the last drain (engine hook)."""
@@ -974,6 +1046,7 @@ class ProcessMatcher(Matcher):
         supervisor: Optional[SupervisorPolicy] = None,
         tracer=None,
         metrics=None,
+        flightrec=None,
         indexed: bool = True,
     ) -> None:
         # The pool's recorder primes itself with the pre-existing WMEs, so
@@ -992,6 +1065,7 @@ class ProcessMatcher(Matcher):
             supervisor=supervisor,
             tracer=tracer,
             metrics=metrics,
+            flightrec=flightrec,
             indexed=indexed,
         )
         super().__init__(rules, wm, indexed=indexed)

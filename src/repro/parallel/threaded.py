@@ -44,6 +44,13 @@ class ThreadedMatchPool:
     span on its own ``thread-<site>`` lane (the tracer is thread-safe, and
     the lanes make the GIL serialization this module measures *visible*:
     the spans overlap in wall-clock but their work interleaves).
+
+    With a ``flightrec`` attached, each site journals site-tagged
+    request/reply records straight into the *parent* ring (same process,
+    no shared-memory ring needed; the ring's append lock makes this
+    thread-safe). The skew report folds site-tagged parent-ring records
+    exactly like per-worker rings, so thread pools get busy-window
+    analytics for free.
     """
 
     def __init__(
@@ -54,12 +61,14 @@ class ThreadedMatchPool:
         assignment: Optional[Assignment] = None,
         tracer=None,
         metrics=None,
+        flightrec=None,
         indexed: bool = True,
     ) -> None:
         if n_threads < 1:
             raise ValueError("need at least one thread")
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._flightrec = flightrec
         self._cycle = 0
         self.wm = wm
         self.indexed = indexed
@@ -86,6 +95,11 @@ class ThreadedMatchPool:
     def _match_site(self, site: int) -> List[Instantiation]:
         out: List[Instantiation] = []
         obs = self.metrics.enabled
+        fr = self._flightrec
+        if fr is not None:
+            # Literal kind codes: EV_MATCH_REQ/EV_MATCH_REPLY (22/25) —
+            # this module stays importable without repro.obs.flightrec.
+            fr.record(22, self._cycle, site=site)
         with self.tracer.span(
             "match", lane=f"thread-{site}", cycle=self._cycle
         ):
@@ -106,6 +120,8 @@ class ThreadedMatchPool:
                         rule=compiled.name,
                         site=site,
                     )
+        if fr is not None:
+            fr.record(25, self._cycle, a=len(out), site=site)
         return out
 
     def conflict_set(self) -> List[Instantiation]:

@@ -27,11 +27,19 @@ This module turns that claim into a differential test:
    restore point + recovered cycles), the output, the cycle count, and
    the final WM bytes must all equal the clean run's, for ``dict`` and
    ``columnar`` WM backends alike.
-6. **Janitor.** A child process building a columnar store is SIGKILLed
+6. **Black box.** The chaos engine runs with the (default-on) flight
+   recorder and a pinned dump path. The injected worker ``SIGKILL``\\ s
+   must have produced a ``*.blackbox`` dump that decodes
+   (:func:`~repro.obs.blackbox.load_blackbox`), and for every killed
+   site whose ring saw any match work, the post-mortem "last in-flight
+   rule" query must name a rule of the program — the shared-memory ring
+   outlives the killed worker, which is the recorder's core claim.
+7. **Janitor.** A child process building a columnar store is SIGKILLed
    mid-life (leaving real orphaned segments);
    :func:`~repro.resilience.janitor.sweep_orphans` must reclaim exactly
-   those segments, and a final sweep must find nothing left behind by the
-   chaos run itself.
+   those segments — the default sweep also covers orphaned
+   flight-recorder rings — and a final sweep must find nothing left
+   behind by the chaos run itself.
 
 Run it directly (``scripts/check.sh --resilience`` does)::
 
@@ -52,6 +60,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core import EngineConfig, ParulelEngine
 from repro.faults import FaultPlan, WorkerKill
+from repro.obs.blackbox import load_blackbox
 from repro.programs import REGISTRY
 from repro.resilience.checkpoint import CheckpointStore, EngineCheckpointer
 from repro.resilience.janitor import sweep_orphans
@@ -173,6 +182,7 @@ def run_chaos(
     )
     tmp = tempfile.mkdtemp(prefix="parulel-chaos-")
     store_dir = os.path.join(tmp, "ckpt")
+    blackbox_path = os.path.join(tmp, "chaos.blackbox")
     chaos_wl = builder()
     chaos = ParulelEngine(
         chaos_wl.program,
@@ -182,6 +192,7 @@ def run_chaos(
             matcher_timeout=30.0,
             fault_plan=FaultPlan(seed=seed, kills=kills),
             supervisor=policy,
+            blackbox_path=blackbox_path,
         ),
     )
     chaos_wl.setup(chaos)
@@ -208,8 +219,11 @@ def run_chaos(
 
     chaos_seq = _drive(chaos, on_cycle=on_cycle, stop_at=crash_cycle)
     fault_kinds: Dict[str, int] = {}
+    killed_sites: List[int] = []
     for event in chaos.fault_events:
         fault_kinds[event.kind] = fault_kinds.get(event.kind, 0) + 1
+        if event.kind == "kill" and event.site not in killed_sites:
+            killed_sites.append(event.site)
     # The "crash": the run just stops. close() stands in for the kernel
     # reaping the process — it must not be load-bearing for recovery (all
     # durable state is already in the store).
@@ -264,6 +278,41 @@ def run_chaos(
     if recovered_wm != clean_wm:
         result.mismatches.append("final working memory bytes diverged")
     recovered.close()
+
+    # -- 6. black box -------------------------------------------------------
+    # Any worker death observed during the chaos run must have left a
+    # decodable post-mortem dump behind: the shared-memory rings belong to
+    # the parent, so even a SIGKILLed worker's journal survives into it.
+    if killed_sites:
+        if not os.path.exists(blackbox_path):
+            result.mismatches.append(
+                f"no blackbox dump at {blackbox_path} after "
+                f"{fault_kinds.get('kill', 0)} injected SIGKILL(s)"
+            )
+        else:
+            try:
+                bb = load_blackbox(blackbox_path)
+            except Exception as exc:  # noqa: BLE001 - any decode failure
+                result.mismatches.append(f"blackbox dump unreadable: {exc}")
+            else:
+                rule_names = set(bb.rules)
+                timeline_sites = {site for _, site, _ in bb.timeline()}
+                for site in sorted(killed_sites):
+                    last = bb.last_in_flight(site)
+                    if last is None:
+                        # Killed before its first dispatched rule — the
+                        # ring is honest about having seen no match work.
+                        continue
+                    if last[0] not in rule_names:
+                        result.mismatches.append(
+                            f"blackbox last in-flight rule for killed site "
+                            f"{site} is {last[0]!r}, not a program rule"
+                        )
+                    elif site not in timeline_sites:
+                        result.mismatches.append(
+                            f"killed site {site} absent from the merged "
+                            f"blackbox timeline"
+                        )
     return result
 
 

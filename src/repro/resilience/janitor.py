@@ -1,7 +1,10 @@
 """Startup janitor for orphaned shared-memory segments.
 
 The columnar store (:mod:`repro.wm.columnar`) names every POSIX
-shared-memory segment ``pwm...``. Cleanup is layered — ``close()``, a
+shared-memory segment ``pwm...`` and the flight recorder
+(:mod:`repro.obs.flightrec`) names its event rings ``pfr...`` — both
+embed the creating pid the same way, and a default sweep covers both.
+Cleanup is layered — ``close()``, a
 pid-guarded finalizer, the stdlib ``resource_tracker`` — but a parent that
 dies by ``SIGKILL`` executes none of them, stranding named segments in
 ``/dev/shm`` until the machine reboots (or fills).
@@ -30,13 +33,24 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.obs.flightrec import FLIGHT_PREFIX
 from repro.wm.columnar import SEGMENT_PREFIX, parse_owner_pid
 
-__all__ = ["JanitorReport", "sweep_orphans", "DEFAULT_SHM_DIR"]
+__all__ = [
+    "JanitorReport",
+    "sweep_orphans",
+    "DEFAULT_SHM_DIR",
+    "DEFAULT_PREFIXES",
+]
 
 DEFAULT_SHM_DIR = "/dev/shm"
+
+#: Segment families a default sweep reclaims: columnar WM columns/journals
+#: (``pwm``) and flight-recorder event rings (``pfr``). Both name formats
+#: embed the owner pid identically, so one pid-liveness rule covers both.
+DEFAULT_PREFIXES: Tuple[str, ...] = (SEGMENT_PREFIX, FLIGHT_PREFIX)
 
 #: Legacy (pid-less) segments younger than this are never swept: the
 #: owner may not have mapped them into any scanned process yet.
@@ -90,17 +104,20 @@ def _mapped_anywhere(path: str) -> bool:
 
 def sweep_orphans(
     shm_dir: str = DEFAULT_SHM_DIR,
-    prefix: str = SEGMENT_PREFIX,
+    prefix: Union[str, Sequence[str]] = DEFAULT_PREFIXES,
     min_age: float = DEFAULT_MIN_AGE,
     dry_run: bool = False,
 ) -> JanitorReport:
     """Reclaim orphaned ``<prefix>*`` segments under ``shm_dir``.
 
-    Safe by construction: segments whose embedded owner pid is alive are
-    kept; pid-less (legacy) segments are kept while mapped by any process
-    or younger than ``min_age`` seconds. Everything else is unlinked
-    (reported only, with ``dry_run``).
+    ``prefix`` is one segment-family prefix or a sequence of them; the
+    default sweeps both the columnar store's ``pwm`` and the flight
+    recorder's ``pfr`` families. Safe by construction: segments whose
+    embedded owner pid is alive are kept; pid-less (legacy) segments are
+    kept while mapped by any process or younger than ``min_age`` seconds.
+    Everything else is unlinked (reported only, with ``dry_run``).
     """
+    prefixes = (prefix,) if isinstance(prefix, str) else tuple(prefix)
     report = JanitorReport(dry_run=dry_run)
     try:
         names = sorted(os.listdir(shm_dir))
@@ -108,10 +125,11 @@ def sweep_orphans(
         return report  # no shm dir on this platform: nothing to do
     now = time.time()
     for name in names:
-        if not name.startswith(prefix):
+        matched = next((p for p in prefixes if name.startswith(p)), None)
+        if matched is None:
             continue
         path = os.path.join(shm_dir, name)
-        pid = parse_owner_pid(name, prefix=prefix)
+        pid = parse_owner_pid(name, prefix=matched)
         if pid is not None:
             if _pid_alive(pid):
                 report.kept.append((name, f"owner pid {pid} is alive"))

@@ -127,3 +127,140 @@ class TestProfileCommand:
         out = capsys.readouterr().out
         # Only the hottest rule row remains.
         assert out.count("tc-") == 1
+
+
+class TestFlightRecorderFlags:
+    def test_default_run_writes_no_dump(self, program_files, tmp_path):
+        program, facts = program_files
+        bb = tmp_path / "run.blackbox"
+        assert main(
+            ["run", program, "--facts", facts, "--blackbox", str(bb)]
+        ) == 0
+        assert not bb.exists()
+
+    def test_cycle_limit_dumps_and_hints(self, program_files, tmp_path, capsys):
+        program, facts = program_files
+        bb = tmp_path / "limit.blackbox"
+        code = main(
+            [
+                "run", program, "--facts", facts,
+                "--max-cycles", "1", "--blackbox", str(bb),
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "black-box dump written" in err
+        assert "parulel blackbox dump" in err
+        assert bb.exists()
+
+    def test_no_flight_recorder_suppresses_dump(
+        self, program_files, tmp_path, capsys
+    ):
+        program, facts = program_files
+        bb = tmp_path / "off.blackbox"
+        code = main(
+            [
+                "run", program, "--facts", facts, "--max-cycles", "1",
+                "--no-flight-recorder", "--blackbox", str(bb),
+            ]
+        )
+        assert code == 1
+        assert not bb.exists()
+        assert "black-box dump" not in capsys.readouterr().err
+
+    def test_flags_rejected_for_ops5(self, program_files, capsys):
+        program, facts = program_files
+        code = main(
+            [
+                "run", program, "--facts", facts,
+                "--engine", "ops5", "--no-flight-recorder",
+            ]
+        )
+        assert code == 2
+
+    def test_metrics_port_serves_and_lingers(self, program_files, capsys):
+        program, facts = program_files
+        code = main(
+            [
+                "run", program, "--facts", facts,
+                "--metrics-port", "0", "--metrics-linger", "0.2",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "serving metrics at http://127.0.0.1:" in err
+        assert "no scrape before the linger deadline" in err
+
+
+class TestBlackboxCommand:
+    @pytest.fixture()
+    def dump_path(self, program_files, tmp_path):
+        program, facts = program_files
+        bb = tmp_path / "crash.blackbox"
+        assert main(
+            [
+                "run", program, "--facts", facts,
+                "--max-cycles", "1", "--blackbox", str(bb),
+            ]
+        ) == 1
+        return str(bb)
+
+    def test_dump_prints_timeline(self, dump_path, capsys):
+        capsys.readouterr()
+        assert main(["blackbox", "dump", dump_path]) == 0
+        out = capsys.readouterr().out
+        assert "# reason: CycleLimitExceeded" in out
+        assert "cycle 1 done" in out
+        assert "dump: CycleLimitExceeded" in out
+
+    def test_dump_limit_keeps_newest(self, dump_path, capsys):
+        capsys.readouterr()
+        assert main(["blackbox", "dump", dump_path, "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "earlier event(s) omitted" in out
+        body = [l for l in out.splitlines() if not l.startswith("#")]
+        assert len(body) == 3
+
+    def test_report_phases_and_rules(self, dump_path, tmp_path, capsys):
+        capsys.readouterr()
+        prom = tmp_path / "skew.prom"
+        assert main(
+            ["blackbox", "report", dump_path, "--metrics-out", str(prom)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cycle phases (seconds):" in out
+        assert "rule time share" in out
+        text = prom.read_text()
+        assert "parulel_rule_time_share" in text
+
+    def test_diff_identical_is_clean(self, dump_path, capsys):
+        capsys.readouterr()
+        assert main(["blackbox", "diff", dump_path, dump_path]) == 0
+        assert "no divergence" in capsys.readouterr().out
+
+    def test_diff_divergent_pinpoints_event(
+        self, program_files, tmp_path, capsys
+    ):
+        program, facts = program_files
+        left = tmp_path / "l.blackbox"
+        right = tmp_path / "r.blackbox"
+        main(["run", program, "--facts", facts,
+              "--max-cycles", "1", "--blackbox", str(left)])
+        # A different fact set diverges in cycle 1's deterministic record.
+        short_facts = tmp_path / "short.facts"
+        short_facts.write_text("(edge ^src n0 ^dst n1)\n")
+        main(["run", program, "--facts", str(short_facts),
+              "--max-cycles", "1", "--blackbox", str(right)])
+        capsys.readouterr()
+        code = main(["blackbox", "diff", str(left), str(right)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "first divergence at engine-ring event" in out
+        assert "left :" in out and "right:" in out
+
+    def test_corrupt_file_is_clear_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.blackbox"
+        bad.write_bytes(b"not a dump")
+        code = main(["blackbox", "dump", str(bad)])
+        assert code == 1
+        assert "not a blackbox dump" in capsys.readouterr().err

@@ -1,0 +1,63 @@
+"""One-shot ``/metrics`` HTTP exposition (``parulel run --metrics-port``)."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics_http import MetricsHTTPServer
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.inc("parulel_cycles_total")
+    reg.set_gauge("parulel_site_skew_ratio", 1.25, site="0")
+    return reg
+
+
+@pytest.fixture
+def server(registry):
+    srv = MetricsHTTPServer(registry, port=0)
+    yield srv
+    srv.shutdown()
+
+
+def scrape(url):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, resp.headers.get("Content-Type", ""), resp.read().decode()
+
+
+class TestMetricsHTTP:
+    def test_scrape_serves_prometheus_text(self, server):
+        status, ctype, body = scrape(server.url)
+        assert status == 200
+        assert ctype.startswith("text/plain")
+        assert "parulel_cycles_total 1" in body
+        assert 'parulel_site_skew_ratio{site="0"} 1.25' in body
+
+    def test_scrape_sees_live_registry(self, server, registry):
+        registry.inc("parulel_cycles_total")
+        _, _, body = scrape(server.url)
+        assert "parulel_cycles_total 2" in body
+
+    def test_non_metrics_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            scrape(f"http://{server.host}:{server.port}/other")
+        assert excinfo.value.code == 404
+
+    def test_root_path_aliases_metrics(self, server):
+        status, _, body = scrape(f"http://{server.host}:{server.port}/")
+        assert status == 200
+        assert "parulel_cycles_total" in body
+
+    def test_wait_for_scrape(self, server):
+        assert not server.wait_for_scrape(timeout=0.01)
+        scrape(server.url)
+        assert server.wait_for_scrape(timeout=10)
+        assert server.scrapes == 1
+
+    def test_ephemeral_port_bound(self, server):
+        assert server.port > 0
+        assert str(server.port) in server.url

@@ -12,7 +12,8 @@ import time
 
 import pytest
 
-from repro.resilience.janitor import JanitorReport, sweep_orphans
+from repro.obs.flightrec import FLIGHT_PREFIX
+from repro.resilience.janitor import DEFAULT_PREFIXES, JanitorReport, sweep_orphans
 from repro.wm.columnar import SEGMENT_PREFIX, parse_owner_pid
 
 
@@ -109,3 +110,83 @@ class TestSweep:
         report = JanitorReport(removed=["a", "b"], kept=[("c", "why")])
         assert "removed 2" in str(report)
         assert "kept 1" in str(report)
+
+
+def flight_name(pid):
+    return f"{FLIGHT_PREFIX}{pid:08x}p0011aabb"
+
+
+class TestFlightRecorderSegments:
+    """Orphaned ``pfr*`` flight-recorder rings are reclaimed by the same
+    sweep that handles columnar WM segments (DEFAULT_PREFIXES covers both
+    families)."""
+
+    def test_default_prefixes_cover_both_families(self):
+        assert SEGMENT_PREFIX in DEFAULT_PREFIXES
+        assert FLIGHT_PREFIX in DEFAULT_PREFIXES
+
+    def test_orphaned_flight_ring_removed(self, tmp_path):
+        dead = flight_name(dead_pid())
+        touch(tmp_path, dead)
+        report = sweep_orphans(shm_dir=str(tmp_path))
+        assert report.removed == [dead]
+        assert not os.path.exists(tmp_path / dead)
+
+    def test_live_owner_flight_ring_kept(self, tmp_path):
+        live = flight_name(os.getpid())
+        touch(tmp_path, live)
+        report = sweep_orphans(shm_dir=str(tmp_path))
+        assert report.removed == []
+        assert os.path.exists(tmp_path / live)
+        assert (live, f"owner pid {os.getpid()} is alive") in report.kept
+
+    def test_mixed_families_one_sweep(self, tmp_path):
+        gone = dead_pid()
+        dead_wm = seg_name(gone)
+        dead_fr = flight_name(gone)
+        live_fr = flight_name(os.getpid())
+        for name in (dead_wm, dead_fr, live_fr):
+            touch(tmp_path, name)
+        report = sweep_orphans(shm_dir=str(tmp_path))
+        assert sorted(report.removed) == sorted([dead_wm, dead_fr])
+        assert os.path.exists(tmp_path / live_fr)
+
+    def test_single_prefix_opt_out_skips_flight_rings(self, tmp_path):
+        dead_fr = flight_name(dead_pid())
+        touch(tmp_path, dead_fr)
+        report = sweep_orphans(shm_dir=str(tmp_path), prefix=SEGMENT_PREFIX)
+        assert report.removed == []
+        assert os.path.exists(tmp_path / dead_fr)
+
+    def test_real_orphan_from_sigkilled_recorder(self):
+        """End to end against real /dev/shm: a child process creates a
+        recorder ring and is SIGKILLed (no cleanup); the sweep reclaims
+        the segment because its embedded owner pid is dead."""
+        import sys
+
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this platform")
+        code = (
+            "import os, signal\n"
+            "from repro.obs.flightrec import FlightRing\n"
+            "ring = FlightRing(capacity=16, shared=True)\n"
+            "if ring.name is None:\n"
+            "    raise SystemExit(3)\n"
+            "print(ring.name, flush=True)\n"
+            "os.kill(os.getpid(), signal.SIGKILL)\n"
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", code],
+            stdout=subprocess.PIPE,
+            env={**os.environ, "PYTHONPATH": "src"},
+            text=True,
+        )
+        name = proc.stdout.readline().strip()
+        proc.wait()
+        if proc.returncode == 3:
+            pytest.skip("child could not create a shared ring")
+        assert name.startswith(FLIGHT_PREFIX)
+        assert os.path.exists(f"/dev/shm/{name}")
+        report = sweep_orphans()
+        assert name in report.removed
+        assert not os.path.exists(f"/dev/shm/{name}")

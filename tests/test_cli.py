@@ -324,3 +324,65 @@ class TestRobustnessOptions:
                    "--facts", counter_facts])
         assert rc == 0
         assert "--facts is ignored" in capsys.readouterr().err
+
+
+class TestExplainJSON:
+    def test_json_emits_derivation_trees(self, program_file, facts_file, capsys):
+        import json
+
+        rc = main(
+            [
+                "explain", program_file, "--facts", facts_file,
+                "--wme", "(path ^src a ^dst c)", "--json",
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["pattern"] == "(path ^src a ^dst c)"
+        (tree,) = doc["matches"]
+        assert tree["kind"] == "make"
+        assert tree["rule"] == "tc-extend"
+        # Parents walk down to the initially asserted edges.
+        kinds = {p["kind"] for p in tree["parents"]}
+        assert "initial" in kinds or "make" in kinds
+        assert doc["ruleCounts"] == {"tc-init": 2, "tc-extend": 1}
+
+    def test_text_mode_prints_rule_count_footer(
+        self, program_file, facts_file, capsys
+    ):
+        rc = main(
+            [
+                "explain", program_file, "--facts", facts_file,
+                "--wme", "(path ^src a ^dst c)",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "derivations by rule:" in out
+        assert "tc-init: 2" in out
+        assert "tc-extend: 1" in out
+
+    def test_absent_wme_diagnostic_names_class_state(
+        self, program_file, facts_file, capsys
+    ):
+        # Class exists but no attribute match: the hint says so.
+        rc = main(
+            [
+                "explain", program_file, "--facts", facts_file,
+                "--wme", "(path ^src z ^dst z)",
+            ]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "no live WME matches (path ^src z ^dst z)" in err
+        assert "have other attributes" in err
+        # Class entirely absent: different hint, still no traceback.
+        rc = main(
+            [
+                "explain", program_file, "--facts", facts_file,
+                "--wme", "(ghost ^x 1)",
+            ]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "no live WMEs of class 'ghost' at all" in err
