@@ -20,9 +20,22 @@ Per tier and store backend it records:
   per-cycle match.
 - **threaded**: in-process pool cycle time over both stores (the columnar
   store must not tax the non-IPC backend).
-- **engine**: an end-to-end ``matcher="process:2"`` run; cycles, firings
-  and the final working-memory digest must be byte-identical across
-  stores.
+- **vector**: the vectorized column-scan probe kernel vs the object-replica
+  path over the *same* columnar store, in process — WME materializations
+  per cycle for both paths (gated: the vector path must materialize at
+  least ``MAT_RATIO_FLOOR`` (5x) fewer) and per-cycle refresh+match
+  latency (gated: the recorded vector path must win — the object path
+  pays eager materialization on every refresh), with per-cycle ordered
+  match summaries asserted byte-identical.
+- **engine**: an end-to-end ``matcher="process:2"`` run across three
+  configurations (dict store, columnar store, columnar with
+  ``--no-vector-probe``); cycles, firings and the final working-memory
+  digest must be byte-identical across all three.
+
+``--full`` additionally runs every registry workload (tc, waltz, manners,
+sort, sort-meta, sieve, circuit, routing, monkey) through the same three
+engine configurations, asserts identity, and records the digests under
+``workloads`` — ``--check`` re-validates the recorded section.
 
 Usage (from the repo root, ``PYTHONPATH=src``)::
 
@@ -37,6 +50,11 @@ Usage (from the repo root, ``PYTHONPATH=src``)::
 - the columnar store's bytes-per-cycle advantage drops below the
   ``RATIO_FLOOR`` (10x) on the gate tier, or the recorded million-tier
   numbers in the baseline fall below the floor / lost their identity bits;
+- the vector kernel's materialization advantage drops below
+  ``MAT_RATIO_FLOOR`` (5x) — on the run tiers or in the recorded
+  million-tier numbers — or its summaries diverged from the object path;
+- the recorded ``workloads`` section is missing, incomplete, or lost an
+  identity bit;
 - columnar bytes-per-cycle regress > 5% against the baseline, or the
   engine's cycles/firings changed.
 
@@ -74,6 +92,19 @@ RATIO_FLOOR = 10.0
 #: gate fails (byte counts are deterministic; the slack only absorbs
 #: intentional protocol tweaks smaller than a real regression).
 BYTES_SLACK = 1.05
+
+#: The vectorized probe kernel must materialize at least this many times
+#: fewer WME objects per cycle than the object-replica path (ISSUE 10's
+#: acceptance bar for the 1M tier; enforced on every tier run or recorded).
+MAT_RATIO_FLOOR = 5.0
+
+#: Engine configurations the identity sweeps run: store backend plus the
+#: vectorized-probe escape hatch.
+ENGINE_CONFIGS = (
+    ("dict", True),
+    ("columnar", True),
+    ("columnar_novector", False),
+)
 
 TIERS = {
     "gate": dict(n_facts=20_000, n_keys=100, churn_block=50, churn_steps=5),
@@ -169,12 +200,150 @@ def _run_threaded(wl, tier_cfg: Dict, backend: str) -> Dict:
     return {"cycle_s": round(cycle_s, 4), "image": image}
 
 
-def _run_engine(wl, backend: str) -> Dict:
+def _run_vector(wl, tier_cfg: Dict) -> Dict:
+    """Vector kernel vs object replica over one columnar store, in process.
+
+    Both paths attach their own :class:`ColumnarReader` to the same parent
+    store and answer the same per-cycle match enumeration; the object path
+    materializes every live row up front (and every journal add after),
+    the vector path only the rows probes actually surface. Ordered match
+    summaries are asserted identical every cycle — this is the
+    materialization-count half of the tentpole's acceptance bar (the IPC
+    half is :func:`_run_pool`).
+    """
+    from repro.match.alphaindex import AlphaCache, ColumnVectorCache
+    from repro.match.compile import compile_rules
+    from repro.match.join import enumerate_matches
+    from repro.wm.columnar import ColumnarReader
+
+    wm = ColumnarWorkingMemory(wl.fresh_wm().templates)
+    obj_reader = vec_reader = None
+    try:
+        block = wl.load(wm)
+        compiled = compile_rules(wl.program.rules)
+        spec = wm.attach_spec()
+        obj_reader = ColumnarReader(spec)
+        vec_reader = ColumnarReader(spec)
+
+        replica = WorkingMemory()
+        obj_mat = 0
+
+        def bootstrap(_name: str, batch) -> None:
+            nonlocal obj_mat
+            replica.bulk_load(batch)
+            obj_mat += len(batch)
+
+        def on_add(wme) -> None:
+            nonlocal obj_mat
+            replica.add(wme)
+            obj_mat += 1
+
+        def on_remove(wme) -> None:
+            replica.remove(wme)
+
+        t0 = time.perf_counter()
+        obj_reader.attach_bulk(bootstrap)
+        obj_attach_s = time.perf_counter() - t0
+        alpha = AlphaCache(replica)
+        alpha.attach()
+
+        t0 = time.perf_counter()
+        vcache = ColumnVectorCache(vec_reader)
+        vec_attach_s = time.perf_counter() - t0
+        unused = WorkingMemory()
+
+        def summaries(source, wm_arg):
+            out = []
+            for cr in compiled:
+                for inst in enumerate_matches(cr, wm_arg, alpha_source=source):
+                    out.append(
+                        (
+                            cr.name,
+                            tuple(
+                                w.timestamp if w is not None else 0
+                                for w in inst.wmes
+                            ),
+                            inst.env,
+                        )
+                    )
+            return out
+
+        # Step 0 is the prime: both paths lazily build their alpha state
+        # inside the first enumeration (bulk_add over prebuilt WMEs vs the
+        # 1M-row column scan), reported separately. Every later step times
+        # what a worker actually does per ("match-shm", info) message —
+        # refresh (where the object path eagerly materializes every
+        # journal add) plus the full match enumeration.
+        obj_s = vec_s = obj_prime_s = vec_prime_s = 0.0
+        cycles = 1 + tier_cfg["churn_steps"]
+        for step in range(cycles):
+            obj_dt = vec_dt = 0.0
+            if step:
+                block = wl.churn(wm, block, step)
+                info = wm.cycle_info()
+                t0 = time.perf_counter()
+                obj_reader.refresh(info, on_add, on_remove)
+                obj_dt += time.perf_counter() - t0
+                t0 = time.perf_counter()
+                vcache.refresh(info)
+                vec_dt += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            obj_out = summaries(alpha, replica)
+            obj_dt += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            vec_out = summaries(vcache, unused)
+            vec_dt += time.perf_counter() - t0
+            if step:
+                obj_s += obj_dt
+                vec_s += vec_dt
+            else:
+                obj_prime_s, vec_prime_s = obj_dt, vec_dt
+            if obj_out != vec_out:
+                raise AssertionError(
+                    f"vector kernel diverged from object path at cycle "
+                    f"{step} ({len(obj_out)} vs {len(vec_out)} summaries)"
+                )
+        vec_mat = vcache.materialized
+        ratio = obj_mat / max(vec_mat, 1)
+        steady = max(tier_cfg["churn_steps"], 1)
+        return {
+            "object": {
+                "materialized_total": obj_mat,
+                "materialized_per_cycle": round(obj_mat / cycles, 1),
+                "attach_s": round(obj_attach_s, 3),
+                "prime_match_s": round(obj_prime_s, 4),
+                "cycle_s": round(obj_s / steady, 4),
+            },
+            "vector": {
+                "materialized_total": vec_mat,
+                "materialized_per_cycle": round(vec_mat / cycles, 1),
+                "attach_s": round(vec_attach_s, 3),
+                "prime_match_s": round(vec_prime_s, 4),
+                "cycle_s": round(vec_s / steady, 4),
+                "scanned_rows": vcache.scanned_rows,
+                "fallback_probes": vcache.fallback_probes,
+                "probes": vcache.probes,
+            },
+            "mat_ratio": round(ratio, 1),
+            "summaries_identical": True,
+        }
+    finally:
+        if obj_reader is not None:
+            obj_reader.close()
+        if vec_reader is not None:
+            vec_reader.close()
+        wm.close()
+
+
+def _run_engine(wl, backend: str, vector: bool = True) -> Dict:
     """End-to-end process-backend run: fire every hit, to quiescence."""
     engine = ParulelEngine(
         wl.program,
         EngineConfig(
-            matcher="process:2", wm_backend=backend, matcher_timeout=300.0
+            matcher="process:2",
+            wm_backend=backend,
+            matcher_timeout=300.0,
+            vector_probe=vector,
         ),
     )
     try:
@@ -223,24 +392,72 @@ def measure_tier(tier: str) -> Dict:
         b: {"cycle_s": r["cycle_s"]} for b, r in threaded.items()
     }
 
-    engine = {b: _run_engine(wl, b) for b in ("dict", "columnar")}
-    if (
-        engine["dict"]["cycles"],
-        engine["dict"]["firings"],
-        engine["dict"]["wm_digest"],
-    ) != (
-        engine["columnar"]["cycles"],
-        engine["columnar"]["firings"],
-        engine["columnar"]["wm_digest"],
-    ):
+    out["vector"] = _run_vector(wl, tier_cfg)
+
+    engine = {
+        name: _run_engine(wl, "columnar" if name.startswith("columnar") else name,
+                          vector=vector)
+        for name, vector in ENGINE_CONFIGS
+    }
+    identity = {
+        name: (row["cycles"], row["firings"], row["wm_digest"])
+        for name, row in engine.items()
+    }
+    if len(set(identity.values())) != 1:
         raise AssertionError(
-            f"{tier}: engine runs diverge between stores: {engine}"
+            f"{tier}: engine runs diverge between configs: {engine}"
         )
     out["engine"] = engine
 
     leaked = glob.glob("/dev/shm/pwm*")
     if leaked:
         raise AssertionError(f"{tier}: leaked shared-memory segments {leaked}")
+    return out
+
+
+def measure_workloads() -> Dict[str, Dict]:
+    """Every registry workload through the three engine configurations;
+    cycles/firings/final-WM digests must agree across all of them."""
+    from repro.programs import REGISTRY
+
+    out: Dict[str, Dict] = {}
+    for name in sorted(REGISTRY):
+        wl = REGISTRY[name]()
+        rows = {}
+        for cfg_name, vector in ENGINE_CONFIGS:
+            backend = "columnar" if cfg_name.startswith("columnar") else cfg_name
+            engine = ParulelEngine(
+                wl.program,
+                EngineConfig(
+                    matcher="process:2",
+                    wm_backend=backend,
+                    matcher_timeout=300.0,
+                    vector_probe=vector,
+                ),
+            )
+            try:
+                wl.setup(engine.wm)
+                result = engine.run()
+                rows[cfg_name] = (
+                    result.cycles,
+                    result.firings,
+                    _wm_digest(engine.wm),
+                )
+            finally:
+                engine.close()
+        if len(set(rows.values())) != 1:
+            raise AssertionError(f"workload {name}: configs diverge: {rows}")
+        cycles, firings, digest = rows["columnar"]
+        out[name] = {
+            "cycles": cycles,
+            "firings": firings,
+            "wm_digest": digest,
+            "identical": True,
+        }
+        print(
+            f"workload {name:<10} {cycles:>4} cycles {firings:>6} firings "
+            f"(3 configs byte-identical)"
+        )
     return out
 
 
@@ -261,10 +478,18 @@ def report(tiers: Dict[str, Dict]) -> None:
                 f"{row['prime_bytes']:>12} {row['bytes_per_cycle']:>10.1f} "
                 f"{row['steady_s_per_cycle']:>8.4f} {ratio:>8}"
             )
+        vec = data["vector"]
+        print(
+            f"{tier:<10} vector: {vec['object']['materialized_per_cycle']} -> "
+            f"{vec['vector']['materialized_per_cycle']} WMEs/cycle "
+            f"({vec['mat_ratio']}x fewer), refresh+match "
+            f"{vec['object']['cycle_s']}s -> "
+            f"{vec['vector']['cycle_s']}s/cycle"
+        )
         eng = data["engine"]["columnar"]
         print(
             f"{tier:<10} engine: {eng['cycles']} cycles, {eng['firings']} "
-            f"firings, {eng['wall_s']}s (stores byte-identical)"
+            f"firings, {eng['wall_s']}s (configs byte-identical)"
         )
 
 
@@ -282,6 +507,28 @@ def check(current: Dict[str, Dict], baseline: Dict) -> int:
                 f"{tier}: columnar bytes advantage {ratio:.1f}x below the "
                 f"{RATIO_FLOOR:.0f}x floor"
             )
+        vec = data.get("vector")
+        if vec is None:
+            failures.append(f"{tier}: vector section missing from the run")
+        else:
+            if vec["mat_ratio"] < MAT_RATIO_FLOOR:
+                failures.append(
+                    f"{tier}: vector materialization advantage "
+                    f"{vec['mat_ratio']:.1f}x below the "
+                    f"{MAT_RATIO_FLOOR:.0f}x floor"
+                )
+            if not vec.get("summaries_identical"):
+                failures.append(
+                    f"{tier}: vector kernel summaries diverged"
+                )
+            # Live latency gate with noise slack; the recorded baseline is
+            # held to a strict win below.
+            if vec["vector"]["cycle_s"] > vec["object"]["cycle_s"] * 1.10:
+                failures.append(
+                    f"{tier}: vector refresh+match "
+                    f"{vec['vector']['cycle_s']}s/cycle slower than object "
+                    f"path {vec['object']['cycle_s']}s/cycle"
+                )
         cur_bpc = data["pool"]["columnar"]["bytes_per_cycle"]
         base_bpc = base["pool"]["columnar"]["bytes_per_cycle"]
         if cur_bpc > base_bpc * BYTES_SLACK:
@@ -315,12 +562,53 @@ def check(current: Dict[str, Dict], baseline: Dict) -> int:
             )
         if not base["pool"].get("stores_identical"):
             failures.append(f"{tier} (recorded): stores_identical is not set")
+        base_vec = base.get("vector")
+        if base_vec is None:
+            failures.append(
+                f"{tier} (recorded): vector section missing "
+                f"(re-run --write --full)"
+            )
+        else:
+            if base_vec["mat_ratio"] < MAT_RATIO_FLOOR:
+                failures.append(
+                    f"{tier} (recorded): vector materialization advantage "
+                    f"{base_vec['mat_ratio']:.1f}x below the "
+                    f"{MAT_RATIO_FLOOR:.0f}x floor"
+                )
+            if not base_vec.get("summaries_identical"):
+                failures.append(
+                    f"{tier} (recorded): vector summaries_identical not set"
+                )
+            if base_vec["vector"]["cycle_s"] > base_vec["object"]["cycle_s"]:
+                failures.append(
+                    f"{tier} (recorded): no probe-latency win — vector "
+                    f"{base_vec['vector']['cycle_s']}s/cycle vs object "
+                    f"{base_vec['object']['cycle_s']}s/cycle "
+                    f"(re-run --write --full)"
+                )
+    # The full-sweep workload identity section must exist, cover the whole
+    # registry, and carry its identity bits.
+    from repro.programs import REGISTRY
+
+    workloads = baseline.get("workloads", {})
+    missing = sorted(set(REGISTRY) - set(workloads))
+    if missing:
+        failures.append(
+            f"workloads: {', '.join(missing)} missing from the recorded "
+            f"identity sweep (re-run --write --full)"
+        )
+    for name, row in sorted(workloads.items()):
+        if not row.get("identical"):
+            failures.append(f"workload {name}: identity bit not set")
     if failures:
         print("\nWM GATE FAILED:")
         for line in failures:
             print(f"  - {line}")
         return 1
-    print("\nwm gate OK: stores identical, byte advantage holds")
+    print(
+        "\nwm gate OK: stores identical, byte and materialization "
+        "advantages hold, workload sweep recorded"
+    )
     return 0
 
 
@@ -344,17 +632,24 @@ def main(argv=None) -> int:
 
     tiers = ["gate"] + (["million"] if args.full else [])
     current = {tier: measure_tier(tier) for tier in tiers}
+    workloads = measure_workloads() if args.full else None
     report(current)
 
     if args.write:
-        merged = {}
+        previous: Dict = {}
         if os.path.exists(BASELINE_PATH):
             with open(BASELINE_PATH) as fh:
-                merged = json.load(fh).get("tiers", {})
-        merged.update(current)
+                previous = json.load(fh)
+        merged_tiers = previous.get("tiers", {})
+        merged_tiers.update(current)
+        baseline = {"tiers": merged_tiers}
+        if workloads is not None:
+            baseline["workloads"] = workloads
+        elif "workloads" in previous:
+            baseline["workloads"] = previous["workloads"]
         os.makedirs(os.path.dirname(BASELINE_PATH), exist_ok=True)
         with open(BASELINE_PATH, "w") as fh:
-            json.dump({"tiers": merged}, fh, indent=2, sort_keys=True)
+            json.dump(baseline, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"\nwrote {BASELINE_PATH}")
         return 0

@@ -78,11 +78,16 @@ echo "== match-kernel perf gate (deterministic join counters vs baseline)"
 python -m benchmarks.match_microbench --check
 
 echo "== working-memory store gate (columnar vs dict: bytes + identity)"
-# Gates on the columnar store's IPC byte advantage and dict/columnar
-# byte-identity recorded in benchmarks/results/BENCH_wm.json; wall-clock
-# is advisory. After an intentional WM/IPC protocol change, refresh with:
+# Gates on the columnar store's IPC byte advantage, the vectorized
+# column-scan probe kernel (>=5x fewer WME materializations per cycle, a
+# recorded refresh+match latency win over the object path, per-cycle
+# match summaries byte-identical), and engine identity across dict /
+# columnar / --no-vector-probe plus the full 9-workload sweep — all
+# recorded in benchmarks/results/BENCH_wm.json; wall-clock is advisory.
+# After an intentional WM/IPC/probe-kernel change, refresh with:
 #   python -m benchmarks.wm_microbench --write           (gate tier)
-#   python -m benchmarks.wm_microbench --write --full    (+ million tier)
+#   python -m benchmarks.wm_microbench --write --full    (+ million tier
+#                                                         + workload sweep)
 python -m benchmarks.wm_microbench --check
 # Shared-memory segments are unlinked by ColumnarWorkingMemory.close(),
 # a pid-guarded finalizer, and the stdlib resource tracker — but a

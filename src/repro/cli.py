@@ -266,6 +266,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = EngineConfig(
         matcher=matcher,
         indexed_match=not args.no_index,
+        vector_probe=not args.no_vector_probe,
         interference=args.interference,
         matcher_timeout=args.matcher_timeout,
         respawn_limit=args.respawn_limit,
@@ -443,6 +444,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         EngineConfig(
             matcher=matcher,
             indexed_match=not args.no_index,
+            vector_probe=not args.no_vector_probe,
             wm_backend=args.wm_backend,
         ),
         tracer=tracer,
@@ -944,6 +946,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the hash-indexed join kernel (nested-loop matching; "
         "identical results, ablation escape hatch)",
     )
+    p_run.add_argument(
+        "--no-vector-probe",
+        action="store_true",
+        help="disable the vectorized column-scan probe kernel in columnar "
+        "process workers (object-replica matching; identical results)",
+    )
     p_run.add_argument("--strategy", choices=("lex", "mea"), default="lex")
     p_run.add_argument(
         "--interference", choices=("error", "first", "merge"), default="error"
@@ -1115,6 +1123,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-index",
         action="store_true",
         help="disable the hash-indexed join kernel (nested-loop matching)",
+    )
+    p_prof.add_argument(
+        "--no-vector-probe",
+        action="store_true",
+        help="disable the vectorized column-scan probe kernel (columnar "
+        "process workers only)",
     )
     p_prof.add_argument(
         "--top", type=int, default=10, help="rows in the hot-rule table"

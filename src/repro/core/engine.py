@@ -82,6 +82,12 @@ class EngineConfig:
     #: for the enumerator-based matchers; ``False`` is the ``--no-index``
     #: nested-loop escape hatch. Semantics are identical either way.
     indexed_match: bool = True
+    #: Vectorized column-scan probe kernel for ``process`` workers over a
+    #: columnar store (probes evaluated on packed shared-memory columns,
+    #: WMEs materialized lazily); ``False`` is the ``--no-vector-probe``
+    #: escape hatch back to the object-replica path. Semantics are
+    #: identical either way; ignored outside process+columnar.
+    vector_probe: bool = True
     interference: InterferencePolicy = InterferencePolicy.ERROR
     dedupe_makes: bool = True
     max_cycles: int = 100_000
@@ -280,6 +286,7 @@ class ParulelEngine:
             program.rules,
             self.wm,
             indexed=self.config.indexed_match,
+            vector_probe=self.config.vector_probe,
             **matcher_options,
         )
         self.meta = MetaLevel(

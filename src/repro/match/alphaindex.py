@@ -28,14 +28,22 @@ Two front-ends feed the enumerator:
 
 from __future__ import annotations
 
+import struct
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.match.compile import AlphaKey, CompiledCE, alpha_test_passes
+from repro.match.compile import AlphaKey, CompiledCE, alpha_test_passes, value_predicate
 from repro.match.stats import MatchStats
 from repro.wm.memory import WorkingMemory
-from repro.wm.wme import WME
+from repro.wm.wme import NIL, WME
 
-__all__ = ["IndexedMemory", "AlphaCache", "MemoryTable"]
+__all__ = [
+    "IndexedMemory",
+    "AlphaCache",
+    "MemoryTable",
+    "ColumnProbeIndex",
+    "ColumnMemory",
+    "ColumnVectorCache",
+]
 
 #: An index key: the probed attribute names, in probe order.
 IndexAttrs = Tuple[str, ...]
@@ -100,8 +108,7 @@ class IndexedMemory:
                     del index[key]
         return True
 
-    def probe(self, attrs: IndexAttrs, values: Tuple) -> Sequence[WME]:
-        """WMEs whose ``attrs`` equal ``values``, in insertion order."""
+    def _index_for(self, attrs: IndexAttrs) -> Dict[Tuple, Dict[WME, None]]:
         index = self._indexes.get(attrs)
         if index is None:
             index = {}
@@ -112,8 +119,18 @@ class IndexedMemory:
                     bucket = index[key] = {}
                 bucket[wme] = None
             self._indexes[attrs] = index
-        bucket = index.get(values)
+        return index
+
+    def probe(self, attrs: IndexAttrs, values: Tuple) -> Sequence[WME]:
+        """WMEs whose ``attrs`` equal ``values``, in insertion order."""
+        bucket = self._index_for(attrs).get(values)
         return tuple(bucket) if bucket else ()
+
+    def probe_exists(self, attrs: IndexAttrs, values: Tuple) -> bool:
+        """Bucket non-emptiness without materializing it — the negated-CE
+        existence check when no residual tests remain (empty buckets are
+        deleted on remove, so membership means at least one WME)."""
+        return bool(self._index_for(attrs).get(values))
 
     @property
     def index_count(self) -> int:
@@ -220,3 +237,455 @@ class AlphaCache:
         if self._attached:
             self.wm.remove_listener(self._listener)
             self._attached = False
+
+
+# ---------------------------------------------------------------------------
+# Column-native alpha source (the vectorized probe kernel)
+# ---------------------------------------------------------------------------
+#
+# The classes below are the third enumerator front-end: alpha memories held
+# as *row ids* over a :class:`~repro.wm.columnar.ColumnarReader`'s shared
+# ``(tag, payload)`` int64 columns, with WME objects built lazily — only for
+# rows a probe or full scan actually surfaces. The columnar module is
+# imported lazily so the default dict-backed path never touches
+# ``multiprocessing.shared_memory``.
+#
+# Keying scheme: every storable value canonicalizes to one packed integer
+# ``(kind << 64) | (payload & 0xFFFF..FF)`` chosen so that two stored cells
+# (or a probe value and a stored cell) get equal keys exactly when Python
+# ``==`` unifies them:
+#
+# - absent slots and the ``nil`` symbol share ``_KEY_NIL`` (``WME.get``
+#   reads both as ``"nil"``);
+# - bools and in-range ints share ``_K_INT`` (``True == 1``), and integral
+#   floats in int64 range collapse into it too (``2.0 == 2``, and
+#   ``-0.0`` lands on ``_K_INT|0`` with ``0.0``);
+# - symbols/bigints key on their heap offset (the parent interns each text
+#   once, so offset equality is text equality);
+# - remaining floats key on their IEEE bits (equal non-integral finite
+#   floats are bit-identical).
+#
+# Two escape hatches keep exotic values exact rather than fast: a stored
+# cell with no faithful key (NaN, an integral float beyond int64 that may
+# equal a stored bigint) goes to the index's *fallback rows*, re-checked by
+# decoded ``==`` on every probe; a probe value with no packed key (a symbol
+# the parent never interned — proof no stored symbol equals it — NaN, or an
+# out-of-range integral) skips the bucket but still filters the fallback
+# rows. Both are counted (``parulel_vector_probe_fallback_total``).
+
+_U64 = (1 << 64) - 1
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+_INF = float("inf")
+
+#: Packed key kinds (bits 64+). ``_KEY_NIL`` is the whole key for absent.
+_KEY_NIL = 0
+_K_INT = 1 << 64
+_K_FLOAT = 2 << 64
+_K_SYM = 3 << 64
+_K_BIG = 4 << 64
+
+# Columnar tag constants, loaded on first ColumnVectorCache construction
+# (lazy import — see module note above).
+_TAGS_LOADED = False
+_T_ABSENT = _T_INT = _T_FLOAT = _T_SYM = _T_BIG = _T_BOOL = -1
+
+
+def _load_columnar_tags() -> None:
+    global _TAGS_LOADED, _T_ABSENT, _T_INT, _T_FLOAT, _T_SYM, _T_BIG, _T_BOOL
+    if _TAGS_LOADED:
+        return
+    from repro.wm import columnar as _c
+
+    _T_ABSENT, _T_INT, _T_FLOAT, _T_SYM, _T_BIG, _T_BOOL = (
+        _c._ABSENT, _c._INT, _c._FLOAT, _c._SYM, _c._BIG, _c._BOOL,
+    )
+    _TAGS_LOADED = True
+
+
+def _canon_cell(tag: int, payload: int, nil_off: Optional[int]) -> Optional[int]:
+    """Packed key for one stored ``(tag, payload)`` cell, or ``None`` when
+    the cell has no faithful key and its row must go to the fallback list."""
+    if tag == _T_ABSENT:
+        return _KEY_NIL
+    if tag == _T_INT or tag == _T_BOOL:
+        return _K_INT | (payload & _U64)
+    if tag == _T_SYM:
+        if payload == nil_off:
+            return _KEY_NIL
+        return _K_SYM | payload
+    if tag == _T_BIG:
+        return _K_BIG | payload
+    # _T_FLOAT
+    f = struct.unpack("<d", struct.pack("<q", payload))[0]
+    if f != f:
+        return None  # NaN: leave == semantics to the decoded fallback path
+    if f == _INF or f == -_INF:
+        return _K_FLOAT | (payload & _U64)
+    i = int(f)
+    if i == f:
+        if _I64_MIN <= i <= _I64_MAX:
+            return _K_INT | (i & _U64)
+        return None  # integral beyond int64 — may equal a stored bigint
+    return _K_FLOAT | (payload & _U64)
+
+
+def _canon_probe(value, reader) -> Optional[int]:
+    """Packed key for a probe value, or ``None`` when no packed bucket can
+    match it (fallback rows are still filtered by decoded equality)."""
+    if isinstance(value, bool):
+        return _K_INT | int(value)
+    if isinstance(value, int):
+        if _I64_MIN <= value <= _I64_MAX:
+            return _K_INT | (value & _U64)
+        off = reader.offset_of(str(value))
+        return None if off is None else _K_BIG | off
+    if isinstance(value, float):
+        if value != value:
+            return None  # NaN
+        if value == _INF or value == -_INF:
+            bits = struct.unpack("<Q", struct.pack("<d", value))[0]
+            return _K_FLOAT | bits
+        i = int(value)
+        if i == value:
+            if _I64_MIN <= i <= _I64_MAX:
+                return _K_INT | (i & _U64)
+            off = reader.offset_of(str(i))
+            return None if off is None else _K_BIG | off
+        bits = struct.unpack("<Q", struct.pack("<d", value))[0]
+        return _K_FLOAT | bits
+    if isinstance(value, str):
+        if value == NIL:
+            return _KEY_NIL
+        off = reader.offset_of(value)
+        return None if off is None else _K_SYM | off
+    return None
+
+
+class ColumnProbeIndex:
+    """Hash index over packed column keys for one attribute tuple of one
+    :class:`ColumnMemory` — the column-native analogue of one
+    :class:`IndexedMemory` index.
+
+    Buckets map a packed key (one int, or a tuple of them for multi-attr
+    probes) to an ascending member-row list; ascending rows = timestamp
+    order = the object path's bucket order. Rows whose key is inexact live
+    in :attr:`fallback` and are filtered by decoded ``==`` on every probe;
+    a probe whose own key is unpacked skips the buckets but still scans the
+    fallback list, and hits from both are merged back into row order.
+    """
+
+    __slots__ = ("mem", "attrs", "buckets", "fallback")
+
+    def __init__(self, mem: "ColumnMemory", attrs: IndexAttrs) -> None:
+        self.mem = mem
+        self.attrs = attrs
+        self.buckets: Dict[object, List[int]] = {}
+        self.fallback: List[int] = []
+        for row in mem.rows:
+            self.insert(row)
+
+    def _row_key(self, row: int):
+        """Packed key of a member row, or ``None`` for a fallback row.
+        Columns are re-fetched per call — memoryviews do not survive the
+        table's re-mount on growth, so nothing here may be cached."""
+        table = self.mem.table
+        nil_off = self.mem.cache.reader.nil_offset()
+        keys = []
+        for attr in self.attrs:
+            idx = table.col_of(attr)
+            if idx is None:
+                key = _KEY_NIL
+            else:
+                key = _canon_cell(
+                    table.tag_cols[idx][row], table.payload_cols[idx][row], nil_off
+                )
+                if key is None:
+                    return None
+            keys.append(key)
+        return keys[0] if len(keys) == 1 else tuple(keys)
+
+    def insert(self, row: int) -> None:
+        key = self._row_key(row)
+        if key is None:
+            self.fallback.append(row)
+            return
+        bucket = self.buckets.get(key)
+        if bucket is None:
+            self.buckets[key] = [row]
+        else:
+            bucket.append(row)
+
+    def remove(self, row: int) -> None:
+        key = self._row_key(row)  # rows are immutable: same key as insert
+        if key is None:
+            self.fallback.remove(row)
+            return
+        bucket = self.buckets.get(key)
+        if bucket is not None:
+            bucket.remove(row)
+            if not bucket:
+                del self.buckets[key]
+
+    def probe_rows(self, values: Tuple) -> Sequence[int]:
+        """Member rows whose attributes equal ``values``, ascending.
+        Callers must not mutate the result (it may alias a bucket)."""
+        cache = self.mem.cache
+        reader = cache.reader
+        keys = []
+        unpacked = False
+        for value in values:
+            key = _canon_probe(value, reader)
+            if key is None:
+                unpacked = True
+                break
+            keys.append(key)
+        packed: Sequence[int] = ()
+        if not unpacked:
+            packed = self.buckets.get(
+                keys[0] if len(keys) == 1 else tuple(keys), ()
+            )
+        if not unpacked and not self.fallback:
+            return packed
+        cache.fallback_probes += 1
+        table = self.mem.table
+        resolve = reader._resolve
+        hits: List[int] = []
+        for row in self.fallback:
+            for attr, value in zip(self.attrs, values):
+                if table.cell(resolve, row, attr) != value:
+                    break
+            else:
+                hits.append(row)
+        if not hits:
+            return packed
+        if not packed:
+            return hits
+        merged: List[int] = []
+        i = j = 0
+        while i < len(packed) and j < len(hits):
+            if packed[i] < hits[j]:
+                merged.append(packed[i])
+                i += 1
+            else:
+                merged.append(hits[j])
+                j += 1
+        merged.extend(packed[i:])
+        merged.extend(hits[j:])
+        return merged
+
+
+class ColumnMemory:
+    """One alpha memory evaluated directly over a reader table's columns.
+
+    Members are row ids (an insertion-ordered dict used as an ordered set;
+    per-class row order is timestamp order, so iteration and probe results
+    match the object path's bucket order exactly). Alpha conditions are
+    checked cell-by-cell (:meth:`~repro.wm.columnar._ReaderTable.cell`
+    decodes one slot, no WME built); full iteration and probe survivors
+    materialize through the cache's per-row memo.
+    """
+
+    __slots__ = ("cache", "table", "alpha_conds", "rows", "_indexes")
+
+    def __init__(self, cache: "ColumnVectorCache", table, alpha_conds) -> None:
+        self.cache = cache
+        self.table = table
+        self.alpha_conds = alpha_conds
+        self.rows: Dict[int, None] = {}
+        self._indexes: Dict[IndexAttrs, ColumnProbeIndex] = {}
+        live = table.live_col
+        known = table.rows_known
+        if alpha_conds:
+            ok = self._alpha_ok
+            for row in range(known):
+                if live[row] and ok(row):
+                    self.rows[row] = None
+        else:
+            for row in range(known):
+                if live[row]:
+                    self.rows[row] = None
+        cache.scanned_rows += known
+
+    def _alpha_ok(self, row: int) -> bool:
+        """``alpha_test_passes`` evaluated on cells instead of a WME."""
+        table = self.table
+        resolve = self.cache.reader._resolve
+        for cond in self.alpha_conds:
+            kind = cond[0]
+            if kind == "const":
+                _k, attr, op, value = cond
+                if not value_predicate(op, table.cell(resolve, row, attr), value):
+                    return False
+            elif kind == "in":
+                _k, attr, alternatives = cond
+                if table.cell(resolve, row, attr) not in alternatives:
+                    return False
+            else:  # 'intra'
+                _k, attr, op, other = cond
+                if not value_predicate(
+                    op,
+                    table.cell(resolve, row, attr),
+                    table.cell(resolve, row, other),
+                ):
+                    return False
+        return True
+
+    # -- maintenance (journal replay) ---------------------------------------
+
+    def on_add(self, row: int) -> None:
+        self.cache.scanned_rows += 1
+        if self.alpha_conds and not self._alpha_ok(row):
+            return
+        self.rows[row] = None
+        for index in self._indexes.values():
+            index.insert(row)
+
+    def on_remove(self, row: int) -> None:
+        if row not in self.rows:
+            return
+        del self.rows[row]
+        for index in self._indexes.values():
+            index.remove(row)
+
+    # -- enumerator protocol -------------------------------------------------
+
+    def _index_for(self, attrs: IndexAttrs) -> ColumnProbeIndex:
+        index = self._indexes.get(attrs)
+        if index is None:
+            index = self._indexes[attrs] = ColumnProbeIndex(self, attrs)
+        return index
+
+    def probe(self, attrs: IndexAttrs, values: Tuple) -> Sequence[WME]:
+        cache = self.cache
+        cache.probes += 1
+        rows = self._index_for(attrs).probe_rows(values)
+        if not rows:
+            return ()
+        wme_at = cache.wme_at
+        table = self.table
+        return tuple(wme_at(table, row) for row in rows)
+
+    def probe_exists(self, attrs: IndexAttrs, values: Tuple) -> bool:
+        """Bucket non-emptiness — no row decoded, no WME built."""
+        self.cache.probes += 1
+        return bool(self._index_for(attrs).probe_rows(values))
+
+    def __contains__(self, row: int) -> bool:
+        return row in self.rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[WME]:
+        cache = self.cache
+        table = self.table
+        return (cache.wme_at(table, row) for row in self.rows)
+
+
+class _EmptyColumnMemory:
+    """Stand-in for a class no row was ever asserted for (no table yet).
+    Never cached — the real memory is built once the class appears in a
+    structural spec on the next refresh."""
+
+    __slots__ = ()
+
+    def probe(self, attrs: IndexAttrs, values: Tuple) -> Sequence[WME]:
+        return ()
+
+    def probe_exists(self, attrs: IndexAttrs, values: Tuple) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self) -> Iterator[WME]:
+        return iter(())
+
+
+_EMPTY_COLUMN_MEMORY = _EmptyColumnMemory()
+
+
+class ColumnVectorCache:
+    """Worker-side alpha source evaluated directly over shared columns.
+
+    The vectorized-probe replacement for replica-WM + :class:`AlphaCache`
+    in columnar workers: :meth:`refresh` advances the journal cursor
+    without materializing (``refresh_raw``), memories scan the liveness and
+    value columns, probes hash packed ``(tag, payload)`` keys, and WME
+    objects are built lazily — memoized per row in the table's
+    ``wme_by_row`` — only for rows a probe or full scan surfaces.
+
+    Byte-identical conflict sets by construction: per-class row order is
+    timestamp order, packed keys collapse exactly the values Python ``==``
+    unifies (see the keying note above), and everything else falls back to
+    decoded comparison. Reads assume the parent is quiescent up to the row
+    high-water marks carried by the specs/journal — the same contract the
+    eager ``attach``/``refresh`` path relies on.
+    """
+
+    def __init__(self, reader) -> None:
+        _load_columnar_tags()
+        self.reader = reader
+        self._mems: Dict[AlphaKey, ColumnMemory] = {}
+        self._mems_by_cid: Dict[int, List[ColumnMemory]] = {}
+        #: Work counters, cumulative per process; the pool ships per-cycle
+        #: deltas back through the observability payload.
+        self.scanned_rows = 0
+        self.materialized = 0
+        self.fallback_probes = 0
+        self.probes = 0
+
+    # -- enumerator protocol -------------------------------------------------
+
+    def memory(self, ce: CompiledCE):
+        mem = self._mems.get(ce.alpha_key)
+        if mem is None:
+            cid = self.reader.cid_of(ce.class_name)
+            if cid is None:
+                return _EMPTY_COLUMN_MEMORY
+            mem = ColumnMemory(self, self.reader.table(cid), ce.alpha_conds)
+            self._mems[ce.alpha_key] = mem
+            self._mems_by_cid.setdefault(cid, []).append(mem)
+        return mem
+
+    # -- maintenance ---------------------------------------------------------
+
+    def refresh(self, info: Tuple) -> int:
+        """Apply a cycle's journal records to every primed memory; returns
+        the number of records applied. No WME is built here."""
+        return self.reader.refresh_raw(info, self._on_record)
+
+    def _on_record(self, added: bool, cid: int, row: int) -> None:
+        mems = self._mems_by_cid.get(cid)
+        if added:
+            if mems:
+                for mem in mems:
+                    mem.on_add(row)
+            return
+        table = self.reader.table(cid)
+        if table is not None:
+            table.wme_by_row.pop(row, None)  # rows never recycle; drop memo
+        if mems:
+            for mem in mems:
+                mem.on_remove(row)
+
+    # -- lazy materialization ------------------------------------------------
+
+    def wme_at(self, table, row: int) -> WME:
+        """The row's WME, built on first need and memoized (probes that
+        surface the same row across cycles decode it once)."""
+        wme = table.wme_by_row.get(row)
+        if wme is None:
+            wme = table.materialize(self.reader._resolve, row)
+            table.wme_by_row[row] = wme
+            self.materialized += 1
+        return wme
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "scanned": self.scanned_rows,
+            "materialized": self.materialized,
+            "fallback": self.fallback_probes,
+            "probes": self.probes,
+        }

@@ -109,6 +109,7 @@ def create_matcher(
     metrics=None,
     flightrec=None,
     indexed: bool = True,
+    vector_probe: bool = True,
 ) -> Matcher:
     """Instantiate a match engine by name (``rete``, ``treat``, ``naive`` or
     ``process``/``process:N`` for the multiprocessing fan-out).
@@ -128,6 +129,12 @@ def create_matcher(
     join kernel (default) or the nested-loop escape hatch (``--no-index``)
     for the enumerator-based engines, and is accepted — and ignored — by
     RETE, whose beta network is always hash-joined.
+
+    ``vector_probe`` follows the same convention: it enables the
+    vectorized column-scan probe kernel (``--no-vector-probe`` to
+    disable), which only takes effect in ``process`` workers attached to
+    a columnar store — every other engine matches over WME objects and
+    accepts the flag as a no-op so callers need not special-case it.
 
     ``tracer`` / ``metrics`` / ``flightrec`` (:mod:`repro.obs`) are
     cross-cutting and accepted for every backend: the process pool uses
@@ -167,6 +174,7 @@ def create_matcher(
             metrics=metrics,
             flightrec=flightrec,
             indexed=indexed,
+            vector_probe=vector_probe,
         )
 
     if (

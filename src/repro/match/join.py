@@ -201,6 +201,25 @@ def enumerate_matches(
         next_partials: List[Tuple[Env, Tuple[Optional[WME], ...]]] = []
         if ce.negated:
             if probe_pairs:
+                # With no residual tests left, "does any WME block this
+                # partial" is exactly bucket non-emptiness — answerable
+                # without materializing the bucket (for the column-native
+                # memories, without decoding a single row). Only taken when
+                # no stats are collected: the per-WME counter stream must
+                # stay byte-identical for the benchmark gates.
+                if (
+                    stats is None
+                    and not residual
+                    and not ce.local_conds
+                    and hasattr(mem, "probe_exists")
+                ):
+                    for env, wmes in partials:
+                        if not mem.probe_exists(
+                            probe_attrs, tuple(env[v] for v in probe_vars)
+                        ):
+                            next_partials.append((env, wmes + (None,)))
+                    partials = next_partials
+                    continue
                 for env, wmes in partials:
                     if stats is not None:
                         stats.bump("hash_probes", rule_name)

@@ -44,6 +44,7 @@ from repro.obs.flightrec import (
     EV_REPLAY,
     EV_RULE_BEGIN,
     EV_RULE_END,
+    EV_VECTOR_SCAN,
     EV_WORKER_EXIT,
     EV_WORKER_START,
     KIND_NAMES,
@@ -158,6 +159,11 @@ class Blackbox:
             return f"reply ({a} summaries)"
         if kind == EV_ATTACH:
             return "attach"
+        if kind == EV_VECTOR_SCAN:
+            return (
+                f"vector scan: {a} rows, {b} materialized, "
+                f"{code} fallback probe(s)"
+            )
         return f"{KIND_NAMES.get(kind, f'kind#{kind}')} code={code} a={a} b={b}"
 
     # -- timeline ---------------------------------------------------------
@@ -266,6 +272,10 @@ def skew_report(bb: Blackbox, registry: Any = None) -> Dict[str, Any]:
     - ``sites``: per worker site, busy seconds (match-request→reply),
       cycles served, mean busy per cycle, and ``skew_ratio`` — the site's
       mean busy time over the all-site mean (1.0 = perfectly balanced).
+      Sites running the vectorized probe kernel additionally report
+      ``vector_scan_rows`` / ``vector_materialized`` /
+      ``vector_fallback_probes`` totals, so match time can be attributed
+      to column scanning vs WME decoding.
     - ``rules``: per rule, total evaluation + match nanoseconds and
       ``share`` of the all-rule total.
 
@@ -289,6 +299,7 @@ def skew_report(bb: Blackbox, registry: Any = None) -> Dict[str, Any]:
     # Worker-side busy windows: request→reply per cycle, plus per-rule
     # match time from rule-begin→rule-end/next-record deltas.
     site_busy: Dict[int, List[float]] = {}
+    site_vector: Dict[int, Dict[str, int]] = {}
     for ring in bb.rings:
         if ring.site < 0:
             continue
@@ -296,6 +307,19 @@ def skew_report(bb: Blackbox, registry: Any = None) -> Dict[str, Any]:
         begin: Optional[Dict[str, int]] = None
         for rec in ring.records:
             kind = rec["kind"]
+            if kind == EV_VECTOR_SCAN:
+                vec = site_vector.setdefault(
+                    ring.site,
+                    {
+                        "vector_scan_rows": 0,
+                        "vector_materialized": 0,
+                        "vector_fallback_probes": 0,
+                    },
+                )
+                vec["vector_scan_rows"] += max(rec["a"], 0)
+                vec["vector_materialized"] += max(rec["b"], 0)
+                vec["vector_fallback_probes"] += max(rec["code"], 0)
+                continue
             if begin is not None and kind in (EV_RULE_END, EV_RULE_BEGIN, EV_MATCH_REPLY):
                 name = bb.rule_name(begin["code"])
                 rule_ns[name] = rule_ns.get(name, 0) + max(
@@ -349,6 +373,7 @@ def skew_report(bb: Blackbox, registry: Any = None) -> Dict[str, Any]:
             "busy_s": sum(site_busy[site]),
             "mean_busy_s": mean,
             "skew_ratio": (mean / overall) if overall > 0 else 1.0,
+            **site_vector.get(site, {}),
         }
         for site, mean in sorted(site_mean.items())
     }

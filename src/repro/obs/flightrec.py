@@ -68,6 +68,7 @@ __all__ = [
     "EV_RULE_END",
     "EV_WORKER_EXIT",
     "EV_WORKER_START",
+    "EV_VECTOR_SCAN",
     "FLIGHT_PREFIX",
     "KIND_NAMES",
     "PHASE_CODES",
@@ -121,6 +122,7 @@ EV_RULE_BEGIN = 23  # about to match one rule: code=rule id
 EV_RULE_END = 24  # rule matched: code=rule id, a=instantiations found
 EV_MATCH_REPLY = 25  # reply sent: a=summaries returned
 EV_ATTACH = 26  # worker attached to a shared store/ring
+EV_VECTOR_SCAN = 27  # vectorized scan batch: a=rows scanned, b=WMEs materialized, code=fallback probes (clamped)
 
 KIND_NAMES: Dict[int, str] = {
     EV_CYCLE: "cycle",
@@ -141,6 +143,7 @@ KIND_NAMES: Dict[int, str] = {
     EV_RULE_END: "rule-end",
     EV_MATCH_REPLY: "match-reply",
     EV_ATTACH: "attach",
+    EV_VECTOR_SCAN: "vector-scan",
 }
 
 #: Engine phase ids used as ``code`` on :data:`EV_PHASE` records.

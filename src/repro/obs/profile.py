@@ -37,6 +37,11 @@ REDACTION_SKIPPED = "parulel_redaction_skipped_total"
 #: Fired pairs the runtime race sanitizer replayed in both orders
 #: (``EngineConfig.sanitize_races``).
 SANITIZER_REPLAYS = "parulel_sanitizer_replays_total"
+#: Rows the vectorized probe kernel scanned column-natively (``site``
+#: label), and probes that left the packed-key path for decoded
+#: comparison — the scan-vs-decode attribution the skew reports read.
+VECTOR_SCAN_ROWS = "parulel_vector_scan_rows_total"
+VECTOR_PROBE_FALLBACK = "parulel_vector_probe_fallback_total"
 #: Gauges exported by ``parulel blackbox report``
 #: (:func:`repro.obs.blackbox.skew_report`): a site's mean per-cycle busy
 #: time over the all-site mean, and a rule's share of total attributed

@@ -76,7 +76,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.errors import MatchError
 from repro.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.lang.ast import Rule, Value
-from repro.match.alphaindex import AlphaCache
+from repro.match.alphaindex import AlphaCache, ColumnVectorCache
 from repro.match.compile import CompiledRule, compile_rules
 from repro.match.instantiation import ConflictSet, Instantiation
 from repro.match.interface import Matcher
@@ -86,12 +86,17 @@ from repro.obs.flightrec import (
     EV_MATCH_REQ,
     EV_RULE_BEGIN,
     EV_RULE_END,
+    EV_VECTOR_SCAN,
     EV_WORKER_EXIT,
     EV_WORKER_START,
     FlightRing,
 )
 from repro.obs.metrics import NULL_METRICS
-from repro.obs.profile import RULE_MATCH_SECONDS
+from repro.obs.profile import (
+    RULE_MATCH_SECONDS,
+    VECTOR_PROBE_FALLBACK,
+    VECTOR_SCAN_ROWS,
+)
 from repro.obs.trace import NULL_TRACER, TraceEvent, Tracer
 from repro.parallel.partition import Assignment, resolve_assignment
 from repro.resilience.supervisor import SiteSupervisor, SupervisorPolicy
@@ -107,9 +112,13 @@ __all__ = ["ProcessMatchPool", "ProcessMatcher", "default_worker_count"]
 MatchSummary = Tuple[str, Tuple[int, ...], Dict[str, Value]]
 
 #: Per-reply observability payload: the worker's raw span buffer (shipped
-#: back alongside match results, ingested onto a ``worker-<site>`` lane)
-#: plus per-rule match seconds. ``None`` when observability is off.
-ObsPayload = Optional[Tuple[List[TraceEvent], List[Tuple[str, float]]]]
+#: back alongside match results, ingested onto a ``worker-<site>`` lane),
+#: per-rule match seconds, and the vectorized probe kernel's per-cycle
+#: work deltas (``None`` outside vector mode). ``None`` when observability
+#: is off.
+ObsPayload = Optional[
+    Tuple[List[TraceEvent], List[Tuple[str, float]], Optional[Dict[str, int]]]
+]
 
 #: Per-worker, per-cycle reply deadline (seconds). Generous: it exists to
 #: unwedge a hung worker, not to police slow matches. Override per run with
@@ -138,6 +147,7 @@ def _worker_main(
     rules: Tuple[Rule, ...],
     obs: bool = False,
     indexed: bool = True,
+    vector: bool = True,
     flight: Optional[Tuple[str, Dict[str, int]]] = None,
 ) -> None:
     """Worker loop: maintain a WM replica, answer match requests.
@@ -160,6 +170,15 @@ def _worker_main(
 
     Any exception is reported as ``("err", message)``; the parent treats it
     as fatal (a deterministic error would recur on respawn).
+
+    With ``vector`` (and ``indexed``) on, a columnar attach switches the
+    worker onto the vectorized probe kernel: no replica WM is populated at
+    all — alpha memories are row-id sets over the shared columns
+    (:class:`~repro.match.alphaindex.ColumnVectorCache`), refresh advances
+    the journal without materializing, and WMEs are decoded lazily for
+    probe survivors only. Delta mode and ``vector=False`` keep the replica
+    path, with the bootstrap batched class-by-class through
+    ``wm.bulk_load`` / ``AlphaCache.bulk_add``.
 
     With ``obs`` on the worker runs its own :class:`~repro.obs.Tracer`
     (spans on a local lane, rewritten to ``worker-<site>`` by the parent
@@ -189,14 +208,25 @@ def _worker_main(
     by_ts: Dict[int, WME] = {}
     # Worker-side indexed alpha memories, rebuilt incrementally from the
     # shipped deltas (or the shared journal): both paths go through
-    # wm.add/remove, which notify the attached cache's listener.
+    # wm.add/remove, which notify the attached cache's listener. Created
+    # lazily so a columnar bootstrap can bulk-load the replica first —
+    # the cache then primes per class via bulk_add instead of replaying
+    # one listener callback per WME.
     alpha: Optional[AlphaCache] = None
-    if indexed:
-        alpha = AlphaCache(wm)
-        alpha.attach()
     tracer = Tracer() if obs else NULL_TRACER
     reader: Optional[ColumnarReader] = None
+    #: Column-native alpha source; set on attach in vector mode, in which
+    #: case ``wm``/``by_ts``/``alpha`` stay empty and unused.
+    vcache: Optional[ColumnVectorCache] = None
+    vec_prev = {"scanned": 0, "materialized": 0, "fallback": 0, "probes": 0}
     cycle = 0
+
+    def ensure_alpha() -> Optional[AlphaCache]:
+        nonlocal alpha
+        if alpha is None and indexed:
+            alpha = AlphaCache(wm)
+            alpha.attach()
+        return alpha
 
     def replica_add(wme: WME) -> None:
         wm.add(wme)
@@ -205,6 +235,11 @@ def _worker_main(
     def replica_remove(wme: WME) -> None:
         del by_ts[wme.timestamp]
         wm.remove(wme)
+
+    def bootstrap_class(_name: str, batch: List[WME]) -> None:
+        wm.bulk_load(batch)
+        for wme in batch:
+            by_ts[wme.timestamp] = wme
 
     while True:
         try:
@@ -230,7 +265,13 @@ def _worker_main(
                     reader.close()
                 reader = ColumnarReader(msg[1])
                 with tracer.span("attach", lane="worker"):
-                    reader.attach(replica_add)
+                    if vector and indexed:
+                        # Vector mode: nothing is materialized up front —
+                        # memories prime themselves from the liveness
+                        # columns on first use.
+                        vcache = ColumnVectorCache(reader)
+                    else:
+                        reader.attach_bulk(bootstrap_class)
                 continue
             if tag == "ping":
                 conn.send(("pong", msg[1]))
@@ -245,7 +286,10 @@ def _worker_main(
             rule_times: List[Tuple[str, float]] = []
             if tag == "match-shm":
                 with tracer.span("refresh-journal", lane="worker", cycle=cycle):
-                    reader.refresh(msg[1], replica_add, replica_remove)
+                    if vcache is not None:
+                        vcache.refresh(msg[1])
+                    else:
+                        reader.refresh(msg[1], replica_add, replica_remove)
             else:
                 deltas = msg[1]
                 if deltas:
@@ -255,6 +299,7 @@ def _worker_main(
                         for wire in deltas:
                             WMDelta.apply_wire(wm, by_ts, wire)
             out: List[MatchSummary] = []
+            alpha_source = vcache if vcache is not None else ensure_alpha()
             with tracer.span("match", lane="worker", cycle=cycle, rules=len(compiled)):
                 for cr in compiled:
                     t0 = time.perf_counter() if obs else 0.0
@@ -267,7 +312,7 @@ def _worker_main(
                             EV_RULE_BEGIN, cycle, code=rule_ids.get(cr.name, 0)
                         )
                     for inst in enumerate_matches(
-                        cr, wm, alpha_source=alpha, indexed=indexed
+                        cr, wm, alpha_source=alpha_source, indexed=indexed
                     ):
                         out.append(
                             (
@@ -288,8 +333,21 @@ def _worker_main(
                         )
                     if obs:
                         rule_times.append((cr.name, time.perf_counter() - t0))
+            vec_stats: Optional[Dict[str, int]] = None
+            if vcache is not None:
+                cur = vcache.counters()
+                vec_stats = {k: cur[k] - vec_prev[k] for k in cur}
+                vec_prev = cur
+                if ring is not None:
+                    ring.append(
+                        EV_VECTOR_SCAN,
+                        cycle,
+                        a=vec_stats["scanned"],
+                        b=vec_stats["materialized"],
+                        code=min(vec_stats["fallback"], 0x7FFF),
+                    )
             payload: ObsPayload = (
-                (tracer.drain_events(), rule_times) if obs else None
+                (tracer.drain_events(), rule_times, vec_stats) if obs else None
             )
             conn.send(("ok", (out, payload)))
             if ring is not None:
@@ -331,6 +389,7 @@ class ProcessMatchPool:
         metrics=None,
         flightrec=None,
         indexed: bool = True,
+        vector_probe: bool = True,
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
@@ -349,6 +408,10 @@ class ProcessMatchPool:
         self._obs = self.tracer.enabled or self.metrics.enabled
         self.wm = wm
         self.indexed = indexed
+        #: Vectorized probe kernel in columnar workers. Requires the
+        #: indexed join path (the kernel *is* a set of hash indexes);
+        #: ``--no-index`` ablations therefore imply ``--no-vector-probe``.
+        self.vector = bool(vector_probe) and indexed
         #: Parent-side alpha cache for degraded sites, created on first
         #: degradation (no listener overhead while every worker is healthy).
         self._parent_alpha: Optional[AlphaCache] = None
@@ -441,6 +504,7 @@ class ProcessMatchPool:
                 tuple(self._site_rules[site]),
                 self._obs,
                 self.indexed,
+                self.vector,
                 self._flight_specs.get(site),
             ),
             name=f"parulel-match-site{site}",
@@ -547,7 +611,7 @@ class ProcessMatchPool:
         parent tracer/registry, on the worker's own lane."""
         if obs_payload is None:
             return
-        events, rule_times = obs_payload
+        events, rule_times, vec_stats = obs_payload
         if self.tracer.enabled and events:
             self.tracer.ingest(events, lane=f"worker-{site}")
         if self.metrics.enabled:
@@ -555,6 +619,15 @@ class ProcessMatchPool:
                 self.metrics.observe(
                     RULE_MATCH_SECONDS, seconds, rule=rule, site=site
                 )
+            if vec_stats is not None:
+                if vec_stats["scanned"]:
+                    self.metrics.inc(
+                        VECTOR_SCAN_ROWS, vec_stats["scanned"], site=site
+                    )
+                if vec_stats["fallback"]:
+                    self.metrics.inc(
+                        VECTOR_PROBE_FALLBACK, vec_stats["fallback"], site=site
+                    )
 
     def _probe(self, site: int) -> bool:
         """Ping/pong liveness probe: a healthy worker answers between
@@ -1048,6 +1121,7 @@ class ProcessMatcher(Matcher):
         metrics=None,
         flightrec=None,
         indexed: bool = True,
+        vector_probe: bool = True,
     ) -> None:
         # The pool's recorder primes itself with the pre-existing WMEs, so
         # it must attach before Matcher.__init__ replays them through
@@ -1067,6 +1141,7 @@ class ProcessMatcher(Matcher):
             metrics=metrics,
             flightrec=flightrec,
             indexed=indexed,
+            vector_probe=vector_probe,
         )
         super().__init__(rules, wm, indexed=indexed)
 

@@ -78,7 +78,7 @@ from repro.errors import WorkingMemoryError
 from repro.lang.ast import Value
 from repro.wm.memory import WorkingMemory
 from repro.wm.template import TemplateRegistry
-from repro.wm.wme import WME
+from repro.wm.wme import NIL, WME
 
 __all__ = [
     "ColumnarWorkingMemory",
@@ -521,6 +521,12 @@ class ColumnarWorkingMemory(WorkingMemory):
         self._journal_append(_OP_REMOVE, table.cid, row)
         return super().discard(wme)
 
+    def bulk_load(self, wmes) -> None:
+        # Every assert must hit the columns and the journal; the dict
+        # store's bucket-update fast path would bypass both.
+        for wme in wmes:
+            self.add(wme)
+
     def clear_class(self, class_name: str) -> int:
         bucket = self._by_class.get(class_name)
         if bucket:
@@ -608,19 +614,26 @@ class _ReaderTable:
     __slots__ = (
         "token", "cid", "name", "gen", "cap", "attr_order",
         "segs", "ts_col", "live_col", "payload_cols", "tag_cols",
-        "wme_by_row",
+        "wme_by_row", "rows_known", "_col_of",
     )
 
     def __init__(self, token: str, spec: Tuple) -> None:
         self.token = token
         self.segs: List[_Seg] = []
         self.wme_by_row: Dict[int, WME] = {}
+        #: Row high-water mark as of the last structural spec / journal
+        #: record seen — the range a column scan may read without racing
+        #: past the parent's cursors.
+        self.rows_known = 0
         self._mount(spec)
 
     def _mount(self, spec: Tuple) -> None:
-        cid, name, gen, cap, attrs, _rows = spec
+        cid, name, gen, cap, attrs, rows = spec
         self.cid, self.name, self.gen, self.cap = cid, name, gen, cap
         self.attr_order = list(attrs)
+        self._col_of = {a: i for i, a in enumerate(attrs)}
+        if rows > self.rows_known:
+            self.rows_known = rows
         base = f"{self.token}c{cid}g{gen}"
         # Mount all-or-nothing: close whatever mapped if a later segment
         # is gone (unlinked mid-run), so no exported views leak. self.segs
@@ -670,6 +683,23 @@ class _ReaderTable:
             attrs[attr] = _decode_value(resolve, tag, self.payload_cols[idx][row])
         return WME(self.name, attrs, self.ts_col[row])
 
+    def col_of(self, attr: str) -> Optional[int]:
+        """Column index of ``attr``, or ``None`` when no row ever set it
+        (reads as absent). Resolved at call time — columns can appear
+        mid-run."""
+        return self._col_of.get(attr)
+
+    def cell(self, resolve: Callable[[int], str], row: int, attr: str) -> Value:
+        """Decode one attribute of one row without building the WME
+        (``"nil"`` for absent — the same reading ``WME.get`` gives)."""
+        idx = self._col_of.get(attr)
+        if idx is None:
+            return NIL
+        tag = self.tag_cols[idx][row]
+        if tag == _ABSENT:
+            return NIL
+        return _decode_value(resolve, tag, self.payload_cols[idx][row])
+
     def close(self) -> None:
         for seg in self.segs:
             seg.close()
@@ -694,7 +724,17 @@ class ColumnarReader:
         self._heap_gen, self._heap_used = heap
         self._class_specs = class_specs
         self._strings: Dict[int, str] = {}
+        #: Reverse intern map (text -> heap offset), filled by the
+        #: incremental heap walk. Heap offsets are stable across heap
+        #: generations (growth copies the used prefix verbatim), so the
+        #: walk cursor and both maps survive re-generation.
+        self._offsets: Dict[str, int] = {}
+        self._heap_walked = 0
+        self._nil_off: Optional[int] = None
         self._tables: Dict[int, _ReaderTable] = {}
+        self._cid_by_name: Dict[str, int] = {
+            cspec[1]: cspec[0] for cspec in class_specs
+        }
         # Attach all-or-nothing: if any segment is gone (e.g. unlinked by
         # a fault mid-run), release whatever did map before re-raising —
         # a half-attached reader abandoned un-closed would leak exported
@@ -725,6 +765,77 @@ class ColumnarReader:
             self._strings[off] = text
         return text
 
+    def ensure_interned(self) -> None:
+        """Walk the heap suffix appended since the last walk, filling both
+        the forward (offset -> text) and reverse (text -> offset) maps.
+
+        The heap is append-only and offsets never move across generations,
+        so a single sequential cursor covers it; the walk is O(new bytes)
+        and a no-op in steady state.
+        """
+        off, used = self._heap_walked, self._heap_used
+        if off >= used:
+            return
+        buf = self._heap_seg.buf
+        strings, offsets = self._strings, self._offsets
+        while off < used:
+            (length,) = struct.unpack_from("<I", buf, off)
+            text = bytes(buf[off + 4 : off + 4 + length]).decode("utf-8")
+            strings[off] = text
+            offsets[text] = off
+            off += 4 + length
+        self._heap_walked = off
+        self._nil_off = offsets.get(NIL)
+
+    def offset_of(self, text: str) -> Optional[int]:
+        """Heap offset of an interned string, or ``None`` if the parent
+        never interned it — which proves no stored symbol/bigint equals
+        it (the definitive-miss half of the packed-probe protocol)."""
+        self.ensure_interned()
+        return self._offsets.get(text)
+
+    def nil_offset(self) -> Optional[int]:
+        """Offset of the interned ``"nil"`` symbol, if any — stored
+        ``nil`` symbols and absent slots must canonicalize to one key."""
+        self.ensure_interned()
+        return self._nil_off
+
+    # -- structure -----------------------------------------------------------
+
+    def table(self, cid: int) -> Optional[_ReaderTable]:
+        return self._tables.get(cid)
+
+    def cid_of(self, class_name: str) -> Optional[int]:
+        return self._cid_by_name.get(class_name)
+
+    def _refresh_structure(self, info: Tuple) -> Tuple[int, int]:
+        """Shared refresh prologue: re-mount the heap/journal/tables the
+        cursors and dirty specs call for. Returns ``(journal stop, start)``
+        for the caller's record loop."""
+        (jgen, jlen), (hgen, hused), dirty = info
+        if hgen != self._heap_gen:
+            self._heap_seg.close()
+            self._heap_seg = _Seg(f"{self.token}h{hgen}")
+            self._heap_gen = hgen
+            self._strings.clear()
+        self._heap_used = hused
+        for cspec in dirty:
+            cid = cspec[0]
+            table = self._tables.get(cid)
+            if table is None:
+                self._tables[cid] = _ReaderTable(self.token, cspec)
+                self._cid_by_name[cspec[1]] = cid
+            else:
+                table.refresh_structure(cspec)
+                if cspec[5] > table.rows_known:
+                    table.rows_known = cspec[5]
+        if jgen != self._journal_gen:
+            self._journal_seg.close()
+            self._journal_seg = _Seg(f"{self.token}j{jgen}")
+            self._journal_gen = jgen
+        start, self._cursor = self._cursor, jlen
+        return jlen, start
+
     # -- protocol ------------------------------------------------------------
 
     def attach(self, on_add: Callable[[WME], None]) -> int:
@@ -745,6 +856,32 @@ class ColumnarReader:
                     n += 1
         return n
 
+    def attach_bulk(
+        self, on_class: Callable[[str, List[WME]], None]
+    ) -> int:
+        """Like :meth:`attach`, but delivers each class's live WMEs as one
+        batch (row = timestamp order) — one callback per class instead of
+        one per WME, so the caller can route the batch through bulk loads
+        (:meth:`~repro.wm.memory.WorkingMemory.bulk_load`,
+        :meth:`~repro.match.alphaindex.IndexedMemory.bulk_add`)."""
+        n = 0
+        resolve = self._resolve
+        for cspec in self._class_specs:
+            table = self._tables[cspec[0]]
+            rows = cspec[5]
+            live = table.live_col
+            batch: List[WME] = []
+            wme_by_row = table.wme_by_row
+            for row in range(rows):
+                if live[row]:
+                    wme = table.materialize(resolve, row)
+                    wme_by_row[row] = wme
+                    batch.append(wme)
+            if batch:
+                on_class(table.name, batch)
+                n += len(batch)
+        return n
+
     def refresh(
         self,
         info: Tuple,
@@ -753,28 +890,11 @@ class ColumnarReader:
     ) -> int:
         """Apply journal records up to the message's cursors; returns the
         number of records applied."""
-        (jgen, jlen), (hgen, hused), dirty = info
-        if hgen != self._heap_gen:
-            self._heap_seg.close()
-            self._heap_seg = _Seg(f"{self.token}h{hgen}")
-            self._heap_gen = hgen
-            self._strings.clear()
-        self._heap_used = hused
-        for cspec in dirty:
-            cid = cspec[0]
-            table = self._tables.get(cid)
-            if table is None:
-                self._tables[cid] = _ReaderTable(self.token, cspec)
-            else:
-                table.refresh_structure(cspec)
-        if jgen != self._journal_gen:
-            self._journal_seg.close()
-            self._journal_seg = _Seg(f"{self.token}j{jgen}")
-            self._journal_gen = jgen
+        jlen, start = self._refresh_structure(info)
         applied = 0
         buf = self._journal_seg.buf
         resolve = self._resolve
-        for i in range(self._cursor, jlen):
+        for i in range(start, jlen):
             op, cid, row = _JREC.unpack_from(buf, i * JOURNAL_RECORD_SIZE)
             table = self._tables[cid]
             if op == _OP_ADD:
@@ -785,7 +905,30 @@ class ColumnarReader:
                 wme = table.wme_by_row.pop(row)
                 on_remove(wme)
             applied += 1
-        self._cursor = jlen
+        return applied
+
+    def refresh_raw(
+        self,
+        info: Tuple,
+        on_record: Callable[[bool, int, int], None],
+    ) -> int:
+        """Advance over the journal *without materializing anything*:
+        ``on_record(added, cid, row)`` per record, row high-water marks
+        updated. The vectorized probe path refreshes through this — WME
+        construction is deferred until a probe actually needs the row
+        (:class:`~repro.match.alphaindex.ColumnVectorCache`)."""
+        jlen, start = self._refresh_structure(info)
+        applied = 0
+        buf = self._journal_seg.buf
+        tables = self._tables
+        for i in range(start, jlen):
+            op, cid, row = _JREC.unpack_from(buf, i * JOURNAL_RECORD_SIZE)
+            if op == _OP_ADD:
+                table = tables[cid]
+                if row >= table.rows_known:
+                    table.rows_known = row + 1
+            on_record(op == _OP_ADD, cid, row)
+            applied += 1
         return applied
 
     @property

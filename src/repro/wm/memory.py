@@ -102,6 +102,36 @@ class WorkingMemory:
         for listener in self._listeners:
             listener(wme, True)
 
+    def bulk_load(self, wmes: Iterable[WME]) -> None:
+        """Assert many prepared WMEs at once (replica bootstrap fast path).
+
+        Trusts the caller that the WMEs are distinct and absent — the
+        batches come from an authoritative source (a columnar liveness
+        snapshot, a checkpoint), so duplicate probing per WME is skipped
+        and each class bucket is extended with one C-level dict update.
+        With listeners attached it falls back to per-WME :meth:`add`
+        (listeners must observe every event individually).
+        """
+        wmes = list(wmes)
+        if not wmes:
+            return
+        if self._listeners:
+            for wme in wmes:
+                self.add(wme)
+            return
+        grouped: Dict[str, List[WME]] = {}
+        last_ts = 0
+        for wme in wmes:
+            grouped.setdefault(wme.class_name, []).append(wme)
+            if wme.timestamp > last_ts:
+                last_ts = wme.timestamp
+        for class_name, group in grouped.items():
+            bucket = self._by_class.setdefault(class_name, {})
+            bucket.update(dict.fromkeys(group))
+            self._count += len(group)
+        if last_ts >= self._next_timestamp:
+            self._next_timestamp = last_ts + 1
+
     def remove(self, wme: WME) -> None:
         """Retract a WME; raises if it is not present."""
         bucket = self._by_class.get(wme.class_name)

@@ -27,7 +27,7 @@ VALUES = [0, 1, 2]
 N_PROGRAMS = 60  # ≥50 seeds: the coverage floor promised in the PR
 
 
-def _random_program(rng):
+def _random_program(rng, values=VALUES):
     """1-3 rules, 1-3 CEs each: joins, constants, predicates, negation."""
     pb = ProgramBuilder()
     for r in range(rng.randint(1, 3)):
@@ -42,7 +42,7 @@ def _random_program(rng):
                 if choice == 0:
                     continue
                 if choice == 1:
-                    tests[attr] = rng.choice(VALUES)
+                    tests[attr] = rng.choice(values)
                 elif choice == 2 and bound:
                     tests[attr] = v(rng.choice(bound))
                 elif choice == 3 and bound:
@@ -55,9 +55,9 @@ def _random_program(rng):
                         tests[attr] = conj(v(var), gt(-1))
                     bound.append(var)
                 else:
-                    tests[attr] = rng.choice(VALUES)
+                    tests[attr] = rng.choice(values)
             if negated and not tests:
-                tests["k"] = rng.choice(VALUES)
+                tests["k"] = rng.choice(values)
             if negated:
                 rb.neg(cls, **tests)
             else:
@@ -66,10 +66,10 @@ def _random_program(rng):
     return pb.build(analyze=False)
 
 
-def _random_script(rng, n_steps=30):
+def _random_script(rng, n_steps=30, values=VALUES):
     """Churn-heavy: removals as likely as additions once memory is warm."""
     return [
-        ("add", rng.choice(CLASSES), rng.choice(VALUES), rng.choice(VALUES))
+        ("add", rng.choice(CLASSES), rng.choice(values), rng.choice(values))
         if rng.random() < 0.55
         else ("remove", rng.randrange(10_000))
         for _ in range(n_steps)
@@ -115,6 +115,68 @@ class TestIndexedVersusNestedLoop:
                 assert sorted(got) == rete_image, (
                     f"seed {seed}, {name}: diverges from rete after {step}"
                 )
+
+
+#: Value pool for the vectorized axis: symbols, bigints, negative ints,
+#: floats (integral and not), bools and nil — spanning the packed-key
+#: kinds and both fallback triggers (see ``alphaindex.py``'s keying note).
+VEC_VALUES = [0, 1, -7, 2**70, 2.0, 1.5, "sym", "oth-er", "nil", True]
+
+
+class TestVectorizedVersusObjectPath:
+    """The column-native probe kernel against the object path, same seed
+    discipline as above: after every step of a churn-heavy script over a
+    columnar store, every rule's ordered conflict set under
+    ``ColumnVectorCache`` (lazy, packed-key probes over shared columns)
+    must equal the set under ``AlphaCache`` (eager WME objects)."""
+
+    @pytest.mark.parametrize("seed", range(N_PROGRAMS))
+    def test_identical_ordered_conflict_sets(self, seed):
+        from repro.match.alphaindex import AlphaCache, ColumnVectorCache
+        from repro.match.compile import compile_rules
+        from repro.match.join import enumerate_matches
+        from repro.wm.columnar import ColumnarReader, ColumnarWorkingMemory
+
+        rng = random.Random(7000 + seed)
+        program = _random_program(rng, VEC_VALUES)
+        script = _random_script(rng, 24, VEC_VALUES)
+        compiled = compile_rules(program.rules)
+        col = ColumnarWorkingMemory()
+        reader = None
+        try:
+            reader = ColumnarReader(col.attach_spec())
+            vcache = ColumnVectorCache(reader)
+            cache = AlphaCache(col)
+            cache.attach()
+            live = []
+            for step in script:
+                if step[0] == "add":
+                    _tag, cls, k, mval = step
+                    live.append(col.make(cls, k=k, m=mval))
+                else:
+                    if not live:
+                        continue
+                    col.remove(live.pop(step[1] % len(live)))
+                vcache.refresh(col.cycle_info())
+                for cr in compiled:
+                    obj = [
+                        (i.key, sorted(i.env.items()))
+                        for i in enumerate_matches(cr, col, alpha_source=cache)
+                    ]
+                    vec = [
+                        (i.key, sorted(i.env.items()))
+                        for i in enumerate_matches(
+                            cr, col, alpha_source=vcache
+                        )
+                    ]
+                    assert vec == obj, (
+                        f"seed {seed}, rule {cr.name}: vector kernel "
+                        f"diverges from object path after {step}"
+                    )
+        finally:
+            if reader is not None:
+                reader.close()
+            col.close()
 
 
 class TestWholeRunEquivalence:

@@ -128,6 +128,87 @@ class TestColumnarPool:
         assert not glob.glob(f"/dev/shm/{wm.token}*")
 
 
+class TestVectorProbe:
+    """The vectorized column-scan probe kernel through the pool: workers
+    build alpha state from shared-column scans (``ColumnVectorCache``)
+    instead of a replica WM, with ``vector_probe=False`` as the escape
+    hatch back to the object path. Both must be byte-identical."""
+
+    def test_pool_agrees_with_escape_hatch_and_rete(self):
+        prog = parse_program(SRC)
+        results = {}
+        for vector in (True, False):
+            wm = ColumnarWorkingMemory()
+            try:
+                rete = create_matcher("rete", prog.rules, wm)
+                load(wm)
+                with ProcessMatchPool(
+                    prog.rules, wm, 2, vector_probe=vector
+                ) as pool:
+                    sets = [keys(pool.conflict_set())]
+                    assert sets[0] == keys(rete.instantiations())
+                    # churn incl. a value only the fallback path can key
+                    wm.remove(list(wm.by_class("a0"))[0])
+                    wm.make("a0", k=2)
+                    wm.make("a0", k=2**70)
+                    wm.make("b0", k=2**70)
+                    sets.append(keys(pool.conflict_set()))
+                    assert sets[1] == keys(rete.instantiations())
+                    results[vector] = sets
+            finally:
+                wm.close()
+        assert results[True] == results[False]
+
+    def test_engine_run_vector_off_byte_identical(self):
+        results = {}
+        for vector in (True, False):
+            wl = REGISTRY["tc"]()
+            engine = ParulelEngine(
+                wl.program,
+                EngineConfig(
+                    matcher="process:2",
+                    wm_backend="columnar",
+                    vector_probe=vector,
+                ),
+            )
+            try:
+                wl.setup(engine)
+                run = engine.run()
+                results[vector] = (
+                    run.cycles,
+                    run.firings,
+                    run.output,
+                    engine.wm.dump_records(),
+                )
+                assert wl.verify(engine.wm)
+            finally:
+                engine.close()
+        assert results[True] == results[False]
+
+    def test_vector_metrics_follow_the_flag(self):
+        from repro.obs.profile import VECTOR_SCAN_ROWS
+
+        prog = parse_program(SRC)
+        for vector in (True, False):
+            wm = ColumnarWorkingMemory()
+            try:
+                load(wm)
+                metrics = MetricsRegistry()
+                with ProcessMatchPool(
+                    prog.rules, wm, 2, metrics=metrics, vector_probe=vector
+                ) as pool:
+                    pool.conflict_set()
+                    wm.make("a0", k=1)
+                    pool.conflict_set()
+                scanned = sum(metrics.series(VECTOR_SCAN_ROWS).values())
+                if vector:
+                    assert scanned > 0
+                else:
+                    assert scanned == 0
+            finally:
+                wm.close()
+
+
 class TestByteAccounting:
     def test_columnar_ships_10x_fewer_bytes(self):
         """The acceptance bar, at test scale: a bulky inert WM plus small

@@ -214,6 +214,110 @@ class TestReader:
             col.close()
 
 
+class TestRawReader:
+    """The non-materializing reader surface the vectorized probe kernel is
+    built on: ``refresh_raw``, ``attach_bulk`` and the intern-map queries
+    (``offset_of``/``nil_offset``) that back packed probe keys."""
+
+    def test_refresh_raw_advances_without_materializing(self):
+        col = ColumnarWorkingMemory(initial_capacity=2)
+        try:
+            col.make("alpha", k=0)  # pre-attach: snapshot, not journal
+            reader = ColumnarReader(col.attach_spec())
+            for i in range(10):  # forces row + journal growth
+                col.make("alpha", k=i, m=f"s{i}")
+            col.remove(col.by_class("alpha")[2])
+            col.make("late", tag=1)
+            records = []
+            n = reader.refresh_raw(
+                col.cycle_info(),
+                lambda added, cid, row: records.append((added, cid, row)),
+            )
+            assert n == len(records) == 12
+            assert sum(1 for added, _c, _r in records if added) == 11
+            for cid in {cid for _a, cid, _r in records}:
+                table = reader.table(cid)
+                assert table.wme_by_row == {}  # nothing decoded
+                assert table.rows_known > max(
+                    row for _a, c, row in records if c == cid
+                )
+            reader.close()
+        finally:
+            col.close()
+
+    def test_refresh_raw_is_cursor_bounded(self):
+        col = ColumnarWorkingMemory()
+        try:
+            col.make("alpha", k=1)
+            reader = ColumnarReader(col.attach_spec())
+            info = col.cycle_info()
+            col.make("alpha", k=2)  # after the cursor snapshot
+            applied = reader.refresh_raw(info, lambda *_: None)
+            assert applied == 0
+            reader.close()
+        finally:
+            col.close()
+
+    def test_attach_bulk_delivers_attach_in_class_batches(self):
+        col = ColumnarWorkingMemory(initial_capacity=2)
+        try:
+            for i in range(12):
+                col.make("alpha" if i % 2 else "beta", k=i)
+            col.remove(col.by_class("alpha")[1])
+            r1 = ColumnarReader(col.attach_spec())
+            per_wme = []
+            n1 = r1.attach(lambda w: per_wme.append(w))
+            r2 = ColumnarReader(col.attach_spec())
+            batches = []
+            n2 = r2.attach_bulk(lambda name, batch: batches.append((name, batch)))
+            assert n1 == n2 == len(col)
+            # One batch per non-empty class, rows in timestamp order, and
+            # the concatenation replays exactly the per-WME attach.
+            assert {name for name, _b in batches} == {"alpha", "beta"}
+            assert len(batches) == 2
+            flat = [repr(w) for _n, b in batches for w in b]
+            assert sorted(flat) == sorted(repr(w) for w in per_wme)
+            for _name, batch in batches:
+                assert [w.timestamp for w in batch] == sorted(
+                    w.timestamp for w in batch
+                )
+            r1.close()
+            r2.close()
+        finally:
+            col.close()
+
+    def test_offset_of_tracks_the_heap_across_refresh(self):
+        col = ColumnarWorkingMemory()
+        try:
+            col.make("alpha", k="sym", m=2**70)
+            reader = ColumnarReader(col.attach_spec())
+            off = reader.offset_of("sym")
+            assert off is not None and reader._resolve(off) == "sym"
+            assert reader.offset_of(str(2**70)) is not None
+            assert reader.offset_of("never-interned") is None
+            # A symbol interned after attach is invisible (its row is too)
+            # until a refresh advances the heap cursor — the packed-probe
+            # "definitive miss" protocol depends on exactly this.
+            col.make("alpha", k="late-sym")
+            assert reader.offset_of("late-sym") is None
+            reader.refresh_raw(col.cycle_info(), lambda *_: None)
+            assert reader.offset_of("late-sym") is not None
+            reader.close()
+        finally:
+            col.close()
+
+    def test_nil_offset_matches_interned_nil(self):
+        col = ColumnarWorkingMemory()
+        try:
+            col.make("alpha", k="nil", m=1)
+            reader = ColumnarReader(col.attach_spec())
+            off = reader.nil_offset()
+            assert off is not None and reader._resolve(off) == "nil"
+            reader.close()
+        finally:
+            col.close()
+
+
 class TestLifecycle:
     def test_close_unlinks_all_segments(self):
         col = ColumnarWorkingMemory()
